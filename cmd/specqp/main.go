@@ -1,0 +1,196 @@
+// Command specqp is a command-line query runner: it loads a scored triple
+// store (TSV) and a relaxation rule set (TSV), then executes SPARQL-subset
+// queries — from -query, from a file, or interactively from stdin — under a
+// chosen engine (spec-qp, trinit, naive), printing ranked answers and the
+// efficiency metrics the paper reports.
+//
+// Example:
+//
+//	specqp-datagen -dataset xkg -out data
+//	specqp -triples data/xkg.triples.tsv -rules data/xkg.rules.tsv \
+//	       -k 10 -mode spec-qp -explain \
+//	       -query "SELECT ?s WHERE { ?s <rdf:type> <type:g0:t1> . ?s <rdf:type> <type:g0:t2> }"
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"specqp"
+	"specqp/internal/kg"
+	"specqp/internal/relax"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("specqp: ")
+
+	var (
+		triplesPath = flag.String("triples", "", "path to triples TSV (required)")
+		rulesPath   = flag.String("rules", "", "path to relaxation rules TSV (optional)")
+		queryStr    = flag.String("query", "", "SPARQL query to execute (default: read queries from stdin)")
+		queryFile   = flag.String("queries", "", "file with one SPARQL query per line ('#' comments allowed)")
+		k           = flag.Int("k", 10, "number of answers to return")
+		modeStr     = flag.String("mode", "spec-qp", "engine: spec-qp, trinit or naive")
+		explain     = flag.Bool("explain", false, "print the speculative plan reasoning")
+		compare     = flag.Bool("compare", false, "run all three engines and compare")
+		buckets     = flag.Int("buckets", 2, "histogram buckets for the estimator")
+		estimated   = flag.Bool("estimated-selectivity", false, "use estimated instead of exact join selectivity")
+	)
+	flag.Parse()
+
+	if *triplesPath == "" {
+		log.Fatal("-triples is required")
+	}
+	st, err := loadTriples(*triplesPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rules := specqp.NewRuleSet()
+	if *rulesPath != "" {
+		rules, err = loadRules(*rulesPath, st.Dict())
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("loaded %d triples, %d relaxation rules\n", st.Len(), rules.Len())
+
+	eng := specqp.NewEngineWith(st, rules, specqp.Options{
+		HistogramBuckets:     *buckets,
+		EstimatedSelectivity: *estimated,
+	})
+
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(src string) {
+		q, err := eng.ParseSPARQL(src)
+		if err != nil {
+			log.Printf("parse error: %v", err)
+			return
+		}
+		if *explain {
+			fmt.Print(eng.Explain(eng.PlanQuery(q, *k)))
+		}
+		if *compare {
+			for _, m := range []specqp.Mode{specqp.ModeTriniT, specqp.ModeSpecQP, specqp.ModeNaive} {
+				res, err := eng.Query(q, *k, m)
+				if err != nil {
+					log.Printf("%v: %v", m, err)
+					continue
+				}
+				printResult(eng, q, m, res, *k)
+			}
+			return
+		}
+		res, err := eng.Query(q, *k, mode)
+		if err != nil {
+			log.Printf("%v", err)
+			return
+		}
+		printResult(eng, q, mode, res, *k)
+	}
+
+	switch {
+	case *queryStr != "":
+		run(*queryStr)
+	case *queryFile != "":
+		qs, err := loadQueries(*queryFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, src := range qs {
+			fmt.Printf("--- query %d ---\n", i+1)
+			run(src)
+		}
+	default:
+		fmt.Println("enter one SPARQL query per line (empty line or EOF to quit):")
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				break
+			}
+			run(line)
+		}
+	}
+}
+
+func printResult(eng *specqp.Engine, q specqp.Query, mode specqp.Mode, res specqp.Result, k int) {
+	fmt.Printf("%s: %d answers, %d memory objects, plan %v + exec %v\n",
+		mode, len(res.Answers), res.MemoryObjects, res.PlanTime, res.ExecTime)
+	for rank, a := range res.Answers {
+		vars := eng.DecodeAnswer(q, a)
+		parts := make([]string, 0, len(vars))
+		for _, v := range q.Vars() {
+			if val, ok := vars[v]; ok {
+				parts = append(parts, fmt.Sprintf("?%s=%s", v, val))
+			}
+		}
+		suffix := ""
+		if n := a.RelaxedCount(); n > 0 {
+			suffix = fmt.Sprintf("  [%d relaxed]", n)
+		}
+		fmt.Printf("  %2d. %-50s score=%.4f%s\n", rank+1, strings.Join(parts, " "), a.Score, suffix)
+	}
+}
+
+func parseMode(s string) (specqp.Mode, error) {
+	switch strings.ToLower(s) {
+	case "spec-qp", "specqp", "s":
+		return specqp.ModeSpecQP, nil
+	case "trinit", "t":
+		return specqp.ModeTriniT, nil
+	case "naive", "n":
+		return specqp.ModeNaive, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want spec-qp, trinit or naive)", s)
+	}
+}
+
+func loadTriples(path string) (*kg.Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return kg.ReadBinary(f)
+	}
+	return kg.ReadTSV(f)
+}
+
+func loadRules(path string, dict *kg.Dict) (*relax.RuleSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return relax.ReadTSV(f, dict)
+}
+
+func loadQueries(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out, sc.Err()
+}

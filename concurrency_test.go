@@ -1,0 +1,115 @@
+package specqp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestEngineConcurrentQueries exercises the documented guarantee that one
+// Engine serves concurrent queries safely once the store is frozen: the
+// match-list cache, the statistics catalog and the query-count cache are all
+// hit from multiple goroutines, and every goroutine must see identical
+// answers. Run with -race for the full effect.
+func TestEngineConcurrentQueries(t *testing.T) {
+	st := NewStore()
+	for e := 0; e < 500; e++ {
+		name := fmt.Sprintf("e%03d", e)
+		score := 1000.0 / float64(1+e)
+		if err := st.AddSPO(name, "rdf:type", fmt.Sprintf("T%d", e%7), score); err != nil {
+			t.Fatal(err)
+		}
+		if e%3 == 0 {
+			if err := st.AddSPO(name, "rdf:type", fmt.Sprintf("T%d", (e+1)%7), score*0.9); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st.Freeze()
+	d := st.Dict()
+	ty, _ := d.Lookup("rdf:type")
+	pat := func(i int) Pattern {
+		id, _ := d.Lookup(fmt.Sprintf("T%d", i))
+		return NewPattern(Var("s"), Const(ty), Const(id))
+	}
+	rules := NewRuleSet()
+	for i := 0; i < 7; i++ {
+		if err := rules.Add(Rule{From: pat(i), To: pat((i + 1) % 7), Weight: 0.5 + float64(i)/20}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := NewEngine(st, rules)
+
+	queries := []Query{
+		NewQuery(pat(0), pat(1)),
+		NewQuery(pat(2), pat(3)),
+		NewQuery(pat(4), pat(5), pat(6)),
+	}
+	// Reference answers computed sequentially first.
+	refs := make([][]Answer, len(queries))
+	for i, q := range queries {
+		res, err := eng.Query(q, 10, ModeSpecQP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = res.Answers
+	}
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 10; rep++ {
+				qi := (w + rep) % len(queries)
+				res, err := eng.Query(queries[qi], 10, ModeSpecQP)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Answers) != len(refs[qi]) {
+					errs <- fmt.Errorf("worker %d: %d answers, want %d", w, len(res.Answers), len(refs[qi]))
+					return
+				}
+				for i := range res.Answers {
+					if math.Abs(res.Answers[i].Score-refs[qi][i].Score) > 1e-9 {
+						errs <- fmt.Errorf("worker %d: rank %d score %v want %v",
+							w, i, res.Answers[i].Score, refs[qi][i].Score)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineConcurrentMixedModes runs all three engines concurrently against
+// one store to exercise shared caches under mixed read patterns.
+func TestEngineConcurrentMixedModes(t *testing.T) {
+	eng, q := engineFixture(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 12)
+	for w := 0; w < 12; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mode := []Mode{ModeSpecQP, ModeTriniT, ModeNaive}[w%3]
+			if _, err := eng.Query(q, 3, mode); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package specqp_test
+
+import (
+	"fmt"
+	"log"
+
+	"specqp"
+)
+
+// buildExampleEngine assembles the paper's running example: musicians with
+// popularity scores and two relaxation rules.
+func buildExampleEngine() *specqp.Engine {
+	st := specqp.NewStore()
+	for _, t := range []struct {
+		s, o  string
+		score float64
+	}{
+		{"shakira", "singer", 100}, {"beyonce", "singer", 90},
+		{"prince", "vocalist", 95}, {"elton", "vocalist", 85},
+		{"shakira", "guitarist", 40}, {"prince", "guitarist", 99},
+		{"beyonce", "musician", 70},
+	} {
+		if err := st.AddSPO(t.s, "rdf:type", t.o, t.score); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st.Freeze()
+	d := st.Dict()
+	ty, _ := d.Lookup("rdf:type")
+	pat := func(o string) specqp.Pattern {
+		id, _ := d.Lookup(o)
+		return specqp.NewPattern(specqp.Var("s"), specqp.Const(ty), specqp.Const(id))
+	}
+	rules := specqp.NewRuleSet()
+	if err := rules.Add(specqp.Rule{From: pat("singer"), To: pat("vocalist"), Weight: 0.8}); err != nil {
+		log.Fatal(err)
+	}
+	if err := rules.Add(specqp.Rule{From: pat("guitarist"), To: pat("musician"), Weight: 0.7}); err != nil {
+		log.Fatal(err)
+	}
+	return specqp.NewEngine(st, rules)
+}
+
+// ExampleEngine_QuerySPARQL shows the one-call path: SPARQL in, ranked
+// answers out, with LIMIT selecting k.
+func ExampleEngine_QuerySPARQL() {
+	eng := buildExampleEngine()
+	res, err := eng.QuerySPARQL(`SELECT ?s WHERE {
+		?s 'rdf:type' <singer> .
+		?s 'rdf:type' <guitarist>
+	} LIMIT 2`, specqp.ModeSpecQP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, _ := eng.ParseSPARQL(`SELECT ?s WHERE { ?s 'rdf:type' <singer> . ?s 'rdf:type' <guitarist> }`)
+	for i, a := range res.Answers {
+		fmt.Printf("%d. %s %.2f\n", i+1, eng.DecodeAnswer(q, a)["s"], a.Score)
+	}
+	// Output:
+	// 1. prince 1.80
+	// 2. beyonce 1.60
+}
+
+// ExampleEngine_PlanQuery inspects the speculative plan without executing.
+func ExampleEngine_PlanQuery() {
+	eng := buildExampleEngine()
+	q, err := eng.ParseSPARQL(`SELECT ?s WHERE {
+		?s 'rdf:type' <singer> . ?s 'rdf:type' <guitarist> }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan := eng.PlanQuery(q, 2)
+	fmt.Println("patterns relaxed:", plan.NumRelaxed(), "of", len(q.Patterns))
+	// Output:
+	// patterns relaxed: 2 of 2
+}
+
+// ExampleMineCooccurrence mines Twitter-style relaxations from term
+// co-occurrence, exactly as the paper constructs its Twitter rule set.
+func ExampleMineCooccurrence() {
+	st := specqp.NewStore()
+	for _, tw := range []struct{ id, tag string }{
+		{"t1", "#ariana"}, {"t1", "#video"},
+		{"t2", "#ariana"}, {"t2", "#video"},
+		{"t3", "#ariana"}, {"t3", "#pop"},
+	} {
+		if err := st.AddSPO(tw.id, "hasTag", tw.tag, 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st.Freeze()
+	hasTag, _ := st.Dict().Lookup("hasTag")
+	rules, err := specqp.MineCooccurrence(st, hasTag, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ariana, _ := st.Dict().Lookup("#ariana")
+	p := specqp.NewPattern(specqp.Var("s"), specqp.Const(hasTag), specqp.Const(ariana))
+	for _, r := range rules.For(p) {
+		fmt.Printf("#ariana → %s w=%.2f\n", st.Dict().Decode(r.To.O.ID), r.Weight)
+	}
+	// Output:
+	// #ariana → #video w=0.67
+	// #ariana → #pop w=0.33
+}

@@ -1,0 +1,117 @@
+// Command twitter mirrors the paper's second evaluation scenario: conjunctive
+// hashtag search over a tweet stream where triple scores are retweet counts
+// and relaxation rules are mined automatically from term co-occurrence
+// (w = #tweets(T1∧T2)/#tweets(T1)).
+//
+// Unlike the quickstart, nothing here is hand-specified: the rule set comes
+// out of the data via the co-occurrence miner, exactly as the paper built its
+// Twitter relaxations.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"specqp"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+	st := specqp.NewStore()
+
+	// A small synthetic stream: 5000 tweets over 60 hashtags clustered into
+	// topics (music, sports, news, tech), Zipf retweet counts.
+	topics := map[string][]string{
+		"music":  {"#intoyouvideo", "#ariana", "#dangerous", "#video", "#song", "#pop", "#nowplaying", "#remix", "#vocals", "#tour", "#setlist", "#encore", "#album", "#single", "#chart"},
+		"sports": {"#football", "#goal", "#worldcup", "#match", "#team", "#fans", "#stadium", "#league", "#derby", "#transfer", "#coach", "#injury", "#penalty", "#var", "#finals"},
+		"news":   {"#breaking", "#election", "#economy", "#weather", "#storm", "#update", "#live", "#report", "#press", "#policy", "#vote", "#debate", "#poll", "#summit", "#crisis"},
+		"tech":   {"#ai", "#startup", "#coding", "#golang", "#database", "#cloud", "#launch", "#beta", "#opensource", "#devops", "#mobile", "#security", "#data", "#api", "#infra"},
+	}
+	var topicNames []string
+	for name := range topics {
+		topicNames = append(topicNames, name)
+	}
+	// Deterministic order for reproducibility (map iteration is random).
+	for i := 1; i < len(topicNames); i++ {
+		for j := i; j > 0 && topicNames[j] < topicNames[j-1]; j-- {
+			topicNames[j], topicNames[j-1] = topicNames[j-1], topicNames[j]
+		}
+	}
+
+	const tweets = 5000
+	for i := 0; i < tweets; i++ {
+		id := fmt.Sprintf("tweet_%05d", i)
+		retweets := float64(1 + rng.Intn(20000)/(1+i%97))
+		topic := topics[topicNames[rng.Intn(len(topicNames))]]
+		n := 2 + rng.Intn(4)
+		seen := map[string]bool{}
+		for j := 0; j < n; j++ {
+			var tag string
+			if rng.Float64() < 0.8 {
+				tag = topic[rng.Intn(len(topic))]
+			} else {
+				other := topics[topicNames[rng.Intn(len(topicNames))]]
+				tag = other[rng.Intn(len(other))]
+			}
+			if seen[tag] {
+				continue
+			}
+			seen[tag] = true
+			if err := st.AddSPO(id, "hasTag", tag, retweets); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	st.Freeze()
+
+	// Mine co-occurrence relaxations from the stream itself.
+	hasTag, _ := st.Dict().Lookup("hasTag")
+	rules, err := specqp.MineCooccurrence(st, hasTag, 10, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mined %d relaxation rules from %d triples\n", rules.Len(), st.Len())
+
+	eng := specqp.NewEngine(st, rules)
+
+	// The paper's example query: tweets carrying all three terms.
+	q, err := eng.ParseSPARQL(`SELECT ?s WHERE {
+		?s <hasTag> <#intoyouvideo> .
+		?s <hasTag> <#ariana> .
+		?s <hasTag> <#dangerous>
+	}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Show the mined relaxations for one pattern.
+	fmt.Println("\nmined relaxations for 〈?s hasTag #intoyouvideo〉:")
+	for i, r := range eng.Rules().For(q.Patterns[0]) {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  → %-16s w=%.3f\n", st.Dict().Decode(r.To.O.ID), r.Weight)
+	}
+
+	for _, k := range []int{10, 20} {
+		tr, err := eng.Query(q, k, specqp.ModeTriniT)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp, err := eng.Query(q, k, specqp.ModeSpecQP)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nk=%d: TriniT found %d answers with %d objects; Spec-QP %d answers with %d objects (relaxed %d/%d patterns)\n",
+			k, len(tr.Answers), tr.MemoryObjects, len(sp.Answers), sp.MemoryObjects,
+			sp.Plan.NumRelaxed(), len(q.Patterns))
+		for rank, a := range sp.Answers {
+			if rank >= 3 {
+				break
+			}
+			vars := eng.DecodeAnswer(q, a)
+			fmt.Printf("  %d. %-12s score=%.3f\n", rank+1, vars["s"], a.Score)
+		}
+	}
+}

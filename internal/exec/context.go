@@ -1,0 +1,61 @@
+package exec
+
+import (
+	"context"
+	"time"
+
+	"specqp/internal/kg"
+	"specqp/internal/operators"
+	"specqp/internal/planner"
+)
+
+// RunContext executes plan p like Run but honours ctx between answer pulls:
+// when the context is cancelled, the partial result gathered so far is
+// returned together with ctx.Err(). Cancellation granularity is one top-k
+// answer (operators run to the next emission before the check fires), which
+// bounds the overshoot to a single rank-join pull chain.
+func (ex *Executor) RunContext(ctx context.Context, p planner.Plan) (Result, error) {
+	c := &operators.Counter{}
+	start := time.Now()
+	root, _ := ex.buildStream(p, c)
+
+	answers := make([]kg.Answer, 0, p.K)
+	var err error
+	for len(answers) < p.K {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			err = ctxErr
+			break
+		}
+		e, ok := root.Next()
+		if !ok {
+			break
+		}
+		answers = append(answers, kg.Answer{Binding: e.Binding, Score: e.Score, Relaxed: e.Relaxed})
+	}
+	return Result{
+		Answers:       answers,
+		MemoryObjects: c.Value(),
+		ExecTime:      time.Since(start),
+		Plan:          p,
+	}, err
+}
+
+// TriniTContext is TriniT with context support.
+func (ex *Executor) TriniTContext(ctx context.Context, q kg.Query, k int) (Result, error) {
+	return ex.RunContext(ctx, planner.TriniTPlan(q, k))
+}
+
+// SpecQPContext is SpecQP with context support. Planning itself is not
+// interruptible (it is bounded by one exact join count plus histogram
+// convolutions); cancellation applies to execution.
+func (ex *Executor) SpecQPContext(ctx context.Context, pl *planner.Planner, q kg.Query, k int) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{Plan: planner.Plan{Query: q.Clone(), K: k}}, err
+	}
+	t0 := time.Now()
+	p := pl.Plan(q, k)
+	planTime := time.Since(t0)
+	res, err := ex.RunContext(ctx, p)
+	res.PlanTime = planTime
+	return res, err
+}

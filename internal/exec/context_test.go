@@ -1,0 +1,68 @@
+package exec
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"specqp/internal/planner"
+	"specqp/internal/stats"
+)
+
+func TestRunContextMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	w := newRandomWorld(t, rng, 80, 5)
+	ex := New(w.st, w.rules)
+	q := w.randomQuery(rng, 2)
+	plain := ex.TriniT(q, 5)
+	withCtx, err := ex.TriniTContext(context.Background(), q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Answers) != len(withCtx.Answers) {
+		t.Fatalf("answers: %d vs %d", len(plain.Answers), len(withCtx.Answers))
+	}
+	for i := range plain.Answers {
+		if math.Abs(plain.Answers[i].Score-withCtx.Answers[i].Score) > 1e-9 {
+			t.Fatalf("rank %d: %v vs %v", i, plain.Answers[i].Score, withCtx.Answers[i].Score)
+		}
+	}
+}
+
+func TestRunContextCancelledBeforeStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	w := newRandomWorld(t, rng, 80, 5)
+	ex := New(w.st, w.rules)
+	q := w.randomQuery(rng, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ex.TriniTContext(ctx, q, 1000)
+	if err != context.Canceled {
+		t.Fatalf("err: %v", err)
+	}
+	if len(res.Answers) != 0 {
+		t.Fatalf("cancelled run produced %d answers", len(res.Answers))
+	}
+
+	pl := planner.New(stats.NewCatalog(w.st, 2, nil), w.rules)
+	if _, err := ex.SpecQPContext(ctx, pl, q, 10); err != context.Canceled {
+		t.Fatalf("spec-qp err: %v", err)
+	}
+}
+
+func TestSpecQPContextSucceeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	w := newRandomWorld(t, rng, 80, 5)
+	ex := New(w.st, w.rules)
+	pl := planner.New(stats.NewCatalog(w.st, 2, nil), w.rules)
+	q := w.randomQuery(rng, 2)
+	res, err := ex.SpecQPContext(context.Background(), pl, q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := ex.SpecQP(pl, q, 5)
+	if len(res.Answers) != len(ref.Answers) {
+		t.Fatalf("answers: %d vs %d", len(res.Answers), len(ref.Answers))
+	}
+}

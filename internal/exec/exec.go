@@ -1,0 +1,200 @@
+// Package exec executes query plans over the kg store using the operators
+// package. It provides the three engines the evaluation compares:
+//
+//   - TriniT: the non-speculative baseline — every triple pattern and all of
+//     its relaxations flow through an Incremental Merge, joined by rank joins
+//     (Section 2.1, Figure 2);
+//   - Spec-QP: the speculative plan — the join group is executed as left-deep
+//     rank joins over the original patterns' sorted lists, only the
+//     singletons get Incremental Merges (Section 3.2.2, Figure 5);
+//   - Naive: evaluate every relaxed query completely, merge, sort, cut at k
+//     (the strawman costed at 48 queries in the paper's Introduction).
+package exec
+
+import (
+	"sort"
+	"time"
+
+	"specqp/internal/kg"
+	"specqp/internal/operators"
+	"specqp/internal/planner"
+	"specqp/internal/relax"
+)
+
+// Result carries an execution's answers and its efficiency metrics.
+type Result struct {
+	Answers []kg.Answer
+	// MemoryObjects is the paper's memory metric: answer objects created by
+	// the operators during this execution.
+	MemoryObjects int64
+	// PlanTime is the speculative planning overhead (zero for TriniT/Naive).
+	PlanTime time.Duration
+	// ExecTime is the operator execution time.
+	ExecTime time.Duration
+	// Plan is the executed plan.
+	Plan planner.Plan
+}
+
+// Executor runs plans against one store + rule set.
+type Executor struct {
+	Store *kg.Store
+	Rules *relax.RuleSet
+}
+
+// New returns an Executor.
+func New(st *kg.Store, rs *relax.RuleSet) *Executor {
+	return &Executor{Store: st, Rules: rs}
+}
+
+// buildStream assembles the operator tree for a plan and returns the root
+// stream. Join-group patterns become plain sorted scans; singleton patterns
+// become Incremental Merges over the original scan plus one weighted scan per
+// relaxation rule. The join order is join group first (cheapest pattern
+// first), then singletons by ascending cardinality — a deterministic
+// left-deep order that keeps intermediate results small.
+func (ex *Executor) buildStream(p planner.Plan, c *operators.Counter) (operators.Stream, *kg.VarSet) {
+	q := p.Query
+	vs := kg.NewVarSet(q)
+
+	type leg struct {
+		stream operators.Stream
+		vars   map[int]bool
+		card   int
+		single bool
+	}
+	var legs []leg
+
+	for _, i := range p.JoinGroup {
+		pat := q.Patterns[i]
+		s := operators.NewListScan(ex.Store, vs, pat, 1, 0, c)
+		legs = append(legs, leg{
+			stream: s,
+			vars:   operators.PatternBoundVars(vs, pat),
+			card:   ex.Store.Cardinality(pat),
+		})
+	}
+	for _, i := range p.Singletons {
+		pat := q.Patterns[i]
+		mask := uint32(1) << uint(i)
+		inputs := []operators.Stream{operators.NewListScan(ex.Store, vs, pat, 1, 0, c)}
+		card := ex.Store.Cardinality(pat)
+		for _, r := range ex.Rules.For(pat) {
+			if r.IsChain() {
+				matches := relax.ChainMatches(ex.Store, relax.ApplyChain(r, pat), vs)
+				inputs = append(inputs, operators.NewAnswerScan(matches, r.Weight, mask, c))
+				card += len(matches)
+				continue
+			}
+			rp := relax.Apply(r, pat)
+			inputs = append(inputs, operators.NewListScan(ex.Store, vs, rp, r.Weight, mask, c))
+			card += ex.Store.Cardinality(rp)
+		}
+		legs = append(legs, leg{
+			stream: operators.NewIncrementalMerge(inputs, c),
+			vars:   operators.PatternBoundVars(vs, pat),
+			card:   card,
+			single: true,
+		})
+	}
+
+	// Deterministic order: join-group legs first, each group sorted by
+	// ascending cardinality.
+	sort.SliceStable(legs, func(a, b int) bool {
+		if legs[a].single != legs[b].single {
+			return !legs[a].single
+		}
+		return legs[a].card < legs[b].card
+	})
+
+	streams := make([]operators.Stream, len(legs))
+	vars := make([]map[int]bool, len(legs))
+	for i, l := range legs {
+		streams[i], vars[i] = l.stream, l.vars
+	}
+	return operators.LeftDeep(streams, vars, c), vs
+}
+
+// Run executes plan p and returns the top-k answers (k from the plan).
+func (ex *Executor) Run(p planner.Plan) Result {
+	c := &operators.Counter{}
+	start := time.Now()
+	root, _ := ex.buildStream(p, c)
+	entries := operators.DrainK(root, p.K)
+	elapsed := time.Since(start)
+
+	answers := make([]kg.Answer, len(entries))
+	for i, e := range entries {
+		answers[i] = kg.Answer{Binding: e.Binding, Score: e.Score, Relaxed: e.Relaxed}
+	}
+	return Result{
+		Answers:       answers,
+		MemoryObjects: c.Value(),
+		ExecTime:      elapsed,
+		Plan:          p,
+	}
+}
+
+// TriniT executes q with the non-speculative baseline plan.
+func (ex *Executor) TriniT(q kg.Query, k int) Result {
+	return ex.Run(planner.TriniTPlan(q, k))
+}
+
+// SpecQP plans q speculatively with pl and executes the resulting plan,
+// recording the planning time separately (the paper includes it in total
+// runtime; harness code reports PlanTime+ExecTime).
+func (ex *Executor) SpecQP(pl *planner.Planner, q kg.Query, k int) Result {
+	t0 := time.Now()
+	p := pl.Plan(q, k)
+	planTime := time.Since(t0)
+	res := ex.Run(p)
+	res.PlanTime = planTime
+	return res
+}
+
+// Naive evaluates every relaxed query in the enumeration space completely,
+// merges with max-score dedup, sorts, and returns the top-k. limit caps the
+// number of relaxed queries evaluated (0 = all); memory objects count every
+// materialised answer.
+func (ex *Executor) Naive(q kg.Query, k, limit int) Result {
+	start := time.Now()
+	origVS := kg.NewVarSet(q)
+	var all []kg.Answer
+	var objects int64
+	for _, rq := range ex.Rules.Enumerate(q, limit) {
+		var mask uint32
+		for i, ri := range rq.Applied {
+			if ri >= 0 {
+				mask |= 1 << uint(i)
+			}
+		}
+		answers := ex.Store.EvaluateWeighted(rq.Query, rq.PatternWeights)
+		objects += int64(len(answers))
+		// Chain relaxations introduce existential variables; project every
+		// answer onto the original query's variable set so answers from
+		// different rewrites are comparable and deduplicable.
+		rqVS := kg.NewVarSet(rq.Query)
+		for _, a := range answers {
+			proj := kg.NewBinding(origVS.Len())
+			for vi := 0; vi < rqVS.Len(); vi++ {
+				if oi := origVS.Index(rqVS.Name(vi)); oi >= 0 {
+					proj[oi] = a.Binding[vi]
+				}
+			}
+			all = append(all, kg.Answer{Binding: proj, Score: a.Score, Relaxed: mask})
+		}
+	}
+	all = kg.DedupMax(all)
+	kg.SortAnswers(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return Result{
+		Answers:       all,
+		MemoryObjects: objects,
+		ExecTime:      time.Since(start),
+		Plan:          planner.Plan{Query: q.Clone(), K: k},
+	}
+}
+
+// TotalTime returns planning plus execution time.
+func (r Result) TotalTime() time.Duration { return r.PlanTime + r.ExecTime }

@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"specqp/internal/metrics"
+)
+
+// WriteFigureCSV emits a figure series as CSV (one row per bar) for external
+// plotting: k, group, queries, trinit_ms, specqp_ms, speedup, trinit_mem,
+// specqp_mem, mem_ratio.
+func WriteFigureCSV(w io.Writer, groupLabel string, bars []FigureBar) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"k", groupLabel, "queries", "trinit_ms", "specqp_ms", "speedup",
+		"trinit_mem", "specqp_mem", "mem_ratio",
+	}); err != nil {
+		return err
+	}
+	for _, b := range bars {
+		rec := []string{
+			fmt.Sprint(b.K),
+			fmt.Sprint(b.Group),
+			fmt.Sprint(b.Queries),
+			fmt.Sprintf("%.4f", float64(b.TriniTTime.Microseconds())/1000),
+			fmt.Sprintf("%.4f", float64(b.SpecQPTime.Microseconds())/1000),
+			fmt.Sprintf("%.4f", b.Speedup()),
+			fmt.Sprintf("%.1f", b.TriniTMem),
+			fmt.Sprintf("%.1f", b.SpecQPMem),
+			fmt.Sprintf("%.4f", b.MemRatio()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteOutcomesCSV emits the raw per-(query,k) outcomes for offline
+// analysis: every quality and efficiency measure the tables aggregate.
+func WriteOutcomesCSV(w io.Writer, outs []Outcome) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"query", "k", "num_tp", "precision", "score_err_mean", "score_err_std",
+		"required_relaxations", "predicted_relaxations", "exact_match",
+		"trinit_ms", "specqp_plan_ms", "specqp_exec_ms",
+		"trinit_mem", "specqp_mem",
+	}); err != nil {
+		return err
+	}
+	for _, o := range outs {
+		rec := []string{
+			fmt.Sprint(o.QueryIdx),
+			fmt.Sprint(o.K),
+			fmt.Sprint(o.NumTP),
+			fmt.Sprintf("%.4f", o.Precision),
+			fmt.Sprintf("%.4f", o.ScoreErrMean),
+			fmt.Sprintf("%.4f", o.ScoreErrStd),
+			fmt.Sprint(metrics.CountBits(o.RequiredMask)),
+			fmt.Sprint(metrics.CountBits(o.PredictedMask)),
+			fmt.Sprint(o.ExactMatch),
+			fmt.Sprintf("%.4f", float64(o.TriniT.TotalTime().Microseconds())/1000),
+			fmt.Sprintf("%.4f", float64(o.SpecQP.PlanTime.Microseconds())/1000),
+			fmt.Sprintf("%.4f", float64(o.SpecQP.ExecTime.Microseconds())/1000),
+			fmt.Sprint(o.TriniT.MemoryObjects),
+			fmt.Sprint(o.SpecQP.MemoryObjects),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+)
+
+func TestWriteFigureCSV(t *testing.T) {
+	bars := FigureByTP(fakeOutcomes())
+	var buf bytes.Buffer
+	if err := WriteFigureCSV(&buf, "tp", bars); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(bars)+1 {
+		t.Fatalf("rows: got %d want %d", len(recs), len(bars)+1)
+	}
+	if recs[0][1] != "tp" {
+		t.Fatalf("header: %v", recs[0])
+	}
+	// Every data row parses numerically.
+	for _, rec := range recs[1:] {
+		for col, v := range rec {
+			if _, err := strconv.ParseFloat(v, 64); err != nil {
+				t.Fatalf("column %d value %q not numeric", col, v)
+			}
+		}
+	}
+}
+
+func TestWriteOutcomesCSV(t *testing.T) {
+	outs := fakeOutcomes()
+	var buf bytes.Buffer
+	if err := WriteOutcomesCSV(&buf, outs); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(outs)+1 {
+		t.Fatalf("rows: got %d want %d", len(recs), len(outs)+1)
+	}
+	// The exact-match column reflects the outcome.
+	hdr := recs[0]
+	var emCol int
+	for i, h := range hdr {
+		if h == "exact_match" {
+			emCol = i
+		}
+	}
+	for i, o := range outs {
+		want := strconv.FormatBool(o.ExactMatch)
+		if recs[i+1][emCol] != want {
+			t.Fatalf("row %d exact_match: got %q want %q", i, recs[i+1][emCol], want)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"specqp/internal/datagen"
+)
+
+func TestSmokeXKG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	t0 := time.Now()
+	ds, err := datagen.XKG(datagen.XKGConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("xkg gen: %v, triples=%d queries=%d rules=%d\n", time.Since(t0), ds.Store.Len(), len(ds.Queries), ds.Rules.Len())
+	r := NewRunner(ds)
+	t1 := time.Now()
+	o := r.RunQuery(0, 10)
+	fmt.Printf("q0 k=10: %v prec=%.2f Tt=%v St=%v Tmem=%d Smem=%d req=%b pred=%b\n",
+		time.Since(t1), o.Precision, o.TriniT.TotalTime(), o.SpecQP.TotalTime(), o.TriniT.MemoryObjects, o.SpecQP.MemoryObjects, o.RequiredMask, o.PredictedMask)
+	t2 := time.Now()
+	outs := r.RunAll()
+	fmt.Printf("runall: %v (%d outcomes)\n", time.Since(t2), len(outs))
+	PrintTable2(os.Stdout, "xkg", Table2(outs))
+	PrintTable3(os.Stdout, "xkg", Table3(outs))
+	PrintTable4(os.Stdout, "xkg", Table4(outs))
+	PrintFigure(os.Stdout, "Fig6", "#TP", FigureByTP(outs))
+	PrintFigure(os.Stdout, "Fig7", "#TPrelaxed", FigureByRelaxed(outs))
+}

@@ -1,0 +1,32 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"specqp/internal/datagen"
+)
+
+func TestSmokeTwitter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	t0 := time.Now()
+	ds, err := datagen.Twitter(datagen.TwitterConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("twitter gen: %v, triples=%d queries=%d rules=%d maxFanout=%d\n",
+		time.Since(t0), ds.Store.Len(), len(ds.Queries), ds.Rules.Len(), ds.Rules.MaxFanout())
+	r := NewRunner(ds)
+	t2 := time.Now()
+	outs := r.RunAll()
+	fmt.Printf("runall: %v (%d outcomes)\n", time.Since(t2), len(outs))
+	PrintTable2(os.Stdout, "twitter", Table2(outs))
+	PrintTable3(os.Stdout, "twitter", Table3(outs))
+	PrintTable4(os.Stdout, "twitter", Table4(outs))
+	PrintFigure(os.Stdout, "Fig8", "#TP", FigureByTP(outs))
+	PrintFigure(os.Stdout, "Fig9", "#TPrelaxed", FigureByRelaxed(outs))
+}

@@ -1,0 +1,267 @@
+package kg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VarSet assigns dense indexes to the variables of a query. Operators and
+// answers use these indexes instead of variable names.
+type VarSet struct {
+	names []string
+	idx   map[string]int
+}
+
+// NewVarSet builds the variable set for a query.
+func NewVarSet(q Query) *VarSet {
+	vs := &VarSet{idx: make(map[string]int)}
+	for _, name := range q.Vars() {
+		vs.idx[name] = len(vs.names)
+		vs.names = append(vs.names, name)
+	}
+	return vs
+}
+
+// Len reports the number of variables.
+func (vs *VarSet) Len() int { return len(vs.names) }
+
+// Index returns the dense index for a variable name, or -1 if unknown.
+func (vs *VarSet) Index(name string) int {
+	if i, ok := vs.idx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Name returns the variable name at index i.
+func (vs *VarSet) Name(i int) string { return vs.names[i] }
+
+// Names returns all variable names in index order.
+func (vs *VarSet) Names() []string {
+	out := make([]string, len(vs.names))
+	copy(out, vs.names)
+	return out
+}
+
+// Binding maps variable index → bound term ID. Unbound positions hold NoID.
+type Binding []ID
+
+// NewBinding returns an all-unbound binding for n variables.
+func NewBinding(n int) Binding {
+	b := make(Binding, n)
+	for i := range b {
+		b[i] = NoID
+	}
+	return b
+}
+
+// Clone copies the binding.
+func (b Binding) Clone() Binding {
+	c := make(Binding, len(b))
+	copy(c, b)
+	return c
+}
+
+// CompatibleWith reports whether two bindings agree on every variable bound
+// in both.
+func (b Binding) CompatibleWith(o Binding) bool {
+	for i := range b {
+		if b[i] != NoID && o[i] != NoID && b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge returns the union of two compatible bindings.
+func (b Binding) Merge(o Binding) Binding {
+	m := b.Clone()
+	for i, v := range o {
+		if v != NoID {
+			m[i] = v
+		}
+	}
+	return m
+}
+
+// Key returns a comparable string key for the bound positions (for
+// deduplication and hashing). Bindings of equal length produce equal keys
+// iff they bind the same values.
+func (b Binding) Key() string {
+	buf := make([]byte, 0, len(b)*4)
+	for _, v := range b {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(buf)
+}
+
+// Answer is a scored query answer (Definition 4/6). Relaxed is a bitmask over
+// pattern indexes recording which patterns were satisfied through a relaxed
+// triple pattern rather than the original — the provenance needed for the
+// paper's prediction-accuracy analysis (Table 3).
+type Answer struct {
+	Binding Binding
+	Score   float64
+	Relaxed uint32
+}
+
+// RelaxedCount returns the number of patterns answered via relaxations.
+func (a Answer) RelaxedCount() int {
+	c := 0
+	for m := a.Relaxed; m != 0; m &= m - 1 {
+		c++
+	}
+	return c
+}
+
+// String renders the answer with raw variable IDs.
+func (a Answer) String() string {
+	return fmt.Sprintf("answer{%v score=%.4f relaxed=%b}", []ID(a.Binding), a.Score, a.Relaxed)
+}
+
+// SortAnswers orders answers by score descending, breaking ties by binding
+// key ascending for determinism.
+func SortAnswers(as []Answer) {
+	sort.Slice(as, func(i, j int) bool {
+		if as[i].Score != as[j].Score {
+			return as[i].Score > as[j].Score
+		}
+		return as[i].Binding.Key() < as[j].Binding.Key()
+	})
+}
+
+// bindPattern attempts to extend binding b with the triple t matched against
+// pattern p. It returns the extended binding and true on success.
+func bindPattern(vs *VarSet, p Pattern, t Triple, b Binding) (Binding, bool) {
+	nb := b
+	cloned := false
+	set := func(term Term, v ID) bool {
+		if !term.IsVar {
+			return term.ID == v
+		}
+		i := vs.Index(term.Name)
+		if i < 0 {
+			return false
+		}
+		if nb[i] != NoID {
+			return nb[i] == v
+		}
+		if !cloned {
+			nb = b.Clone()
+			cloned = true
+		}
+		nb[i] = v
+		return true
+	}
+	if set(p.S, t.S) && set(p.P, t.P) && set(p.O, t.O) {
+		return nb, true
+	}
+	return b, false
+}
+
+// Evaluate computes the complete answer set of q with Definition 6 scoring
+// (sum of per-pattern normalised scores). It is used by the naive baseline,
+// by exact cardinality computation, and by tests as ground truth. Patterns
+// are evaluated smallest-cardinality first with index-backed candidate
+// selection.
+func (st *Store) Evaluate(q Query) []Answer {
+	vs := NewVarSet(q)
+	order := evalOrder(st, q)
+	var out []Answer
+	var rec func(step int, b Binding, score float64)
+	rec = func(step int, b Binding, score float64) {
+		if step == len(order) {
+			out = append(out, Answer{Binding: b.Clone(), Score: score})
+			return
+		}
+		p := q.Patterns[order[step]]
+		max := st.MaxScore(p)
+		for _, ti := range st.boundCandidates(p, vs, b) {
+			t := st.triples[ti]
+			nb, ok := bindPattern(vs, p, t, b)
+			if !ok {
+				continue
+			}
+			s := 0.0
+			if max > 0 {
+				s = t.Score / max
+			}
+			rec(step+1, nb, score+s)
+		}
+	}
+	rec(0, NewBinding(vs.Len()), 0)
+	out = DedupMax(out)
+	SortAnswers(out)
+	return out
+}
+
+// Count returns the exact number of answers to q (join cardinality). It is
+// the "exact join selectivity" source the paper uses (footnote 3).
+func (st *Store) Count(q Query) int {
+	vs := NewVarSet(q)
+	order := evalOrder(st, q)
+	n := 0
+	var rec func(step int, b Binding)
+	rec = func(step int, b Binding) {
+		if step == len(order) {
+			n++
+			return
+		}
+		p := q.Patterns[order[step]]
+		for _, ti := range st.boundCandidates(p, vs, b) {
+			if nb, ok := bindPattern(vs, p, st.triples[ti], b); ok {
+				rec(step+1, nb)
+			}
+		}
+	}
+	rec(0, NewBinding(vs.Len()))
+	return n
+}
+
+// Selectivity returns the exact join selectivity φ of q: the answer count
+// divided by the product of per-pattern cardinalities. Returns 0 when any
+// pattern is empty.
+func (st *Store) Selectivity(q Query) float64 {
+	prod := 1.0
+	for _, p := range q.Patterns {
+		c := st.Cardinality(p)
+		if c == 0 {
+			return 0
+		}
+		prod *= float64(c)
+	}
+	return float64(st.Count(q)) / prod
+}
+
+// evalOrder orders patterns by ascending cardinality, which keeps the
+// backtracking join cheap and deterministic.
+func evalOrder(st *Store, q Query) []int {
+	order := make([]int, len(q.Patterns))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return st.Cardinality(q.Patterns[order[a]]) < st.Cardinality(q.Patterns[order[b]])
+	})
+	return order
+}
+
+// boundCandidates returns candidate triple indexes for p after substituting
+// variables already bound in b, using the store indexes where possible.
+func (st *Store) boundCandidates(p Pattern, vs *VarSet, b Binding) []int32 {
+	sub := p
+	subst := func(t Term) Term {
+		if !t.IsVar {
+			return t
+		}
+		if i := vs.Index(t.Name); i >= 0 && b[i] != NoID {
+			return Const(b[i])
+		}
+		return t
+	}
+	sub.S, sub.P, sub.O = subst(p.S), subst(p.P), subst(p.O)
+	if cand, ok := st.candidates(sub); ok {
+		return cand
+	}
+	return st.MatchList(sub)
+}

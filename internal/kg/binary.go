@@ -1,0 +1,173 @@
+package kg
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary snapshot format for fast store persistence (TSV parsing dominates
+// load time for multi-million-triple stores; the binary path avoids it).
+//
+// Layout (all integers little-endian):
+//
+//	magic   [8]byte  "SPECQPKG"
+//	version uint32   (currently 1)
+//	nTerms  uint32
+//	nTriples uint64
+//	terms:   nTerms × { len uint32, bytes }
+//	triples: nTriples × { s uint32, p uint32, o uint32, score float64 }
+//
+// The snapshot freezes dictionary IDs, so WriteBinary→ReadBinary reproduces
+// the store bit-for-bit (including duplicate triples and their order).
+
+var binaryMagic = [8]byte{'S', 'P', 'E', 'C', 'Q', 'P', 'K', 'G'}
+
+const binaryVersion = 1
+
+// WriteBinary serialises the store in the binary snapshot format.
+func (st *Store) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var u32 [4]byte
+	var u64 [8]byte
+	putU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		_, err := bw.Write(u32[:])
+		return err
+	}
+	putU64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		_, err := bw.Write(u64[:])
+		return err
+	}
+	if err := putU32(binaryVersion); err != nil {
+		return err
+	}
+	terms := st.dict.Strings()
+	if err := putU32(uint32(len(terms))); err != nil {
+		return err
+	}
+	if err := putU64(uint64(len(st.triples))); err != nil {
+		return err
+	}
+	for _, t := range terms {
+		if err := putU32(uint32(len(t))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(t); err != nil {
+			return err
+		}
+	}
+	for _, tr := range st.triples {
+		if err := putU32(uint32(tr.S)); err != nil {
+			return err
+		}
+		if err := putU32(uint32(tr.P)); err != nil {
+			return err
+		}
+		if err := putU32(uint32(tr.O)); err != nil {
+			return err
+		}
+		if err := putU64(math.Float64bits(tr.Score)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary loads a binary snapshot into a fresh, frozen store.
+func ReadBinary(r io.Reader) (*Store, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("kg: reading snapshot magic: %v", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("kg: not a specqp snapshot (magic %q)", magic[:])
+	}
+	var buf [8]byte
+	getU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(buf[:4]), nil
+	}
+	getU64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, buf[:8]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:8]), nil
+	}
+	version, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("kg: unsupported snapshot version %d", version)
+	}
+	nTerms, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	nTriples, err := getU64()
+	if err != nil {
+		return nil, err
+	}
+
+	st := NewStore(nil)
+	termBuf := make([]byte, 0, 64)
+	for i := uint32(0); i < nTerms; i++ {
+		l, err := getU32()
+		if err != nil {
+			return nil, fmt.Errorf("kg: term %d length: %v", i, err)
+		}
+		if l > 1<<24 {
+			return nil, fmt.Errorf("kg: term %d implausibly long (%d bytes)", i, l)
+		}
+		if cap(termBuf) < int(l) {
+			termBuf = make([]byte, l)
+		}
+		termBuf = termBuf[:l]
+		if _, err := io.ReadFull(br, termBuf); err != nil {
+			return nil, fmt.Errorf("kg: term %d bytes: %v", i, err)
+		}
+		if got := st.dict.Encode(string(termBuf)); got != ID(i) {
+			return nil, fmt.Errorf("kg: snapshot contains duplicate term %q", termBuf)
+		}
+	}
+	for i := uint64(0); i < nTriples; i++ {
+		s, err := getU32()
+		if err != nil {
+			return nil, fmt.Errorf("kg: triple %d: %v", i, err)
+		}
+		p, err := getU32()
+		if err != nil {
+			return nil, fmt.Errorf("kg: triple %d: %v", i, err)
+		}
+		o, err := getU32()
+		if err != nil {
+			return nil, fmt.Errorf("kg: triple %d: %v", i, err)
+		}
+		bits, err := getU64()
+		if err != nil {
+			return nil, fmt.Errorf("kg: triple %d: %v", i, err)
+		}
+		if s >= nTerms || p >= nTerms || o >= nTerms {
+			return nil, fmt.Errorf("kg: triple %d references unknown term", i)
+		}
+		score := math.Float64frombits(bits)
+		if score < 0 || math.IsNaN(score) {
+			return nil, fmt.Errorf("kg: triple %d has invalid score %v", i, score)
+		}
+		if err := st.Add(Triple{S: ID(s), P: ID(p), O: ID(o), Score: score}); err != nil {
+			return nil, err
+		}
+	}
+	st.Freeze()
+	return st, nil
+}

@@ -1,0 +1,117 @@
+package kg
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	st, ids := musicStore(t)
+	var buf bytes.Buffer
+	if err := st.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != st.Len() {
+		t.Fatalf("triples: %d want %d", st2.Len(), st.Len())
+	}
+	if st2.Dict().Len() != st.Dict().Len() {
+		t.Fatalf("terms: %d want %d", st2.Dict().Len(), st.Dict().Len())
+	}
+	// IDs are preserved bit-for-bit: same pattern works on both stores.
+	p := typePattern(ids, "singer")
+	if got, want := st2.Cardinality(p), st.Cardinality(p); got != want {
+		t.Fatalf("cardinality: %d want %d", got, want)
+	}
+	for i := 0; i < st.Len(); i++ {
+		if st.Triple(int32(i)) != st2.Triple(int32(i)) {
+			t.Fatalf("triple %d differs", i)
+		}
+	}
+}
+
+func TestBinaryRoundTripLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	st := NewStore(nil)
+	for i := 0; i < 5000; i++ {
+		s := string(rune('a' + rng.Intn(26)))
+		if err := st.AddSPO("e"+s, "p", "o"+s, float64(rng.Intn(100000))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Freeze()
+	var buf bytes.Buffer
+	if err := st.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != st.Len() {
+		t.Fatalf("triples: %d want %d", st2.Len(), st.Len())
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	st, _ := musicStore(t)
+	var buf bytes.Buffer
+	if err := st.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte {
+			c := append([]byte{}, b...)
+			c[0] = 'X'
+			return c
+		}},
+		{"bad version", func(b []byte) []byte {
+			c := append([]byte{}, b...)
+			c[8] = 99
+			return c
+		}},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-5] }},
+		{"empty", func(b []byte) []byte { return nil }},
+	}
+	for _, c := range cases {
+		if _, err := ReadBinary(bytes.NewReader(c.mut(good))); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := ReadBinary(strings.NewReader("not a snapshot at all")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestBinaryPreservesSemantics(t *testing.T) {
+	st, ids := musicStore(t)
+	var buf bytes.Buffer
+	if err := st.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuery(typePattern(ids, "singer"), typePattern(ids, "lyricist"))
+	a1 := st.Evaluate(q)
+	a2 := st2.Evaluate(q)
+	if len(a1) != len(a2) {
+		t.Fatalf("answers: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i].Score != a2[i].Score {
+			t.Fatalf("rank %d: %v vs %v", i, a1[i].Score, a2[i].Score)
+		}
+	}
+}

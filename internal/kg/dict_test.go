@@ -1,0 +1,104 @@
+package kg
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestDictEncodeDecode(t *testing.T) {
+	d := NewDict()
+	a := d.Encode("alpha")
+	b := d.Encode("beta")
+	if a == b {
+		t.Fatalf("distinct terms got same ID %d", a)
+	}
+	if got := d.Encode("alpha"); got != a {
+		t.Fatalf("re-encode alpha: got %d want %d", got, a)
+	}
+	if got := d.Decode(a); got != "alpha" {
+		t.Fatalf("decode: got %q want alpha", got)
+	}
+	if got := d.Decode(b); got != "beta" {
+		t.Fatalf("decode: got %q want beta", got)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("len: got %d want 2", d.Len())
+	}
+}
+
+func TestDictLookup(t *testing.T) {
+	d := NewDict()
+	if _, ok := d.Lookup("missing"); ok {
+		t.Fatal("lookup of missing term reported present")
+	}
+	id := d.Encode("present")
+	got, ok := d.Lookup("present")
+	if !ok || got != id {
+		t.Fatalf("lookup: got (%d,%v) want (%d,true)", got, ok, id)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("lookup must not intern; len=%d", d.Len())
+	}
+}
+
+func TestDictDecodeUnknownPanics(t *testing.T) {
+	d := NewDict()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("decode of unknown ID did not panic")
+		}
+	}()
+	d.Decode(42)
+}
+
+func TestDictStrings(t *testing.T) {
+	d := NewDict()
+	terms := []string{"x", "y", "z"}
+	for _, s := range terms {
+		d.Encode(s)
+	}
+	got := d.Strings()
+	if len(got) != 3 {
+		t.Fatalf("strings len: got %d want 3", len(got))
+	}
+	for i, s := range terms {
+		if got[i] != s {
+			t.Fatalf("strings[%d]: got %q want %q", i, got[i], s)
+		}
+	}
+	// Mutating the copy must not affect the dictionary.
+	got[0] = "mutated"
+	if d.Decode(0) != "x" {
+		t.Fatal("Strings returned aliased storage")
+	}
+}
+
+func TestDictConcurrentEncode(t *testing.T) {
+	d := NewDict()
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	ids := make([][]ID, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids[w] = make([]ID, perWorker)
+			for i := 0; i < perWorker; i++ {
+				ids[w][i] = d.Encode(fmt.Sprintf("term-%d", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if d.Len() != perWorker {
+		t.Fatalf("concurrent encode interned %d terms, want %d", d.Len(), perWorker)
+	}
+	for w := 1; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			if ids[w][i] != ids[0][i] {
+				t.Fatalf("worker %d got ID %d for term-%d, worker 0 got %d", w, ids[w][i], i, ids[0][i])
+			}
+		}
+	}
+}

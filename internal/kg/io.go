@@ -1,0 +1,56 @@
+package kg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTSV serialises the store's triples as tab-separated
+// "subject\tpredicate\tobject\tscore" lines.
+func (st *Store) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range st.triples {
+		_, err := fmt.Fprintf(bw, "%s\t%s\t%s\t%s\n",
+			st.dict.Decode(t.S), st.dict.Decode(t.P), st.dict.Decode(t.O),
+			strconv.FormatFloat(t.Score, 'g', -1, 64))
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV loads triples from tab-separated lines into a fresh store and
+// freezes it. Blank lines and lines starting with '#' are skipped.
+func ReadTSV(r io.Reader) (*Store, error) {
+	st := NewStore(nil)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("kg: line %d: want 4 tab-separated fields, got %d", lineNo, len(fields))
+		}
+		score, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("kg: line %d: bad score %q: %v", lineNo, fields[3], err)
+		}
+		if err := st.AddSPO(fields[0], fields[1], fields[2], score); err != nil {
+			return nil, fmt.Errorf("kg: line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	st.Freeze()
+	return st, nil
+}

@@ -1,0 +1,68 @@
+package kg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTSVRoundTrip(t *testing.T) {
+	st, ids := musicStore(t)
+	var buf bytes.Buffer
+	if err := st.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != st.Len() {
+		t.Fatalf("round trip: got %d triples want %d", st2.Len(), st.Len())
+	}
+	// Same match semantics after the round trip.
+	ty, ok := st2.Dict().Lookup("rdf:type")
+	if !ok {
+		t.Fatal("rdf:type lost in round trip")
+	}
+	singer, ok := st2.Dict().Lookup("singer")
+	if !ok {
+		t.Fatal("singer lost in round trip")
+	}
+	p2 := NewPattern(Var("s"), Const(ty), Const(singer))
+	if got, want := st2.Cardinality(p2), st.Cardinality(typePattern(ids, "singer")); got != want {
+		t.Fatalf("cardinality after round trip: got %d want %d", got, want)
+	}
+	if got := st2.MaxScore(p2); got != 100 {
+		t.Fatalf("max score after round trip: got %v want 100", got)
+	}
+}
+
+func TestReadTSVSkipsCommentsAndBlanks(t *testing.T) {
+	src := "# header\n\na\tp\tb\t1.5\n  \na\tp\tc\t2\n"
+	st, err := ReadTSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("got %d triples want 2", st.Len())
+	}
+	if !st.Frozen() {
+		t.Fatal("ReadTSV must freeze the store")
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"too few fields", "a\tp\tb\n"},
+		{"bad score", "a\tp\tb\tnotanumber\n"},
+		{"negative score", "a\tp\tb\t-3\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadTSV(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package kg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Store is an in-memory scored triple store. Triples are added with Add and
+// the store must be frozen with Freeze before querying. After Freeze the
+// store is safe for concurrent readers.
+//
+// Match lists for triple patterns are computed on first use, sorted by raw
+// score descending, and cached — mirroring the paper's setup where a database
+// engine "retrieve[s] the matches for triple patterns in sorted order".
+type Store struct {
+	dict    *Dict
+	triples []Triple
+	frozen  bool
+
+	// Secondary indexes from single bound positions to triple indexes.
+	byS, byP, byO map[ID][]int32
+	// Composite indexes for the two most common access paths.
+	byPO map[[2]ID][]int32 // (P,O) bound: 〈?s p o〉
+	bySP map[[2]ID][]int32 // (S,P) bound: 〈s p ?o〉
+	// Existence index for fully bound lookups, mapping (S,P,O) to the index
+	// of the highest-scored triple with those terms.
+	bySPO map[[3]ID]int32
+
+	mu        sync.RWMutex
+	listCache map[PatternKey][]int32 // sorted-by-score-desc triple indexes
+}
+
+// NewStore returns an empty store using the given dictionary (or a fresh one
+// if dict is nil).
+func NewStore(dict *Dict) *Store {
+	if dict == nil {
+		dict = NewDict()
+	}
+	return &Store{
+		dict:      dict,
+		byS:       make(map[ID][]int32),
+		byP:       make(map[ID][]int32),
+		byO:       make(map[ID][]int32),
+		byPO:      make(map[[2]ID][]int32),
+		bySP:      make(map[[2]ID][]int32),
+		bySPO:     make(map[[3]ID]int32),
+		listCache: make(map[PatternKey][]int32),
+	}
+}
+
+// Dict returns the store's term dictionary.
+func (st *Store) Dict() *Dict { return st.dict }
+
+// Len reports the number of triples in the store.
+func (st *Store) Len() int { return len(st.triples) }
+
+// ErrFrozen is returned by mutating calls after Freeze.
+var ErrFrozen = errors.New("kg: store is frozen")
+
+// Add appends a scored triple. Scores must be non-negative; zero-scored
+// triples are legal but never contribute to top-k under the paper's model.
+func (st *Store) Add(t Triple) error {
+	if st.frozen {
+		return ErrFrozen
+	}
+	if t.Score < 0 {
+		return fmt.Errorf("kg: negative triple score %v", t.Score)
+	}
+	st.triples = append(st.triples, t)
+	return nil
+}
+
+// AddSPO encodes the three terms and appends the triple.
+func (st *Store) AddSPO(s, p, o string, score float64) error {
+	return st.Add(Triple{
+		S:     st.dict.Encode(s),
+		P:     st.dict.Encode(p),
+		O:     st.dict.Encode(o),
+		Score: score,
+	})
+}
+
+// Freeze builds the secondary indexes. Add must not be called afterwards.
+// Freeze is idempotent.
+func (st *Store) Freeze() {
+	if st.frozen {
+		return
+	}
+	for i, t := range st.triples {
+		ii := int32(i)
+		st.byS[t.S] = append(st.byS[t.S], ii)
+		st.byP[t.P] = append(st.byP[t.P], ii)
+		st.byO[t.O] = append(st.byO[t.O], ii)
+		st.byPO[[2]ID{t.P, t.O}] = append(st.byPO[[2]ID{t.P, t.O}], ii)
+		st.bySP[[2]ID{t.S, t.P}] = append(st.bySP[[2]ID{t.S, t.P}], ii)
+		k := [3]ID{t.S, t.P, t.O}
+		if prev, ok := st.bySPO[k]; !ok || st.triples[prev].Score < t.Score {
+			st.bySPO[k] = ii
+		}
+	}
+	st.frozen = true
+}
+
+// Frozen reports whether Freeze has been called.
+func (st *Store) Frozen() bool { return st.frozen }
+
+// Triple returns the triple at index i (as stored; indexes are stable).
+func (st *Store) Triple(i int32) Triple { return st.triples[i] }
+
+// candidates returns the smallest available index posting for the pattern's
+// bound positions, falling back to a full scan marker (nil, false).
+func (st *Store) candidates(p Pattern) ([]int32, bool) {
+	sb, pb, ob := !p.S.IsVar, !p.P.IsVar, !p.O.IsVar
+	switch {
+	case sb && pb && ob:
+		if i, ok := st.bySPO[[3]ID{p.S.ID, p.P.ID, p.O.ID}]; ok {
+			return []int32{i}, true
+		}
+		return nil, true
+	case pb && ob:
+		return st.byPO[[2]ID{p.P.ID, p.O.ID}], true
+	case sb && pb:
+		return st.bySP[[2]ID{p.S.ID, p.P.ID}], true
+	case sb && ob:
+		// Intersect the two single-position postings, scanning the smaller.
+		a, b := st.byS[p.S.ID], st.byO[p.O.ID]
+		if len(b) < len(a) {
+			a = b
+		}
+		return a, true
+	case sb:
+		return st.byS[p.S.ID], true
+	case ob:
+		return st.byO[p.O.ID], true
+	case pb:
+		return st.byP[p.P.ID], true
+	default:
+		return nil, false
+	}
+}
+
+// MatchList returns the indexes of triples matching p, sorted by raw score
+// descending (ties broken by triple index for determinism). The result is
+// cached and must not be mutated by callers.
+func (st *Store) MatchList(p Pattern) []int32 {
+	if !st.frozen {
+		panic("kg: MatchList before Freeze")
+	}
+	key := p.Key()
+	st.mu.RLock()
+	if l, ok := st.listCache[key]; ok {
+		st.mu.RUnlock()
+		return l
+	}
+	st.mu.RUnlock()
+
+	cand, ok := st.candidates(p)
+	if !ok {
+		cand = make([]int32, len(st.triples))
+		for i := range cand {
+			cand[i] = int32(i)
+		}
+	}
+	var out []int32
+	for _, i := range cand {
+		if p.Matches(st.triples[i]) {
+			out = append(out, i)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ta, tb := st.triples[out[a]], st.triples[out[b]]
+		if ta.Score != tb.Score {
+			return ta.Score > tb.Score
+		}
+		return out[a] < out[b]
+	})
+
+	st.mu.Lock()
+	st.listCache[key] = out
+	st.mu.Unlock()
+	return out
+}
+
+// Cardinality returns the number of triples matching p.
+func (st *Store) Cardinality(p Pattern) int { return len(st.MatchList(p)) }
+
+// MaxScore returns the maximum raw score among matches of p, or 0 if there
+// are no matches. Per Definition 5 this is the normalisation constant.
+func (st *Store) MaxScore(p Pattern) float64 {
+	l := st.MatchList(p)
+	if len(l) == 0 {
+		return 0
+	}
+	return st.triples[l[0]].Score
+}
+
+// NormalizedScore computes S(t|q) per Definition 5: the triple's raw score
+// divided by the maximum raw score among all matches of the pattern. The
+// result is in [0,1]. It returns 0 when the pattern has no matches.
+func (st *Store) NormalizedScore(p Pattern, t Triple) float64 {
+	max := st.MaxScore(p)
+	if max == 0 {
+		return 0
+	}
+	return t.Score / max
+}
+
+// NormalizedScores returns the normalised score list for p, sorted
+// descending, aligned with MatchList(p).
+func (st *Store) NormalizedScores(p Pattern) []float64 {
+	l := st.MatchList(p)
+	out := make([]float64, len(l))
+	max := st.MaxScore(p)
+	if max == 0 {
+		return out
+	}
+	for i, ti := range l {
+		out[i] = st.triples[ti].Score / max
+	}
+	return out
+}
+
+// PatternString renders a pattern with decoded constants.
+func (st *Store) PatternString(p Pattern) string {
+	f := func(t Term) string {
+		if t.IsVar {
+			return "?" + t.Name
+		}
+		return st.dict.Decode(t.ID)
+	}
+	return fmt.Sprintf("〈%s %s %s〉", f(p.S), f(p.P), f(p.O))
+}
+
+// QueryString renders a query with decoded constants.
+func (st *Store) QueryString(q Query) string {
+	parts := make([]string, len(q.Patterns))
+	for i, p := range q.Patterns {
+		parts[i] = st.PatternString(p)
+	}
+	s := ""
+	for i, part := range parts {
+		if i > 0 {
+			s += " . "
+		}
+		s += part
+	}
+	return s
+}

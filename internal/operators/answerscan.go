@@ -1,0 +1,54 @@
+package operators
+
+import "specqp/internal/kg"
+
+// AnswerScan streams a pre-materialised, score-descending answer list
+// (deduplicated by the producer) as a Stream, applying a relaxation weight
+// and provenance mask. It backs chain relaxations, whose "sorted answer
+// list" is the projected join of the chain rather than a single pattern's
+// match list.
+type AnswerScan struct {
+	answers []kg.Answer
+	weight  float64
+	mask    uint32
+	counter *Counter
+	pos     int
+	top     float64
+	last    float64
+}
+
+// NewAnswerScan wraps answers (sorted by score descending) as a stream.
+func NewAnswerScan(answers []kg.Answer, weight float64, mask uint32, c *Counter) *AnswerScan {
+	s := &AnswerScan{answers: answers, weight: weight, mask: mask, counter: c}
+	if len(answers) > 0 {
+		s.top = weight * answers[0].Score
+	}
+	s.last = s.top
+	return s
+}
+
+// TopScore implements Stream.
+func (s *AnswerScan) TopScore() float64 { return s.top }
+
+// Bound implements Stream.
+func (s *AnswerScan) Bound() float64 { return s.last }
+
+// Next implements Stream.
+func (s *AnswerScan) Next() (Entry, bool) {
+	if s.pos >= len(s.answers) {
+		s.last = 0
+		return Entry{}, false
+	}
+	a := s.answers[s.pos]
+	s.pos++
+	score := s.weight * a.Score
+	s.last = score
+	s.counter.Inc()
+	return Entry{Binding: a.Binding, Score: score, Relaxed: s.mask | a.Relaxed}, true
+}
+
+// Reset implements Resettable.
+func (s *AnswerScan) Reset() {
+	s.pos = 0
+	s.last = s.top
+}

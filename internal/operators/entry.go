@@ -1,0 +1,126 @@
+// Package operators implements the physical top-k operators of TriniT and
+// Spec-QP: score-sorted scans over a pattern's match list, the Incremental
+// Merge operator (Theobald et al., SIGIR 2005) that folds a triple pattern
+// and all of its weighted relaxations into one sorted stream, and the
+// HRJN-style Rank Join (Ilyas et al., VLDB 2003/04) with corner-bound early
+// termination. All operators report the number of answer objects they create
+// to a shared Counter — the paper's memory metric ("the total no. of answer
+// objects created directly corresponds to the amount of search space
+// traversed").
+package operators
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"specqp/internal/kg"
+)
+
+// Entry is one (partial) answer flowing between operators: a binding over
+// the query's variable set, its accumulated score, and a bitmask of pattern
+// indexes that were satisfied through a relaxation (provenance for the
+// prediction-accuracy analysis).
+type Entry struct {
+	Binding kg.Binding
+	Score   float64
+	Relaxed uint32
+}
+
+// String renders the entry compactly for debugging.
+func (e Entry) String() string {
+	return fmt.Sprintf("entry{%v %.4f %b}", []kg.ID(e.Binding), e.Score, e.Relaxed)
+}
+
+// Counter tallies answer objects created by the operators. A nil *Counter is
+// legal and counts nothing, so operators can be used without instrumentation.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc records the creation of one answer object.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.n.Add(1)
+	}
+}
+
+// Add records the creation of k answer objects.
+func (c *Counter) Add(k int64) {
+	if c != nil {
+		c.n.Add(k)
+	}
+}
+
+// Value returns the number of objects recorded so far.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	if c != nil {
+		c.n.Store(0)
+	}
+}
+
+// Stream is a pull-based iterator over entries sorted by score descending.
+// TopScore is an upper bound on the score of any entry the stream can ever
+// produce; Bound is an upper bound on the score of any entry *not yet*
+// produced (it starts at TopScore and decreases monotonically as entries are
+// consumed). Both are required by the rank join's corner-bound threshold.
+type Stream interface {
+	// Next returns the next entry in descending score order. ok is false
+	// when the stream is exhausted.
+	Next() (e Entry, ok bool)
+	// TopScore returns the score of the stream's first entry (0 if empty).
+	TopScore() float64
+	// Bound returns an upper bound on all future entries' scores.
+	Bound() float64
+}
+
+// Resettable is implemented by streams that can restart from the beginning,
+// enabling the nested-loops rank join variant.
+type Resettable interface {
+	Stream
+	Reset()
+}
+
+// Drain exhausts a stream and returns all entries (testing helper and naive
+// execution path).
+func Drain(s Stream) []Entry {
+	var out []Entry
+	for {
+		e, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, e)
+	}
+}
+
+// DrainK pulls at most k entries from the stream.
+func DrainK(s Stream, k int) []Entry {
+	out := make([]Entry, 0, k)
+	for len(out) < k {
+		e, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// IsSortedDesc reports whether entries are in descending score order
+// (invariant checked by tests on every operator output).
+func IsSortedDesc(es []Entry) bool {
+	for i := 1; i < len(es); i++ {
+		if es[i].Score > es[i-1].Score+1e-9 {
+			return false
+		}
+	}
+	return true
+}

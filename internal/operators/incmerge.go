@@ -1,0 +1,120 @@
+package operators
+
+import (
+	"container/heap"
+)
+
+// IncrementalMerge folds one triple pattern's original match stream and the
+// streams of all its relaxations into a single stream sorted by effective
+// score (weight × normalised score), deduplicating bindings across inputs
+// (the first occurrence carries the maximum effective score, satisfying the
+// max-over-derivations rule of Definition 8).
+//
+// The implementation is a lazy k-way heap merge: each input advances only
+// when its current head is globally next, so lists whose relaxation weight is
+// low are barely read — this is exactly what makes TriniT cheaper than the
+// naive evaluate-everything baseline.
+type IncrementalMerge struct {
+	inputs  []Stream
+	heads   mergeHeap
+	seen    map[string]bool
+	counter *Counter
+	top     float64
+	last    float64
+	primed  bool
+}
+
+type mergeHead struct {
+	entry Entry
+	src   int
+}
+
+type mergeHeap []mergeHead
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].entry.Score != h[j].entry.Score {
+		return h[i].entry.Score > h[j].entry.Score
+	}
+	return h[i].src < h[j].src
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeHead)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NewIncrementalMerge merges the given streams. Inputs must each be sorted by
+// score descending; stream 0 is conventionally the original pattern. The
+// counter records merged-entry creations.
+func NewIncrementalMerge(inputs []Stream, c *Counter) *IncrementalMerge {
+	return &IncrementalMerge{inputs: inputs, seen: make(map[string]bool), counter: c}
+}
+
+func (m *IncrementalMerge) prime() {
+	if m.primed {
+		return
+	}
+	m.primed = true
+	for i, in := range m.inputs {
+		if e, ok := in.Next(); ok {
+			m.heads = append(m.heads, mergeHead{entry: e, src: i})
+		}
+	}
+	heap.Init(&m.heads)
+	if len(m.heads) > 0 {
+		m.top = m.heads[0].entry.Score
+	}
+	m.last = m.top
+}
+
+// TopScore implements Stream.
+func (m *IncrementalMerge) TopScore() float64 {
+	m.prime()
+	return m.top
+}
+
+// Bound implements Stream.
+func (m *IncrementalMerge) Bound() float64 {
+	m.prime()
+	return m.last
+}
+
+// Next implements Stream.
+func (m *IncrementalMerge) Next() (Entry, bool) {
+	m.prime()
+	for len(m.heads) > 0 {
+		h := m.heads[0]
+		if e, ok := m.inputs[h.src].Next(); ok {
+			m.heads[0] = mergeHead{entry: e, src: h.src}
+			heap.Fix(&m.heads, 0)
+		} else {
+			heap.Pop(&m.heads)
+		}
+		key := h.entry.Binding.Key()
+		if m.seen[key] {
+			continue
+		}
+		m.seen[key] = true
+		m.last = h.entry.Score
+		m.counter.Inc()
+		return h.entry, true
+	}
+	m.last = 0
+	return Entry{}, false
+}
+
+// Reset implements Resettable when every input does.
+func (m *IncrementalMerge) Reset() {
+	for _, in := range m.inputs {
+		in.(Resettable).Reset()
+	}
+	m.heads = nil
+	m.seen = make(map[string]bool)
+	m.primed = false
+	m.last = 0
+}

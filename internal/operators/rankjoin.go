@@ -1,0 +1,282 @@
+package operators
+
+import (
+	"container/heap"
+
+	"specqp/internal/kg"
+)
+
+// RankJoin is an HRJN-style binary rank join: it joins two score-descending
+// streams on their shared variables and emits join results in descending
+// order of summed score, reading as little of each input as the corner-bound
+// threshold
+//
+//	T = max( top(L) + bound(R), bound(L) + top(R) )
+//
+// allows (Ilyas et al.). Hash tables on the join key hold the entries seen so
+// far; a priority queue buffers join results until they are provably final.
+type RankJoin struct {
+	left, right Stream
+	joinVars    []int // variable indexes bound on both sides
+	counter     *Counter
+
+	leftTab, rightTab map[string][]Entry
+	queue             resultHeap
+	emitted           map[string]bool
+	leftDone          bool
+	rightDone         bool
+	pullLeft          bool // alternation state
+	top               float64
+	last              float64
+	primed            bool
+}
+
+type resultHeap []Entry
+
+func (h resultHeap) Len() int { return len(h) }
+func (h resultHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score > h[j].Score
+	}
+	return h[i].Binding.Key() < h[j].Binding.Key()
+}
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Entry)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NewRankJoin joins left and right on the given shared variable indexes
+// (indexes into the query's VarSet; compute them with JoinVars).
+func NewRankJoin(left, right Stream, joinVars []int, c *Counter) *RankJoin {
+	return &RankJoin{
+		left:     left,
+		right:    right,
+		joinVars: joinVars,
+		counter:  c,
+		leftTab:  make(map[string][]Entry),
+		rightTab: make(map[string][]Entry),
+		emitted:  make(map[string]bool),
+	}
+}
+
+// JoinVars computes the variable indexes bound by both sides, given the sets
+// of variable indexes each side binds.
+func JoinVars(left, right map[int]bool) []int {
+	var out []int
+	for v := range left {
+		if right[v] {
+			out = append(out, v)
+		}
+	}
+	// Deterministic order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// joinKey extracts the join-key string from an entry's binding.
+func (rj *RankJoin) joinKey(e Entry) string {
+	buf := make([]byte, 0, len(rj.joinVars)*4)
+	for _, v := range rj.joinVars {
+		id := e.Binding[v]
+		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(buf)
+}
+
+// threshold computes the HRJN corner bound on unseen join results. Every
+// not-yet-enqueued result involves at least one unseen input entry:
+//
+//	unseen-left × any-right  ≤ bound(L) + top(R)
+//	any-left × unseen-right  ≤ top(L) + bound(R)
+//
+// When a side is exhausted its corner collapses (no unseen entries there).
+func (rj *RankJoin) threshold() float64 {
+	anyLeftNewRight := rj.left.TopScore() + rj.right.Bound()
+	newLeftAnyRight := rj.left.Bound() + rj.right.TopScore()
+	switch {
+	case rj.leftDone && rj.rightDone:
+		return 0
+	case rj.leftDone:
+		// Only results with an unseen right entry remain possible.
+		return anyLeftNewRight
+	case rj.rightDone:
+		return newLeftAnyRight
+	}
+	if anyLeftNewRight > newLeftAnyRight {
+		return anyLeftNewRight
+	}
+	return newLeftAnyRight
+}
+
+func (rj *RankJoin) prime() {
+	if rj.primed {
+		return
+	}
+	rj.primed = true
+	rj.top = rj.left.TopScore() + rj.right.TopScore()
+	rj.last = rj.top
+}
+
+// TopScore implements Stream.
+func (rj *RankJoin) TopScore() float64 {
+	rj.prime()
+	return rj.top
+}
+
+// Bound implements Stream.
+func (rj *RankJoin) Bound() float64 {
+	rj.prime()
+	t := rj.threshold()
+	if len(rj.queue) > 0 && rj.queue[0].Score > t {
+		t = rj.queue[0].Score
+	}
+	if t > rj.last {
+		t = rj.last
+	}
+	return t
+}
+
+// pullOne advances one input (alternating, skipping exhausted sides), probes
+// the opposite hash table and enqueues any join results. It returns false
+// when both inputs are exhausted.
+func (rj *RankJoin) pullOne() bool {
+	if rj.leftDone && rj.rightDone {
+		return false
+	}
+	// Alternate, but prefer the side with the larger bound so the threshold
+	// drops fast (HRJN* balancing heuristic).
+	useLeft := !rj.leftDone
+	if !rj.leftDone && !rj.rightDone {
+		lb, rb := rj.left.Bound(), rj.right.Bound()
+		switch {
+		case lb > rb:
+			useLeft = true
+		case rb > lb:
+			useLeft = false
+		default:
+			useLeft = rj.pullLeft
+			rj.pullLeft = !rj.pullLeft
+		}
+	}
+	if useLeft {
+		e, ok := rj.left.Next()
+		if !ok {
+			rj.leftDone = true
+			return !rj.rightDone
+		}
+		key := rj.joinKey(e)
+		rj.leftTab[key] = append(rj.leftTab[key], e)
+		for _, o := range rj.rightTab[key] {
+			rj.enqueue(e, o)
+		}
+	} else {
+		e, ok := rj.right.Next()
+		if !ok {
+			rj.rightDone = true
+			return !rj.leftDone
+		}
+		key := rj.joinKey(e)
+		rj.rightTab[key] = append(rj.rightTab[key], e)
+		for _, o := range rj.leftTab[key] {
+			rj.enqueue(o, e)
+		}
+	}
+	return true
+}
+
+func (rj *RankJoin) enqueue(l, r Entry) {
+	if !l.Binding.CompatibleWith(r.Binding) {
+		return
+	}
+	joined := Entry{
+		Binding: l.Binding.Merge(r.Binding),
+		Score:   l.Score + r.Score,
+		Relaxed: l.Relaxed | r.Relaxed,
+	}
+	rj.counter.Inc()
+	heap.Push(&rj.queue, joined)
+}
+
+// Next implements Stream.
+func (rj *RankJoin) Next() (Entry, bool) {
+	rj.prime()
+	for {
+		if len(rj.queue) > 0 && rj.queue[0].Score >= rj.threshold()-1e-12 {
+			e := heap.Pop(&rj.queue).(Entry)
+			key := e.Binding.Key()
+			if rj.emitted[key] {
+				continue
+			}
+			rj.emitted[key] = true
+			rj.last = e.Score
+			return e, true
+		}
+		if !rj.pullOne() {
+			// Inputs exhausted: flush the queue.
+			for len(rj.queue) > 0 {
+				e := heap.Pop(&rj.queue).(Entry)
+				key := e.Binding.Key()
+				if rj.emitted[key] {
+					continue
+				}
+				rj.emitted[key] = true
+				rj.last = e.Score
+				return e, true
+			}
+			rj.last = 0
+			return Entry{}, false
+		}
+	}
+}
+
+// LeftDeep builds a left-deep rank-join tree over the given streams, joining
+// stream i+1 onto the accumulated join of streams 0..i. boundVars[i] is the
+// set of variable indexes stream i binds.
+func LeftDeep(streams []Stream, boundVars []map[int]bool, c *Counter) Stream {
+	if len(streams) == 0 {
+		return emptyStream{}
+	}
+	cur := streams[0]
+	curVars := boundVars[0]
+	for i := 1; i < len(streams); i++ {
+		jv := JoinVars(curVars, boundVars[i])
+		cur = NewRankJoin(cur, streams[i], jv, c)
+		merged := make(map[int]bool, len(curVars)+len(boundVars[i]))
+		for v := range curVars {
+			merged[v] = true
+		}
+		for v := range boundVars[i] {
+			merged[v] = true
+		}
+		curVars = merged
+	}
+	return cur
+}
+
+// emptyStream is a Stream with no entries.
+type emptyStream struct{}
+
+func (emptyStream) Next() (Entry, bool) { return Entry{}, false }
+func (emptyStream) TopScore() float64   { return 0 }
+func (emptyStream) Bound() float64      { return 0 }
+
+// PatternBoundVars returns the set of variable indexes a pattern binds under
+// the query's variable set.
+func PatternBoundVars(vs *kg.VarSet, p kg.Pattern) map[int]bool {
+	out := make(map[int]bool)
+	for _, name := range p.Vars() {
+		if i := vs.Index(name); i >= 0 {
+			out[i] = true
+		}
+	}
+	return out
+}

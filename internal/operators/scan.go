@@ -1,0 +1,118 @@
+package operators
+
+import (
+	"specqp/internal/kg"
+)
+
+// ListScan streams the matches of a single triple pattern in descending
+// normalised-score order, optionally weighted by a relaxation rule's weight
+// and tagged with the relaxed-pattern bit. It deduplicates bindings (two
+// identical triples with different raw scores keep the higher, which comes
+// first in the sorted list).
+type ListScan struct {
+	store   *kg.Store
+	vs      *kg.VarSet
+	pattern kg.Pattern
+	weight  float64
+	mask    uint32
+	counter *Counter
+
+	list   []int32
+	max    float64
+	pos    int
+	seen   map[string]bool
+	last   float64
+	primed bool
+	top    float64
+}
+
+// NewListScan builds a scan over pattern p. weight scales normalised scores
+// (use 1 for the original pattern, the rule weight for a relaxation). mask is
+// OR-ed into every entry's Relaxed field (0 for originals, 1<<patternIdx for
+// relaxations). vs must be the variable set of the enclosing query.
+func NewListScan(store *kg.Store, vs *kg.VarSet, p kg.Pattern, weight float64, mask uint32, c *Counter) *ListScan {
+	s := &ListScan{
+		store:   store,
+		vs:      vs,
+		pattern: p,
+		weight:  weight,
+		mask:    mask,
+		counter: c,
+		list:    store.MatchList(p),
+		max:     store.MaxScore(p),
+		seen:    make(map[string]bool),
+	}
+	if len(s.list) > 0 && s.max > 0 {
+		s.top = weight * store.Triple(s.list[0]).Score / s.max
+	}
+	s.last = s.top
+	return s
+}
+
+// TopScore implements Stream.
+func (s *ListScan) TopScore() float64 { return s.top }
+
+// Bound implements Stream.
+func (s *ListScan) Bound() float64 { return s.last }
+
+// Next implements Stream.
+func (s *ListScan) Next() (Entry, bool) {
+	for s.pos < len(s.list) {
+		t := s.store.Triple(s.list[s.pos])
+		s.pos++
+		b := kg.NewBinding(s.vs.Len())
+		nb, ok := bindTriple(s.vs, s.pattern, t, b)
+		if !ok {
+			continue
+		}
+		key := nb.Key()
+		if s.seen[key] {
+			continue
+		}
+		s.seen[key] = true
+		score := 0.0
+		if s.max > 0 {
+			score = s.weight * t.Score / s.max
+		}
+		s.last = score
+		s.counter.Inc()
+		return Entry{Binding: nb, Score: score, Relaxed: s.mask}, true
+	}
+	s.last = 0
+	return Entry{}, false
+}
+
+// Reset implements Resettable.
+func (s *ListScan) Reset() {
+	s.pos = 0
+	s.seen = make(map[string]bool)
+	s.last = s.top
+}
+
+// bindTriple extends binding b with the variable assignments implied by
+// matching t against p. It returns false when a constant mismatches or a
+// repeated variable binds inconsistently.
+func bindTriple(vs *kg.VarSet, p kg.Pattern, t kg.Triple, b kg.Binding) (kg.Binding, bool) {
+	nb := b.Clone()
+	set := func(term kg.Term, v kg.ID) bool {
+		if !term.IsVar {
+			return term.ID == v
+		}
+		i := vs.Index(term.Name)
+		if i < 0 {
+			// Variable not part of the query's variable set (e.g. a
+			// relaxation introduced a fresh variable name): ignore it, the
+			// binding carries only query variables.
+			return true
+		}
+		if nb[i] != kg.NoID {
+			return nb[i] == v
+		}
+		nb[i] = v
+		return true
+	}
+	if set(p.S, t.S) && set(p.P, t.P) && set(p.O, t.O) {
+		return nb, true
+	}
+	return nil, false
+}

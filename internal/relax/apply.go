@@ -1,0 +1,27 @@
+package relax
+
+import "specqp/internal/kg"
+
+// Apply rewrites query pattern p with rule r, renaming the rule's variables
+// positionally so the rewritten pattern keeps p's variable names (rules are
+// mined with placeholder variable names; what matters is which positions are
+// variables). It returns the rewritten pattern.
+//
+// Example: rule 〈?s type singer〉→〈?s type vocalist〉 applied to the query
+// pattern 〈?x type singer〉 yields 〈?x type vocalist〉.
+func Apply(r Rule, p kg.Pattern) kg.Pattern {
+	out := r.To
+	rename := func(tgt, from, orig kg.Term) kg.Term {
+		if tgt.IsVar && from.IsVar {
+			// The rule kept this position variable; adopt the query's name.
+			if orig.IsVar {
+				return orig
+			}
+		}
+		return tgt
+	}
+	out.S = rename(r.To.S, r.From.S, p.S)
+	out.P = rename(r.To.P, r.From.P, p.P)
+	out.O = rename(r.To.O, r.From.O, p.O)
+	return out
+}

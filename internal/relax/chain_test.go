@@ -1,0 +1,177 @@
+package relax
+
+import (
+	"math"
+	"testing"
+
+	"specqp/internal/kg"
+)
+
+// grandparentStore: a KG where hasGrandparent is missing but derivable from
+// hasParent chains.
+func grandparentStore(t *testing.T) (*kg.Store, kg.ID, kg.ID) {
+	t.Helper()
+	st := kg.NewStore(nil)
+	add := func(s, p, o string, sc float64) {
+		if err := st.AddSPO(s, p, o, sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("alice", "hasParent", "bob", 10)
+	add("bob", "hasParent", "carol", 8)
+	add("alice", "hasParent", "dana", 6)
+	add("dana", "hasParent", "erin", 4)
+	add("zed", "hasGrandparent", "ygor", 5)
+	st.Freeze()
+	hp, _ := st.Dict().Lookup("hasParent")
+	hg, _ := st.Dict().Lookup("hasGrandparent")
+	return st, hp, hg
+}
+
+func chainRule(hp, hg kg.ID, w float64) Rule {
+	return Rule{
+		From: kg.NewPattern(kg.Var("s"), kg.Const(hg), kg.Var("g")),
+		Chain: []kg.Pattern{
+			kg.NewPattern(kg.Var("s"), kg.Const(hp), kg.Var("m")),
+			kg.NewPattern(kg.Var("m"), kg.Const(hp), kg.Var("g")),
+		},
+		Weight: w,
+	}
+}
+
+func TestChainRuleValidate(t *testing.T) {
+	_, hp, hg := grandparentStore(t)
+	r := chainRule(hp, hg, 0.7)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsChain() {
+		t.Fatal("IsChain false for chain rule")
+	}
+	// A chain that does not bind ?g must be rejected.
+	bad := Rule{
+		From:   kg.NewPattern(kg.Var("s"), kg.Const(hg), kg.Var("g")),
+		Chain:  []kg.Pattern{kg.NewPattern(kg.Var("s"), kg.Const(hp), kg.Var("m"))},
+		Weight: 0.7,
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("chain missing a domain variable validated")
+	}
+}
+
+func TestApplyChainRenames(t *testing.T) {
+	_, hp, hg := grandparentStore(t)
+	r := chainRule(hp, hg, 0.7)
+	// Query pattern uses ?x and ?y instead of ?s and ?g.
+	qp := kg.NewPattern(kg.Var("x"), kg.Const(hg), kg.Var("y"))
+	chain := ApplyChain(r, qp)
+	if len(chain) != 2 {
+		t.Fatalf("chain length: %d", len(chain))
+	}
+	if chain[0].S.Name != "x" {
+		t.Fatalf("first pattern subject: %v", chain[0].S)
+	}
+	if chain[1].O.Name != "y" {
+		t.Fatalf("second pattern object: %v", chain[1].O)
+	}
+	// The existential middle variable must be fresh and consistent.
+	mid := chain[0].O.Name
+	if mid == "x" || mid == "y" || mid == "m" {
+		t.Fatalf("existential variable not fresh: %q", mid)
+	}
+	if chain[1].S.Name != mid {
+		t.Fatalf("existential variable inconsistent: %q vs %q", chain[1].S.Name, mid)
+	}
+}
+
+func TestChainMatches(t *testing.T) {
+	st, hp, hg := grandparentStore(t)
+	r := chainRule(hp, hg, 0.7)
+	qp := kg.NewPattern(kg.Var("s"), kg.Const(hg), kg.Var("g"))
+	outer := kg.NewQuery(qp)
+	vs := kg.NewVarSet(outer)
+	chain := ApplyChain(r, qp)
+	matches := ChainMatches(st, chain, vs)
+	// Chains: alice→bob→carol, alice→dana→erin.
+	if len(matches) != 2 {
+		t.Fatalf("matches: got %d want 2", len(matches))
+	}
+	// Scores: hasParent max = 10. alice→bob (10/10) →carol (8/10): avg 0.9.
+	if math.Abs(matches[0].Score-0.9) > 1e-12 {
+		t.Fatalf("top chain score: got %v want 0.9", matches[0].Score)
+	}
+	// alice→dana (6/10) →erin (4/10): avg 0.5.
+	if math.Abs(matches[1].Score-0.5) > 1e-12 {
+		t.Fatalf("second chain score: got %v want 0.5", matches[1].Score)
+	}
+	// Bindings are projected onto the outer varset (s, g only).
+	sIdx, gIdx := vs.Index("s"), vs.Index("g")
+	alice, _ := st.Dict().Lookup("alice")
+	carol, _ := st.Dict().Lookup("carol")
+	if matches[0].Binding[sIdx] != alice || matches[0].Binding[gIdx] != carol {
+		t.Fatalf("top match binding: %v", matches[0].Binding)
+	}
+}
+
+func TestChainMatchesDeduplicates(t *testing.T) {
+	st := kg.NewStore(nil)
+	add := func(s, p, o string, sc float64) {
+		if err := st.AddSPO(s, p, o, sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two distinct middle nodes produce the same (s, g) projection.
+	add("a", "hasParent", "m1", 10)
+	add("a", "hasParent", "m2", 2)
+	add("m1", "hasParent", "g", 10)
+	add("m2", "hasParent", "g", 2)
+	st.Freeze()
+	hp, _ := st.Dict().Lookup("hasParent")
+	qp := kg.NewPattern(kg.Var("s"), kg.Const(hp), kg.Var("g"))
+	vs := kg.NewVarSet(kg.NewQuery(qp))
+	chain := []kg.Pattern{
+		kg.NewPattern(kg.Var("s"), kg.Const(hp), kg.Var("_m")),
+		kg.NewPattern(kg.Var("_m"), kg.Const(hp), kg.Var("g")),
+	}
+	matches := ChainMatches(st, chain, vs)
+	// Projections: (a,g) via m1 avg 1.0, via m2 avg 0.2; (a,m-bindings of
+	// first hop where the chain also matches second hops)… only (a,g) is a
+	// complete chain. Dedup keeps the max.
+	count := map[string]int{}
+	for _, m := range matches {
+		count[m.Binding.Key()]++
+	}
+	for k, c := range count {
+		if c > 1 {
+			t.Fatalf("projection %q appears %d times", k, c)
+		}
+	}
+	if matches[0].Score != 1.0 {
+		t.Fatalf("dedup kept %v want 1.0", matches[0].Score)
+	}
+}
+
+func TestEnumerateWithChainRule(t *testing.T) {
+	_, hp, hg := grandparentStore(t)
+	rs := NewRuleSet()
+	if err := rs.Add(chainRule(hp, hg, 0.7)); err != nil {
+		t.Fatal(err)
+	}
+	q := kg.NewQuery(kg.NewPattern(kg.Var("s"), kg.Const(hg), kg.Var("g")))
+	all := rs.Enumerate(q, 0)
+	if len(all) != 2 {
+		t.Fatalf("enumeration: got %d want 2", len(all))
+	}
+	spliced := all[1]
+	if len(spliced.Query.Patterns) != 2 {
+		t.Fatalf("chain not spliced: %d patterns", len(spliced.Query.Patterns))
+	}
+	if len(spliced.PatternWeights) != 2 {
+		t.Fatalf("pattern weights: %v", spliced.PatternWeights)
+	}
+	for _, w := range spliced.PatternWeights {
+		if math.Abs(w-0.35) > 1e-12 {
+			t.Fatalf("chain per-pattern weight: got %v want 0.35", w)
+		}
+	}
+}

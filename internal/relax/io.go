@@ -1,0 +1,92 @@
+package relax
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"specqp/internal/kg"
+)
+
+// WriteTSV serialises the rule set as tab-separated lines
+//
+//	fromS fromP fromO toS toP toO weight
+//
+// where variables render as "?name" and constants as their dictionary
+// strings. Rules are emitted in a deterministic order.
+func (rs *RuleSet) WriteTSV(w io.Writer, dict *kg.Dict) error {
+	term := func(t kg.Term) string {
+		if t.IsVar {
+			return "?" + t.Name
+		}
+		return dict.Decode(t.ID)
+	}
+	var lines []string
+	for _, list := range rs.rules {
+		for _, r := range list {
+			if r.IsChain() {
+				// Chain rules have no single target pattern; the TSV format
+				// covers only plain rules. Skipping keeps round-trips of
+				// miner-produced rule sets lossless (miners emit no chains).
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("%s\t%s\t%s\t%s\t%s\t%s\t%s",
+				term(r.From.S), term(r.From.P), term(r.From.O),
+				term(r.To.S), term(r.To.P), term(r.To.O),
+				strconv.FormatFloat(r.Weight, 'g', -1, 64)))
+		}
+	}
+	sort.Strings(lines)
+	bw := bufio.NewWriter(w)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(bw, l); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses rules written by WriteTSV, interning constants into dict.
+// Blank lines and '#' comments are skipped.
+func ReadTSV(r io.Reader, dict *kg.Dict) (*RuleSet, error) {
+	term := func(s string) kg.Term {
+		if strings.HasPrefix(s, "?") {
+			return kg.Var(s)
+		}
+		return kg.Const(dict.Encode(s))
+	}
+	rs := NewRuleSet()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, "\t")
+		if len(f) != 7 {
+			return nil, fmt.Errorf("relax: line %d: want 7 fields, got %d", lineNo, len(f))
+		}
+		w, err := strconv.ParseFloat(f[6], 64)
+		if err != nil {
+			return nil, fmt.Errorf("relax: line %d: bad weight %q: %v", lineNo, f[6], err)
+		}
+		rule := Rule{
+			From:   kg.NewPattern(term(f[0]), term(f[1]), term(f[2])),
+			To:     kg.NewPattern(term(f[3]), term(f[4]), term(f[5])),
+			Weight: w,
+		}
+		if err := rs.Add(rule); err != nil {
+			return nil, fmt.Errorf("relax: line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}

@@ -1,0 +1,91 @@
+package relax
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"specqp/internal/kg"
+)
+
+func TestRulesTSVRoundTrip(t *testing.T) {
+	d := kg.NewDict()
+	rs := NewRuleSet()
+	p1 := pat(d, "s", "type", "singer")
+	mustAdd(t, rs, Rule{From: p1, To: pat(d, "s", "type", "vocalist"), Weight: 0.8})
+	mustAdd(t, rs, Rule{From: p1, To: pat(d, "s", "type", "artist"), Weight: 0.5})
+	mustAdd(t, rs, Rule{From: pat(d, "s", "knows", "alice"), To: pat(d, "s", "knows", "bob"), Weight: 0.25})
+
+	var buf bytes.Buffer
+	if err := rs.WriteTSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2 := kg.NewDict()
+	rs2, err := ReadTSV(&buf, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2.Len() != rs.Len() {
+		t.Fatalf("round trip: %d rules, want %d", rs2.Len(), rs.Len())
+	}
+	// Check the singer rules survived with order and weights.
+	singerID, _ := d2.Lookup("singer")
+	typeID, _ := d2.Lookup("type")
+	got := rs2.For(kg.NewPattern(kg.Var("s"), kg.Const(typeID), kg.Const(singerID)))
+	if len(got) != 2 {
+		t.Fatalf("singer rules: %d", len(got))
+	}
+	if got[0].Weight != 0.8 || got[1].Weight != 0.5 {
+		t.Fatalf("weights: %v %v", got[0].Weight, got[1].Weight)
+	}
+	vocalistID, _ := d2.Lookup("vocalist")
+	if got[0].To.O.ID != vocalistID {
+		t.Fatal("top rule target lost")
+	}
+}
+
+func TestRulesTSVSkipsChains(t *testing.T) {
+	d := kg.NewDict()
+	rs := NewRuleSet()
+	hp := d.Encode("hasParent")
+	hg := d.Encode("hasGrandparent")
+	mustAdd(t, rs, Rule{
+		From: kg.NewPattern(kg.Var("s"), kg.Const(hg), kg.Var("g")),
+		Chain: []kg.Pattern{
+			kg.NewPattern(kg.Var("s"), kg.Const(hp), kg.Var("m")),
+			kg.NewPattern(kg.Var("m"), kg.Const(hp), kg.Var("g")),
+		},
+		Weight: 0.7,
+	})
+	mustAdd(t, rs, Rule{From: pat(d, "s", "type", "a"), To: pat(d, "s", "type", "b"), Weight: 0.5})
+	var buf bytes.Buffer
+	if err := rs.WriteTSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(buf.String()), "\n") + 1
+	if lines != 1 {
+		t.Fatalf("chain rule serialised: %d lines\n%s", lines, buf.String())
+	}
+}
+
+func TestRulesTSVErrors(t *testing.T) {
+	d := kg.NewDict()
+	cases := []struct{ name, src string }{
+		{"too few fields", "a\tb\tc\td\te\tf\n"},
+		{"bad weight", "?s\tp\to\t?s\tp\to2\tNaNope\n"},
+		{"weight out of range", "?s\tp\to\t?s\tp\to2\t1.5\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadTSV(strings.NewReader(c.src), d); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// Comments and blanks are fine.
+	rs, err := ReadTSV(strings.NewReader("# comment\n\n?s\tp\to\t?s\tp\to2\t0.5\n"), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 {
+		t.Fatalf("rules: %d", rs.Len())
+	}
+}

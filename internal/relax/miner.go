@@ -1,0 +1,196 @@
+package relax
+
+import (
+	"sort"
+
+	"specqp/internal/kg"
+)
+
+// CooccurrenceMiner mines Twitter-style relaxation rules for patterns of the
+// form 〈?s pred term〉: term T1 relaxes to term T2 with weight
+//
+//	w = #subjects_having_T1_and_T2 / #subjects_having_T1
+//
+// exactly as the paper computes relaxations over the Twitter dataset. Only
+// the object position is relaxed ("predicate does not have relaxations").
+type CooccurrenceMiner struct {
+	// Pred restricts mining to triples with this predicate (e.g. hasTag).
+	Pred kg.ID
+	// MaxRules caps the number of rules per term, keeping the strongest.
+	// Zero means keep all.
+	MaxRules int
+	// MinWeight drops rules weaker than this threshold.
+	MinWeight float64
+}
+
+// Mine computes the rule set from the store's co-occurrence structure.
+func (m CooccurrenceMiner) Mine(st *kg.Store) (*RuleSet, error) {
+	// subjects per term, and term sets per subject.
+	termSubjects := make(map[kg.ID]map[kg.ID]bool)
+	subjectTerms := make(map[kg.ID][]kg.ID)
+	for i := 0; i < st.Len(); i++ {
+		t := st.Triple(int32(i))
+		if t.P != m.Pred {
+			continue
+		}
+		set := termSubjects[t.O]
+		if set == nil {
+			set = make(map[kg.ID]bool)
+			termSubjects[t.O] = set
+		}
+		if !set[t.S] {
+			set[t.S] = true
+			subjectTerms[t.S] = append(subjectTerms[t.S], t.O)
+		}
+	}
+
+	// Pairwise co-occurrence counts.
+	cooc := make(map[[2]kg.ID]int)
+	for _, terms := range subjectTerms {
+		for i := 0; i < len(terms); i++ {
+			for j := 0; j < len(terms); j++ {
+				if i != j {
+					cooc[[2]kg.ID{terms[i], terms[j]}]++
+				}
+			}
+		}
+	}
+
+	rs := NewRuleSet()
+	for t1, subs := range termSubjects {
+		n1 := len(subs)
+		if n1 == 0 {
+			continue
+		}
+		type cand struct {
+			t2 kg.ID
+			w  float64
+		}
+		var cands []cand
+		for t2 := range termSubjects {
+			if t2 == t1 {
+				continue
+			}
+			c := cooc[[2]kg.ID{t1, t2}]
+			if c == 0 {
+				continue
+			}
+			w := float64(c) / float64(n1)
+			if w > 1 {
+				w = 1
+			}
+			if w < m.MinWeight {
+				continue
+			}
+			cands = append(cands, cand{t2, w})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].w != cands[j].w {
+				return cands[i].w > cands[j].w
+			}
+			return cands[i].t2 < cands[j].t2
+		})
+		if m.MaxRules > 0 && len(cands) > m.MaxRules {
+			cands = cands[:m.MaxRules]
+		}
+		from := kg.NewPattern(kg.Var("s"), kg.Const(m.Pred), kg.Const(t1))
+		for _, c := range cands {
+			r := Rule{
+				From:   from,
+				To:     kg.NewPattern(kg.Var("s"), kg.Const(m.Pred), kg.Const(c.t2)),
+				Weight: c.w,
+			}
+			if err := rs.Add(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rs, nil
+}
+
+// TypeHierarchy describes a concept taxonomy for the type-hierarchy miner:
+// SubclassOf maps a type term to its direct supertypes. The miner generates
+// XKG-style relaxations for 〈?s rdf:type T〉 patterns:
+//
+//   - sibling types (sharing a parent) with weight SiblingWeight,
+//   - parent types with weight ParentWeight,
+//   - grandparent types with weight ParentWeight².
+//
+// The weight scheme follows the intuition of the paper's Table 1 example
+// (singer → vocalist > jazz_singer > artist).
+type TypeHierarchy struct {
+	TypePred      kg.ID
+	SubclassOf    map[kg.ID][]kg.ID
+	ParentWeight  float64 // default 0.7
+	SiblingWeight float64 // default 0.8
+}
+
+// Mine computes the rule set implied by the taxonomy for every type that
+// appears as an object of TypePred in the store.
+func (h TypeHierarchy) Mine(st *kg.Store) (*RuleSet, error) {
+	pw := h.ParentWeight
+	if pw == 0 {
+		pw = 0.7
+	}
+	sw := h.SiblingWeight
+	if sw == 0 {
+		sw = 0.8
+	}
+	children := make(map[kg.ID][]kg.ID)
+	for c, ps := range h.SubclassOf {
+		for _, p := range ps {
+			children[p] = append(children[p], c)
+		}
+	}
+	used := make(map[kg.ID]bool)
+	for i := 0; i < st.Len(); i++ {
+		t := st.Triple(int32(i))
+		if t.P == h.TypePred {
+			used[t.O] = true
+		}
+	}
+
+	rs := NewRuleSet()
+	add := func(from, to kg.ID, w float64) error {
+		if from == to || w <= 0 || w > 1 {
+			return nil
+		}
+		return rs.Add(Rule{
+			From:   kg.NewPattern(kg.Var("s"), kg.Const(h.TypePred), kg.Const(from)),
+			To:     kg.NewPattern(kg.Var("s"), kg.Const(h.TypePred), kg.Const(to)),
+			Weight: w,
+		})
+	}
+	for ty := range used {
+		seen := map[kg.ID]bool{ty: true}
+		// Siblings.
+		for _, parent := range h.SubclassOf[ty] {
+			for _, sib := range children[parent] {
+				if !seen[sib] {
+					seen[sib] = true
+					if err := add(ty, sib, sw); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		// Parents and grandparents.
+		for _, parent := range h.SubclassOf[ty] {
+			if !seen[parent] {
+				seen[parent] = true
+				if err := add(ty, parent, pw); err != nil {
+					return nil, err
+				}
+			}
+			for _, gp := range h.SubclassOf[parent] {
+				if !seen[gp] {
+					seen[gp] = true
+					if err := add(ty, gp, pw*pw); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return rs, nil
+}

@@ -1,0 +1,183 @@
+package relax
+
+import (
+	"math"
+	"testing"
+
+	"specqp/internal/kg"
+)
+
+// tweetStore: 4 tweets tagging terms with known co-occurrence structure.
+//
+//	t1: {a, b}    t2: {a, b}    t3: {a, c}    t4: {b}
+//
+// → w(a→b) = 2/3, w(a→c) = 1/3, w(b→a) = 2/3, w(c→a) = 1.
+func tweetStore(t *testing.T) (*kg.Store, kg.ID) {
+	t.Helper()
+	st := kg.NewStore(nil)
+	add := func(tw, term string) {
+		if err := st.AddSPO(tw, "hasTag", term, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("t1", "a")
+	add("t1", "b")
+	add("t2", "a")
+	add("t2", "b")
+	add("t3", "a")
+	add("t3", "c")
+	add("t4", "b")
+	st.Freeze()
+	tag, _ := st.Dict().Lookup("hasTag")
+	return st, tag
+}
+
+func TestCooccurrenceMinerWeights(t *testing.T) {
+	st, tag := tweetStore(t)
+	rules, err := CooccurrenceMiner{Pred: tag}.Mine(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aID, _ := st.Dict().Lookup("a")
+	bID, _ := st.Dict().Lookup("b")
+	cID, _ := st.Dict().Lookup("c")
+	pa := kg.NewPattern(kg.Var("s"), kg.Const(tag), kg.Const(aID))
+
+	got := rules.For(pa)
+	if len(got) != 2 {
+		t.Fatalf("rules for a: got %d want 2", len(got))
+	}
+	// Top rule: a→b with 2/3.
+	if got[0].To.O.ID != bID || math.Abs(got[0].Weight-2.0/3) > 1e-12 {
+		t.Fatalf("top rule for a: got →%d w=%v", got[0].To.O.ID, got[0].Weight)
+	}
+	if got[1].To.O.ID != cID || math.Abs(got[1].Weight-1.0/3) > 1e-12 {
+		t.Fatalf("second rule for a: got →%d w=%v", got[1].To.O.ID, got[1].Weight)
+	}
+	// c→a has weight 1 (c always co-occurs with a).
+	pc := kg.NewPattern(kg.Var("s"), kg.Const(tag), kg.Const(cID))
+	top, ok := rules.Top(pc)
+	if !ok || top.Weight != 1 || top.To.O.ID != aID {
+		t.Fatalf("rule for c: got %+v ok=%v", top, ok)
+	}
+}
+
+func TestCooccurrenceMinerMaxRulesAndMinWeight(t *testing.T) {
+	st, tag := tweetStore(t)
+	rules, err := CooccurrenceMiner{Pred: tag, MaxRules: 1}.Mine(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aID, _ := st.Dict().Lookup("a")
+	pa := kg.NewPattern(kg.Var("s"), kg.Const(tag), kg.Const(aID))
+	if got := rules.For(pa); len(got) != 1 {
+		t.Fatalf("MaxRules=1: got %d rules", len(got))
+	}
+
+	strict, err := CooccurrenceMiner{Pred: tag, MinWeight: 0.5}.Mine(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strict.For(pa); len(got) != 1 {
+		t.Fatalf("MinWeight=0.5: got %d rules want 1 (only a→b at 2/3)", len(got))
+	}
+}
+
+func TestCooccurrenceMinerIgnoresOtherPredicates(t *testing.T) {
+	st := kg.NewStore(nil)
+	if err := st.AddSPO("t1", "hasTag", "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddSPO("t1", "mentions", "b", 1); err != nil {
+		t.Fatal(err)
+	}
+	st.Freeze()
+	tag, _ := st.Dict().Lookup("hasTag")
+	rules, err := CooccurrenceMiner{Pred: tag}.Mine(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules.Len() != 0 {
+		t.Fatalf("mentions triples leaked into mining: %d rules", rules.Len())
+	}
+}
+
+func TestTypeHierarchyMiner(t *testing.T) {
+	st := kg.NewStore(nil)
+	add := func(s, o string) {
+		if err := st.AddSPO(s, "rdf:type", o, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("shakira", "singer")
+	add("bob", "guitarist")
+	st.Freeze()
+	d := st.Dict()
+	ty, _ := d.Lookup("rdf:type")
+	singer, _ := d.Lookup("singer")
+	guitarist, _ := d.Lookup("guitarist")
+	musician := d.Encode("musician")
+	artist := d.Encode("artist")
+	vocalist := d.Encode("vocalist")
+
+	h := TypeHierarchy{
+		TypePred: ty,
+		SubclassOf: map[kg.ID][]kg.ID{
+			singer:    {musician},
+			guitarist: {musician},
+			vocalist:  {musician},
+			musician:  {artist},
+		},
+		ParentWeight:  0.7,
+		SiblingWeight: 0.8,
+	}
+	rules, err := h.Mine(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := kg.NewPattern(kg.Var("s"), kg.Const(ty), kg.Const(singer))
+	got := rules.For(ps)
+	// singer → guitarist (sibling 0.8), vocalist (sibling 0.8),
+	// musician (parent 0.7), artist (grandparent 0.49).
+	if len(got) != 4 {
+		t.Fatalf("rules for singer: got %d want 4", len(got))
+	}
+	weights := map[kg.ID]float64{}
+	for _, r := range got {
+		weights[r.To.O.ID] = r.Weight
+	}
+	if weights[guitarist] != 0.8 || weights[vocalist] != 0.8 {
+		t.Fatalf("sibling weights: %v", weights)
+	}
+	if weights[musician] != 0.7 {
+		t.Fatalf("parent weight: %v", weights[musician])
+	}
+	if math.Abs(weights[artist]-0.49) > 1e-12 {
+		t.Fatalf("grandparent weight: %v", weights[artist])
+	}
+	// Types never used as rdf:type objects get no rules.
+	pv := kg.NewPattern(kg.Var("s"), kg.Const(ty), kg.Const(vocalist))
+	if got := rules.For(pv); len(got) != 0 {
+		t.Fatalf("unused type has %d rules", len(got))
+	}
+}
+
+func TestTypeHierarchyMinerDefaults(t *testing.T) {
+	st := kg.NewStore(nil)
+	if err := st.AddSPO("x", "rdf:type", "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	st.Freeze()
+	ty, _ := st.Dict().Lookup("rdf:type")
+	a, _ := st.Dict().Lookup("a")
+	b := st.Dict().Encode("b")
+	h := TypeHierarchy{TypePred: ty, SubclassOf: map[kg.ID][]kg.ID{a: {b}}}
+	rules, err := h.Mine(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, ok := rules.Top(kg.NewPattern(kg.Var("s"), kg.Const(ty), kg.Const(a)))
+	if !ok || top.Weight != 0.7 {
+		t.Fatalf("default parent weight: got %v ok=%v", top.Weight, ok)
+	}
+}

@@ -1,0 +1,219 @@
+// Package relax implements weighted relaxation rules over triple patterns
+// (Definition 7 of the paper), rule sets keyed by pattern, enumeration of
+// relaxed queries (Definition 8), and two rule miners matching the paper's
+// datasets: a type-hierarchy miner (XKG-style) and a co-occurrence miner
+// (Twitter-style, w = #items(T1∧T2)/#items(T1)).
+package relax
+
+import (
+	"fmt"
+	"sort"
+
+	"specqp/internal/kg"
+)
+
+// Rule is a weighted relaxation rule r = (q, q', w): pattern q may be
+// rewritten to q' at a score penalty factor w ∈ (0,1]. When Chain is
+// non-empty the rule is a chain relaxation (the paper's Section 6 extension)
+// and To is ignored — see chain.go.
+type Rule struct {
+	From   kg.Pattern
+	To     kg.Pattern
+	Chain  []kg.Pattern
+	Weight float64
+}
+
+// Validate checks rule invariants.
+func (r Rule) Validate() error {
+	if r.Weight <= 0 || r.Weight > 1 {
+		return fmt.Errorf("relax: rule weight %v outside (0,1]", r.Weight)
+	}
+	return r.ValidateChain()
+}
+
+// RuleSet stores relaxation rules indexed by the domain pattern's canonical
+// key. Rules for each pattern are kept sorted by weight descending, so the
+// first rule is the "top-weighted relaxation" PLANGEN tests.
+type RuleSet struct {
+	rules map[kg.PatternKey][]Rule
+}
+
+// NewRuleSet returns an empty rule set.
+func NewRuleSet() *RuleSet {
+	return &RuleSet{rules: make(map[kg.PatternKey][]Rule)}
+}
+
+// Add inserts a rule, keeping the per-pattern list sorted by weight
+// descending (ties broken by target pattern key for determinism).
+func (rs *RuleSet) Add(r Rule) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	k := r.From.Key()
+	list := append(rs.rules[k], r)
+	sort.SliceStable(list, func(i, j int) bool {
+		if list[i].Weight != list[j].Weight {
+			return list[i].Weight > list[j].Weight
+		}
+		return lessKey(list[i].To.Key(), list[j].To.Key())
+	})
+	rs.rules[k] = list
+	return nil
+}
+
+func lessKey(a, b kg.PatternKey) bool {
+	if a.S != b.S {
+		return a.S < b.S
+	}
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	if a.O != b.O {
+		return a.O < b.O
+	}
+	return a.Shape < b.Shape
+}
+
+// For returns the rules whose domain matches pattern p, best weight first.
+// The returned slice must not be mutated.
+func (rs *RuleSet) For(p kg.Pattern) []Rule {
+	return rs.rules[p.Key()]
+}
+
+// Top returns the top-weighted relaxation for p, or false if p has none.
+func (rs *RuleSet) Top(p kg.Pattern) (Rule, bool) {
+	l := rs.rules[p.Key()]
+	if len(l) == 0 {
+		return Rule{}, false
+	}
+	return l[0], true
+}
+
+// Len reports the total number of rules.
+func (rs *RuleSet) Len() int {
+	n := 0
+	for _, l := range rs.rules {
+		n += len(l)
+	}
+	return n
+}
+
+// MaxFanout returns the largest number of rules attached to any single
+// pattern (useful for dataset sanity checks: the paper requires ≥10 for XKG
+// and ≥5 for Twitter).
+func (rs *RuleSet) MaxFanout() int {
+	m := 0
+	for _, l := range rs.rules {
+		if len(l) > m {
+			m = len(l)
+		}
+	}
+	return m
+}
+
+// RelaxedQuery names one application of rules to a query: for each original
+// pattern index, which rule (if any) was applied. Weights multiply
+// (Definition 8: "The score is reduced further for each subsequent
+// relaxation"). Chain rules splice several patterns into the rewritten
+// query, so PatternWeights is aligned to Query.Patterns (not to the original
+// query): a chain of length L applied with weight w contributes w/L per
+// spliced pattern, making the chain's total contribution w × the average
+// normalised score.
+type RelaxedQuery struct {
+	Query          kg.Query
+	Applied        []int // per original pattern: -1 original, else rule index
+	Weight         float64
+	PatternWeights []float64 // per rewritten pattern
+}
+
+// Enumerate lists every relaxed query obtainable by independently choosing,
+// for each pattern, either the original or one of its relaxations (including
+// chain relaxations, which splice multiple patterns). The original query
+// (all -1) is included first. For a query with relaxation fan-outs f1..fn
+// this yields ∏(fi+1) queries — the combinatorial space whose full
+// exploration the paper's Introduction costs at 48 for its example.
+//
+// limit > 0 caps the number of returned queries (breadth-first by number of
+// relaxed patterns, so cheaper rewrites come first); limit <= 0 means no cap.
+func (rs *RuleSet) Enumerate(q kg.Query, limit int) []RelaxedQuery {
+	type choice struct {
+		patterns []kg.Pattern
+		weights  []float64
+		weight   float64
+		rule     int
+	}
+	perPattern := make([][]choice, len(q.Patterns))
+	for i, p := range q.Patterns {
+		cs := []choice{{patterns: []kg.Pattern{p}, weights: []float64{1}, weight: 1, rule: -1}}
+		for ri, r := range rs.For(p) {
+			if r.IsChain() {
+				// Chains splice; per-pattern weight w/L keeps the chain's
+				// total contribution at w × average normalised score.
+				chain := ApplyChain(r, p)
+				ws := make([]float64, len(chain))
+				for ci := range ws {
+					ws[ci] = r.Weight / float64(len(chain))
+				}
+				cs = append(cs, choice{patterns: chain, weights: ws, weight: r.Weight, rule: ri})
+				continue
+			}
+			// Apply renames the rule's placeholder variables to the query
+			// pattern's variable names so joins stay connected.
+			cs = append(cs, choice{
+				patterns: []kg.Pattern{Apply(r, p)},
+				weights:  []float64{r.Weight},
+				weight:   r.Weight,
+				rule:     ri,
+			})
+		}
+		perPattern[i] = cs
+	}
+
+	var out []RelaxedQuery
+	var rec func(i int, pats []kg.Pattern, pws []float64, applied []int, w float64, relaxed, wantRelaxed int)
+	rec = func(i int, pats []kg.Pattern, pws []float64, applied []int, w float64, relaxed, wantRelaxed int) {
+		if limit > 0 && len(out) >= limit {
+			return
+		}
+		if i == len(q.Patterns) {
+			if relaxed == wantRelaxed {
+				ap := make([]int, len(applied))
+				copy(ap, applied)
+				ps := make([]kg.Pattern, len(pats))
+				copy(ps, pats)
+				ws := make([]float64, len(pws))
+				copy(ws, pws)
+				out = append(out, RelaxedQuery{
+					Query:          kg.Query{Patterns: ps},
+					Applied:        ap,
+					Weight:         w,
+					PatternWeights: ws,
+				})
+			}
+			return
+		}
+		// Prune: cannot reach wantRelaxed relaxations with remaining patterns.
+		if relaxed+len(q.Patterns)-i < wantRelaxed {
+			return
+		}
+		for _, c := range perPattern[i] {
+			nr := relaxed
+			if c.rule >= 0 {
+				nr++
+			}
+			if nr > wantRelaxed {
+				continue
+			}
+			applied[i] = c.rule
+			rec(i+1, append(pats, c.patterns...), append(pws, c.weights...), applied, w*c.weight, nr, wantRelaxed)
+		}
+	}
+	for wantRelaxed := 0; wantRelaxed <= len(q.Patterns); wantRelaxed++ {
+		rec(0, nil, nil, make([]int, len(q.Patterns)), 1, 0, wantRelaxed)
+		if limit > 0 && len(out) >= limit {
+			out = out[:limit]
+			break
+		}
+	}
+	return out
+}

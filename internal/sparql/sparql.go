@@ -1,0 +1,293 @@
+// Package sparql parses the SPARQL subset the paper uses: single
+// SELECT queries over a basic graph pattern of triple patterns,
+//
+//	SELECT ?s ?o WHERE {
+//	    ?s 'rdf:type' <singer> .
+//	    ?s <collaboratesWith> ?o
+//	}
+//
+// Terms may be variables (?name), IRIs (<...>), quoted literals ('...' or
+// "..."), or bare tokens. SELECT * selects all variables. The parser
+// dictionary-encodes constants against a kg.Dict, interning unseen terms
+// (a constant absent from the KG simply has an empty match list).
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"specqp/internal/kg"
+)
+
+// ParsedQuery is the result of parsing: the triple pattern query, the
+// projection list (empty means SELECT *), and the optional LIMIT (0 when
+// absent). LIMIT maps naturally onto the engines' top-k parameter.
+type ParsedQuery struct {
+	Query      kg.Query
+	Projection []string
+	Limit      int
+}
+
+// Parse parses src into a ParsedQuery, encoding constants with dict.
+func Parse(src string, dict *kg.Dict) (ParsedQuery, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return ParsedQuery{}, err
+	}
+	p := &parser{toks: toks, dict: dict}
+	return p.parse()
+}
+
+// MustParse is Parse that panics on error (for tests and examples).
+func MustParse(src string, dict *kg.Dict) ParsedQuery {
+	pq, err := Parse(src, dict)
+	if err != nil {
+		panic(err)
+	}
+	return pq
+}
+
+type tokKind int
+
+const (
+	tokWord tokKind = iota // bare token, keyword, IRI or literal content
+	tokVar                 // ?name
+	tokStar                // *
+	tokLBrace
+	tokRBrace
+	tokDot
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", i})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '?':
+			j := i + 1
+			for j < n && isNameByte(src[j]) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("sparql: empty variable name at offset %d", i)
+			}
+			toks = append(toks, token{tokVar, src[i+1 : j], i})
+			i = j
+		case c == '<':
+			j := strings.IndexByte(src[i:], '>')
+			if j < 0 {
+				return nil, fmt.Errorf("sparql: unterminated IRI at offset %d", i)
+			}
+			toks = append(toks, token{tokWord, src[i+1 : i+j], i})
+			i += j + 1
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			for j < n && src[j] != quote {
+				j++
+			}
+			if j == n {
+				return nil, fmt.Errorf("sparql: unterminated literal at offset %d", i)
+			}
+			toks = append(toks, token{tokWord, src[i+1 : j], i})
+			i = j + 1
+		default:
+			j := i
+			for j < n && isNameByte(src[j]) {
+				j++
+			}
+			if j == i {
+				return nil, fmt.Errorf("sparql: unexpected character %q at offset %d", c, i)
+			}
+			toks = append(toks, token{tokWord, src[i:j], i})
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func isNameByte(c byte) bool {
+	return c == '_' || c == ':' || c == '#' || c == '-' ||
+		(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	dict *kg.Dict
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *parser) next() (token, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+func (p *parser) expectWord(kw string) error {
+	t, ok := p.next()
+	if !ok || t.kind != tokWord || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("sparql: expected %q at offset %d", kw, t.pos)
+	}
+	return nil
+}
+
+func (p *parser) parse() (ParsedQuery, error) {
+	var pq ParsedQuery
+	if err := p.expectWord("SELECT"); err != nil {
+		return pq, err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return pq, fmt.Errorf("sparql: unexpected end of input in SELECT clause")
+		}
+		if t.kind == tokVar {
+			p.next()
+			pq.Projection = append(pq.Projection, t.text)
+			continue
+		}
+		if t.kind == tokStar {
+			p.next()
+			pq.Projection = nil
+			continue
+		}
+		break
+	}
+	if err := p.expectWord("WHERE"); err != nil {
+		return pq, err
+	}
+	if t, ok := p.next(); !ok || t.kind != tokLBrace {
+		return pq, fmt.Errorf("sparql: expected '{' after WHERE")
+	}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return pq, fmt.Errorf("sparql: unterminated WHERE block")
+		}
+		if t.kind == tokRBrace {
+			p.next()
+			break
+		}
+		pat, err := p.parsePattern()
+		if err != nil {
+			return pq, err
+		}
+		pq.Query.Patterns = append(pq.Query.Patterns, pat)
+		if t, ok := p.peek(); ok && t.kind == tokDot {
+			p.next()
+		}
+	}
+	// Optional LIMIT clause.
+	if t, ok := p.peek(); ok && t.kind == tokWord && strings.EqualFold(t.text, "LIMIT") {
+		p.next()
+		nt, ok := p.next()
+		if !ok || nt.kind != tokWord {
+			return pq, fmt.Errorf("sparql: LIMIT requires a number")
+		}
+		n, err := strconv.Atoi(nt.text)
+		if err != nil || n < 1 {
+			return pq, fmt.Errorf("sparql: bad LIMIT %q", nt.text)
+		}
+		pq.Limit = n
+	}
+	if t, ok := p.next(); ok {
+		return pq, fmt.Errorf("sparql: trailing input at offset %d", t.pos)
+	}
+	if len(pq.Query.Patterns) == 0 {
+		return pq, fmt.Errorf("sparql: empty WHERE block")
+	}
+	// Validate projection variables.
+	qvars := map[string]bool{}
+	for _, v := range pq.Query.Vars() {
+		qvars[v] = true
+	}
+	for _, v := range pq.Projection {
+		if !qvars[v] {
+			return pq, fmt.Errorf("sparql: projected variable ?%s not used in WHERE", v)
+		}
+	}
+	return pq, nil
+}
+
+func (p *parser) parsePattern() (kg.Pattern, error) {
+	terms := make([]kg.Term, 0, 3)
+	for len(terms) < 3 {
+		t, ok := p.next()
+		if !ok {
+			return kg.Pattern{}, fmt.Errorf("sparql: incomplete triple pattern")
+		}
+		switch t.kind {
+		case tokVar:
+			terms = append(terms, kg.Var(t.text))
+		case tokWord:
+			terms = append(terms, kg.Const(p.dict.Encode(t.text)))
+		default:
+			return kg.Pattern{}, fmt.Errorf("sparql: unexpected token %q in triple pattern at offset %d", t.text, t.pos)
+		}
+	}
+	return kg.NewPattern(terms[0], terms[1], terms[2]), nil
+}
+
+// Render renders a query back to SPARQL text (single line), decoding
+// constants with dict. It is the inverse of Parse for queries produced by
+// this package: Parse(Render(q)) reproduces q up to term interning.
+func Render(q kg.Query, dict *kg.Dict) string {
+	var b strings.Builder
+	b.WriteString("SELECT")
+	for _, v := range q.Vars() {
+		b.WriteString(" ?")
+		b.WriteString(v)
+	}
+	b.WriteString(" WHERE {")
+	for i, p := range q.Patterns {
+		if i > 0 {
+			b.WriteString(" .")
+		}
+		for _, t := range []kg.Term{p.S, p.P, p.O} {
+			b.WriteByte(' ')
+			if t.IsVar {
+				b.WriteByte('?')
+				b.WriteString(t.Name)
+			} else {
+				b.WriteByte('<')
+				b.WriteString(dict.Decode(t.ID))
+				b.WriteByte('>')
+			}
+		}
+	}
+	b.WriteString(" }")
+	return b.String()
+}

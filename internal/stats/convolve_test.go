@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConvolveUniformsGivesTriangle(t *testing.T) {
+	pl := Convolve(uniform01(), uniform01())
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if pl.Hi() != 2 {
+		t.Fatalf("support: got %v want 2", pl.Hi())
+	}
+	// Triangle: pdf(1) = 1, pdf(0.5) = 0.5, pdf(1.5) = 0.5.
+	for _, c := range []struct{ x, want float64 }{
+		{0, 0}, {0.5, 0.5}, {1, 1}, {1.5, 0.5}, {2, 0},
+	} {
+		if got := pl.PDF(c.x); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("pdf(%v): got %v want %v", c.x, got, c.want)
+		}
+	}
+	if got := pl.Mean(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("mean: got %v want 1", got)
+	}
+}
+
+func TestConvolvePreservesMassAndMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		a, b := quickPC(rng), quickPC(rng)
+		pl := Convolve(a, b)
+		if err := pl.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Mean of the sum = sum of means (independence).
+		want := a.Mean() + b.Mean()
+		if got := pl.Mean(); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("trial %d: mean %v want %v", trial, got, want)
+		}
+		if got := pl.Hi(); math.Abs(got-(a.Hi()+b.Hi())) > 1e-9 {
+			t.Fatalf("trial %d: support %v want %v", trial, got, a.Hi()+b.Hi())
+		}
+	}
+}
+
+func TestConvolveCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		a, b := quickPC(rng), quickPC(rng)
+		ab := Convolve(a, b)
+		ba := Convolve(b, a)
+		for x := 0.0; x <= ab.Hi(); x += ab.Hi() / 37 {
+			if math.Abs(ab.PDF(x)-ba.PDF(x)) > 1e-9 {
+				t.Fatalf("trial %d: pdf differs at %v: %v vs %v", trial, x, ab.PDF(x), ba.PDF(x))
+			}
+		}
+	}
+}
+
+func TestConvolveAgainstMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	a := twoBucket(0.3, 0.2, 1)
+	b := twoBucket(0.6, 0.5, 1)
+	pl := Convolve(a, b)
+	// Monte-Carlo estimate of the CDF at a few probes.
+	const samples = 200000
+	probes := []float64{0.4, 0.8, 1.2, 1.6}
+	counts := make([]int, len(probes))
+	for i := 0; i < samples; i++ {
+		x := a.InvCDF(rng.Float64()) + b.InvCDF(rng.Float64())
+		for j, p := range probes {
+			if x <= p {
+				counts[j]++
+			}
+		}
+	}
+	for j, p := range probes {
+		mc := float64(counts[j]) / samples
+		if got := pl.CDF(p); math.Abs(got-mc) > 0.01 {
+			t.Errorf("CDF(%v): analytic %v vs monte-carlo %v", p, got, mc)
+		}
+	}
+}
+
+func TestConvolveAllSingleInput(t *testing.T) {
+	d := twoBucket(0.3, 0.2, 1)
+	got := ConvolveAll([]PiecewiseConst{d}, 2)
+	if got.Hi() != 1 {
+		t.Fatalf("single input support: got %v", got.Hi())
+	}
+	if math.Abs(got.Mean()-d.Mean()) > 1e-12 {
+		t.Fatal("single input must be returned unchanged")
+	}
+}
+
+func TestConvolveAllThreePatterns(t *testing.T) {
+	ds := []PiecewiseConst{uniform01(), uniform01(), uniform01()}
+	got := ConvolveAll(ds, 2)
+	if math.Abs(got.Hi()-3) > 1e-9 {
+		t.Fatalf("support: got %v want 3", got.Hi())
+	}
+	// The paper's intermediate two-bucket refit assigns bucket probability
+	// by score-mass share, which deliberately overweights high scores — the
+	// mean drifts upward but must stay plausible (between the true mean 1.5
+	// and the support top).
+	if m := got.Mean(); m < 1.5-0.1 || m > 2.6 {
+		t.Fatalf("mean: got %v, want within [1.4, 2.6]", m)
+	}
+	// The final distribution must still be a valid density.
+	if pl, ok := got.(PiecewiseLinear); ok {
+		if err := pl.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConvolveAllEmpty(t *testing.T) {
+	got := ConvolveAll(nil, 2)
+	if got.Hi() != 1 {
+		t.Fatalf("empty input fallback: got hi=%v", got.Hi())
+	}
+}
+
+func TestRefitPreservesTailShape(t *testing.T) {
+	tri := Convolve(uniform01(), uniform01())
+	rf := Refit(tri)
+	if err := rf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rf.Hi()-2) > 1e-9 {
+		t.Fatalf("refit support: got %v want 2", rf.Hi())
+	}
+	// The boundary σ must satisfy TailMass(σ) ≈ 0.8·mean.
+	sigma := rf.Bounds[1]
+	if got, want := tri.TailMass(sigma), 0.8*tri.Mean(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("refit boundary: TailMass(σ)=%v want %v", got, want)
+	}
+	// Mean should be roughly preserved.
+	if math.Abs(rf.Mean()-tri.Mean()) > 0.25 {
+		t.Fatalf("refit mean drifted: %v vs %v", rf.Mean(), tri.Mean())
+	}
+}
+
+func TestRefitNMoreBucketsCloserMean(t *testing.T) {
+	tri := Convolve(twoBucket(0.2, 0.3, 1), twoBucket(0.7, 0.6, 1))
+	err2 := math.Abs(Refit(tri).Mean() - tri.Mean())
+	err8 := math.Abs(RefitN(tri, 8).Mean() - tri.Mean())
+	if err8 > err2+1e-9 {
+		t.Fatalf("8-bucket refit should not be worse than 2-bucket: %v vs %v", err8, err2)
+	}
+	if err := RefitN(tri, 8).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	qs := Quantiles(uniform01(), 9)
+	if len(qs) != 9 {
+		t.Fatalf("got %d quantiles", len(qs))
+	}
+	for i, q := range qs {
+		want := float64(i+1) / 10
+		if math.Abs(q-want) > 1e-9 {
+			t.Errorf("quantile %d: got %v want %v", i, q, want)
+		}
+	}
+}

@@ -1,0 +1,360 @@
+// Package stats implements the score-distribution machinery of Spec-QP
+// (Section 3.1 of the paper): per-pattern two-bucket histograms fit with the
+// 80/20 score-mass rule, the n-bucket generalisation, exact convolution of
+// piecewise-constant densities into piecewise-linear ones, re-fitting of
+// convolved densities back to bucket histograms via order statistics, and the
+// expected-score-at-rank estimator E(X(i)) ≈ F⁻¹(i/(m+1)).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dist is a continuous probability distribution over a bounded non-negative
+// support [0, Hi]. All Spec-QP score models implement it.
+type Dist interface {
+	// Hi returns the upper end of the support.
+	Hi() float64
+	// CDF evaluates the cumulative distribution at x (clamped to [0,1]).
+	CDF(x float64) float64
+	// InvCDF returns the smallest x with CDF(x) >= p, for p in [0,1].
+	InvCDF(p float64) float64
+	// Mean returns E[X].
+	Mean() float64
+	// TailMass returns ∫_x^Hi t·f(t) dt — the expected score mass above x —
+	// used when re-fitting convolved distributions to bucket histograms.
+	TailMass(x float64) float64
+}
+
+// ExpectedAtRank estimates the expected score of the answer at rank i from
+// the top (rank 1 = highest) among n i.i.d. samples of d, using the order
+// statistics approximation from David & Nagaraja:
+//
+//	E(X(j)) ≈ F⁻¹(j/(m+1))   with j = n+1-i  (the (n+1-i)-th order statistic).
+//
+// It returns 0 when n < i (not enough answers to have a rank-i score).
+func ExpectedAtRank(d Dist, n, i int) float64 {
+	if n < i || i < 1 {
+		return 0
+	}
+	return d.InvCDF(float64(n+1-i) / float64(n+1))
+}
+
+// PiecewiseConst is a density that is constant within each bucket.
+// Bounds has len(Heights)+1 entries, strictly increasing, Bounds[0] == 0.
+// Heights are densities (not probabilities); ∑ Heights[i]·width[i] == 1.
+type PiecewiseConst struct {
+	Bounds  []float64
+	Heights []float64
+}
+
+// Validate checks structural invariants and that total mass is ≈ 1.
+func (pc PiecewiseConst) Validate() error {
+	if len(pc.Bounds) != len(pc.Heights)+1 {
+		return fmt.Errorf("stats: bounds/heights mismatch: %d vs %d", len(pc.Bounds), len(pc.Heights))
+	}
+	if len(pc.Heights) == 0 {
+		return errors.New("stats: empty piecewise-constant density")
+	}
+	if pc.Bounds[0] != 0 {
+		return fmt.Errorf("stats: support must start at 0, got %v", pc.Bounds[0])
+	}
+	mass := 0.0
+	for i, h := range pc.Heights {
+		w := pc.Bounds[i+1] - pc.Bounds[i]
+		if w <= 0 {
+			return fmt.Errorf("stats: non-increasing bounds at bucket %d", i)
+		}
+		if h < 0 {
+			return fmt.Errorf("stats: negative height at bucket %d", i)
+		}
+		mass += h * w
+	}
+	if math.Abs(mass-1) > 1e-6 {
+		return fmt.Errorf("stats: total mass %v != 1", mass)
+	}
+	return nil
+}
+
+// Hi implements Dist.
+func (pc PiecewiseConst) Hi() float64 { return pc.Bounds[len(pc.Bounds)-1] }
+
+// PDF evaluates the density at x (0 outside the support; right-continuous at
+// bucket boundaries, with the final bound included in the last bucket).
+func (pc PiecewiseConst) PDF(x float64) float64 {
+	if x < 0 || x > pc.Hi() {
+		return 0
+	}
+	i := sort.SearchFloat64s(pc.Bounds, x)
+	// SearchFloat64s returns first index with Bounds[i] >= x.
+	if i < len(pc.Bounds) && pc.Bounds[i] == x {
+		if i == len(pc.Heights) {
+			return pc.Heights[i-1]
+		}
+		return pc.Heights[i]
+	}
+	return pc.Heights[i-1]
+}
+
+// CDF implements Dist.
+func (pc PiecewiseConst) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= pc.Hi() {
+		return 1
+	}
+	c := 0.0
+	for i, h := range pc.Heights {
+		lo, hi := pc.Bounds[i], pc.Bounds[i+1]
+		if x <= lo {
+			break
+		}
+		if x >= hi {
+			c += h * (hi - lo)
+		} else {
+			c += h * (x - lo)
+		}
+	}
+	if c > 1 {
+		c = 1
+	}
+	return c
+}
+
+// InvCDF implements Dist.
+func (pc PiecewiseConst) InvCDF(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return pc.Hi()
+	}
+	c := 0.0
+	for i, h := range pc.Heights {
+		lo, hi := pc.Bounds[i], pc.Bounds[i+1]
+		m := h * (hi - lo)
+		if c+m >= p {
+			if h == 0 {
+				return hi
+			}
+			return lo + (p-c)/h
+		}
+		c += m
+	}
+	return pc.Hi()
+}
+
+// Mean implements Dist.
+func (pc PiecewiseConst) Mean() float64 {
+	m := 0.0
+	for i, h := range pc.Heights {
+		lo, hi := pc.Bounds[i], pc.Bounds[i+1]
+		m += h * (hi*hi - lo*lo) / 2
+	}
+	return m
+}
+
+// TailMass implements Dist.
+func (pc PiecewiseConst) TailMass(x float64) float64 {
+	if x <= 0 {
+		return pc.Mean()
+	}
+	if x >= pc.Hi() {
+		return 0
+	}
+	m := 0.0
+	for i, h := range pc.Heights {
+		lo, hi := pc.Bounds[i], pc.Bounds[i+1]
+		if hi <= x {
+			continue
+		}
+		if lo < x {
+			lo = x
+		}
+		m += h * (hi*hi - lo*lo) / 2
+	}
+	return m
+}
+
+// Scale returns the density of w·X when X ~ pc, i.e. the support and bucket
+// boundaries shrink by factor w and the heights grow by 1/w. This models the
+// weight of a relaxation rule applied to a relaxed pattern's scores.
+func (pc PiecewiseConst) Scale(w float64) PiecewiseConst {
+	if w <= 0 {
+		panic("stats: non-positive scale factor")
+	}
+	b := make([]float64, len(pc.Bounds))
+	h := make([]float64, len(pc.Heights))
+	for i, v := range pc.Bounds {
+		b[i] = v * w
+	}
+	for i, v := range pc.Heights {
+		h[i] = v / w
+	}
+	return PiecewiseConst{Bounds: b, Heights: h}
+}
+
+// PiecewiseLinear is a density that is continuous and linear between knots.
+// Xs is strictly increasing with Xs[0] == 0; Ys are non-negative densities.
+// Convolving two piecewise-constant densities yields exactly this shape.
+type PiecewiseLinear struct {
+	Xs []float64
+	Ys []float64
+}
+
+// Validate checks structural invariants and unit mass.
+func (pl PiecewiseLinear) Validate() error {
+	if len(pl.Xs) != len(pl.Ys) || len(pl.Xs) < 2 {
+		return errors.New("stats: malformed piecewise-linear density")
+	}
+	for i := 1; i < len(pl.Xs); i++ {
+		if pl.Xs[i] <= pl.Xs[i-1] {
+			return fmt.Errorf("stats: non-increasing knot at %d", i)
+		}
+	}
+	for i, y := range pl.Ys {
+		if y < -1e-9 {
+			return fmt.Errorf("stats: negative density at knot %d: %v", i, y)
+		}
+	}
+	if m := pl.mass(); math.Abs(m-1) > 1e-6 {
+		return fmt.Errorf("stats: total mass %v != 1", m)
+	}
+	return nil
+}
+
+func (pl PiecewiseLinear) mass() float64 {
+	m := 0.0
+	for i := 1; i < len(pl.Xs); i++ {
+		m += (pl.Ys[i] + pl.Ys[i-1]) / 2 * (pl.Xs[i] - pl.Xs[i-1])
+	}
+	return m
+}
+
+// Hi implements Dist.
+func (pl PiecewiseLinear) Hi() float64 { return pl.Xs[len(pl.Xs)-1] }
+
+// PDF evaluates the density at x by linear interpolation (0 outside support).
+func (pl PiecewiseLinear) PDF(x float64) float64 {
+	if x < pl.Xs[0] || x > pl.Hi() {
+		return 0
+	}
+	i := sort.SearchFloat64s(pl.Xs, x)
+	if i < len(pl.Xs) && pl.Xs[i] == x {
+		return pl.Ys[i]
+	}
+	x0, x1 := pl.Xs[i-1], pl.Xs[i]
+	y0, y1 := pl.Ys[i-1], pl.Ys[i]
+	return y0 + (y1-y0)*(x-x0)/(x1-x0)
+}
+
+// CDF implements Dist (piecewise quadratic).
+func (pl PiecewiseLinear) CDF(x float64) float64 {
+	if x <= pl.Xs[0] {
+		return 0
+	}
+	if x >= pl.Hi() {
+		return 1
+	}
+	c := 0.0
+	for i := 1; i < len(pl.Xs); i++ {
+		x0, x1 := pl.Xs[i-1], pl.Xs[i]
+		y0, y1 := pl.Ys[i-1], pl.Ys[i]
+		if x >= x1 {
+			c += (y0 + y1) / 2 * (x1 - x0)
+			continue
+		}
+		// Partial segment [x0, x].
+		t := x - x0
+		slope := (y1 - y0) / (x1 - x0)
+		c += y0*t + slope*t*t/2
+		break
+	}
+	if c > 1 {
+		c = 1
+	}
+	return c
+}
+
+// InvCDF implements Dist by solving the per-segment quadratic exactly.
+func (pl PiecewiseLinear) InvCDF(p float64) float64 {
+	if p <= 0 {
+		return pl.Xs[0]
+	}
+	if p >= 1 {
+		return pl.Hi()
+	}
+	c := 0.0
+	for i := 1; i < len(pl.Xs); i++ {
+		x0, x1 := pl.Xs[i-1], pl.Xs[i]
+		y0, y1 := pl.Ys[i-1], pl.Ys[i]
+		seg := (y0 + y1) / 2 * (x1 - x0)
+		if c+seg < p {
+			c += seg
+			continue
+		}
+		// Solve y0·t + slope·t²/2 = p - c for t in [0, x1-x0].
+		rem := p - c
+		slope := (y1 - y0) / (x1 - x0)
+		if math.Abs(slope) < 1e-15 {
+			if y0 <= 0 {
+				return x1
+			}
+			return x0 + rem/y0
+		}
+		// t = (-y0 + sqrt(y0² + 2·slope·rem)) / slope
+		disc := y0*y0 + 2*slope*rem
+		if disc < 0 {
+			disc = 0
+		}
+		t := (-y0 + math.Sqrt(disc)) / slope
+		if t < 0 {
+			t = 0
+		}
+		if t > x1-x0 {
+			t = x1 - x0
+		}
+		return x0 + t
+	}
+	return pl.Hi()
+}
+
+// Mean implements Dist. For a linear piece y(t)=y0+s·t on [x0,x1],
+// ∫ t·y(t) dt has a closed cubic form.
+func (pl PiecewiseLinear) Mean() float64 { return pl.TailMass(0) }
+
+// TailMass implements Dist.
+func (pl PiecewiseLinear) TailMass(x float64) float64 {
+	m := 0.0
+	for i := 1; i < len(pl.Xs); i++ {
+		x0, x1 := pl.Xs[i-1], pl.Xs[i]
+		y0, y1 := pl.Ys[i-1], pl.Ys[i]
+		if x1 <= x {
+			continue
+		}
+		lo := x0
+		ylo := y0
+		if x > x0 {
+			lo = x
+			ylo = y0 + (y1-y0)*(x-x0)/(x1-x0)
+		}
+		m += segmentFirstMoment(lo, x1, ylo, y1)
+	}
+	return m
+}
+
+// segmentFirstMoment computes ∫_a^b t·y(t) dt for the linear segment from
+// (a,ya) to (b,yb).
+func segmentFirstMoment(a, b, ya, yb float64) float64 {
+	if b <= a {
+		return 0
+	}
+	s := (yb - ya) / (b - a)
+	// y(t) = ya + s(t-a) = (ya - s·a) + s·t
+	c0 := ya - s*a
+	return c0*(b*b-a*a)/2 + s*(b*b*b-a*a*a)/3
+}

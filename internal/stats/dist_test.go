@@ -1,0 +1,229 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func uniform01() PiecewiseConst {
+	return PiecewiseConst{Bounds: []float64{0, 1}, Heights: []float64{1}}
+}
+
+func twoBucket(sigma, pTail, hi float64) PiecewiseConst {
+	return PiecewiseConst{
+		Bounds:  []float64{0, sigma, hi},
+		Heights: []float64{pTail / sigma, (1 - pTail) / (hi - sigma)},
+	}
+}
+
+func TestPiecewiseConstValidate(t *testing.T) {
+	if err := uniform01().Validate(); err != nil {
+		t.Fatalf("uniform: %v", err)
+	}
+	bad := PiecewiseConst{Bounds: []float64{0, 1}, Heights: []float64{0.5}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("half-mass density validated")
+	}
+	neg := PiecewiseConst{Bounds: []float64{0, 1, 2}, Heights: []float64{2, -1}}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative height validated")
+	}
+	nonzero := PiecewiseConst{Bounds: []float64{0.5, 1}, Heights: []float64{2}}
+	if err := nonzero.Validate(); err == nil {
+		t.Fatal("support not starting at 0 validated")
+	}
+}
+
+func TestPiecewiseConstCDF(t *testing.T) {
+	d := twoBucket(0.3, 0.2, 1)
+	cases := []struct{ x, want float64 }{
+		{-1, 0}, {0, 0},
+		{0.15, 0.1}, // half of the tail bucket's 0.2 mass
+		{0.3, 0.2},  // full tail bucket
+		{0.65, 0.6}, // tail + half of the top bucket
+		{1, 1}, {2, 1},
+	}
+	for _, c := range cases {
+		if got := d.CDF(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("CDF(%v): got %v want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestPiecewiseConstInvCDFInvertsCDF(t *testing.T) {
+	d := twoBucket(0.25, 0.35, 1)
+	for p := 0.01; p < 1; p += 0.07 {
+		x := d.InvCDF(p)
+		if got := d.CDF(x); math.Abs(got-p) > 1e-9 {
+			t.Errorf("CDF(InvCDF(%v)) = %v", p, got)
+		}
+	}
+	if d.InvCDF(0) != 0 {
+		t.Error("InvCDF(0) must be 0")
+	}
+	if d.InvCDF(1) != 1 {
+		t.Error("InvCDF(1) must be support top")
+	}
+}
+
+func TestPiecewiseConstMean(t *testing.T) {
+	if got := uniform01().Mean(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("uniform mean: got %v want 0.5", got)
+	}
+	// Heavily top-weighted density has mean near the top.
+	d := twoBucket(0.9, 0.05, 1)
+	if d.Mean() < 0.85 {
+		t.Fatalf("top-heavy mean too low: %v", d.Mean())
+	}
+}
+
+func TestPiecewiseConstTailMass(t *testing.T) {
+	d := uniform01()
+	// ∫_x^1 t dt = (1-x²)/2.
+	for _, x := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		want := (1 - x*x) / 2
+		if got := d.TailMass(x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("TailMass(%v): got %v want %v", x, got, want)
+		}
+	}
+	if got := d.TailMass(0); math.Abs(got-d.Mean()) > 1e-12 {
+		t.Error("TailMass(0) must equal the mean")
+	}
+}
+
+func TestScale(t *testing.T) {
+	d := twoBucket(0.3, 0.2, 1)
+	s := d.Scale(0.5)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("scaled density invalid: %v", err)
+	}
+	if s.Hi() != 0.5 {
+		t.Fatalf("scaled hi: got %v want 0.5", s.Hi())
+	}
+	if got, want := s.Mean(), 0.5*d.Mean(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("scaled mean: got %v want %v", got, want)
+	}
+	// CDF at scaled point must match original.
+	if got, want := s.CDF(0.15), d.CDF(0.3); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("scaled CDF: got %v want %v", got, want)
+	}
+}
+
+func TestPiecewiseLinearCDFAndInverse(t *testing.T) {
+	// Triangle density on [0,2]: peak at 1 — the convolution of two
+	// uniforms on [0,1].
+	tri := PiecewiseLinear{Xs: []float64{0, 1, 2}, Ys: []float64{0, 1, 0}}
+	if err := tri.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tri.CDF(1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("triangle CDF(1): got %v want 0.5", got)
+	}
+	if got := tri.CDF(0.5); math.Abs(got-0.125) > 1e-12 {
+		t.Fatalf("triangle CDF(0.5): got %v want 0.125", got)
+	}
+	for p := 0.02; p < 1; p += 0.07 {
+		x := tri.InvCDF(p)
+		if got := tri.CDF(x); math.Abs(got-p) > 1e-9 {
+			t.Errorf("triangle CDF(InvCDF(%v)) = %v", p, got)
+		}
+	}
+	if got := tri.Mean(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("triangle mean: got %v want 1", got)
+	}
+}
+
+func TestPiecewiseLinearTailMass(t *testing.T) {
+	tri := PiecewiseLinear{Xs: []float64{0, 1, 2}, Ys: []float64{0, 1, 0}}
+	// By symmetry TailMass(1) = ∫_1^2 t·(2-t) dt = 2/3... compute directly:
+	// ∫_1^2 t(2-t)dt = [t² - t³/3]_1^2 = (4 - 8/3) - (1 - 1/3) = 4/3 - 2/3 = 2/3.
+	if got := tri.TailMass(1); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("triangle TailMass(1): got %v want 2/3", got)
+	}
+	if got := tri.TailMass(0); math.Abs(got-tri.Mean()) > 1e-12 {
+		t.Fatal("TailMass(0) must equal mean")
+	}
+	if got := tri.TailMass(2); got != 0 {
+		t.Fatalf("TailMass(hi): got %v want 0", got)
+	}
+}
+
+func TestExpectedAtRank(t *testing.T) {
+	d := uniform01()
+	// For uniform, E(X(j)) ≈ j/(m+1): rank 1 of n=9 → 9/10 = 0.9.
+	if got := ExpectedAtRank(d, 9, 1); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("rank 1 of 9: got %v want 0.9", got)
+	}
+	if got := ExpectedAtRank(d, 9, 9); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("rank 9 of 9: got %v want 0.1", got)
+	}
+	if got := ExpectedAtRank(d, 5, 6); got != 0 {
+		t.Fatalf("rank beyond n must be 0: got %v", got)
+	}
+	if got := ExpectedAtRank(d, 5, 0); got != 0 {
+		t.Fatalf("rank 0 must be 0: got %v", got)
+	}
+	// Monotone in rank: better ranks have higher expected scores.
+	prev := math.Inf(1)
+	for i := 1; i <= 5; i++ {
+		v := ExpectedAtRank(d, 5, i)
+		if v > prev {
+			t.Fatalf("expected score must not increase with rank: rank %d %v > %v", i, v, prev)
+		}
+		prev = v
+	}
+}
+
+// quickPC generates a random valid piecewise-constant density.
+func quickPC(rng *rand.Rand) PiecewiseConst {
+	n := 1 + rng.Intn(4)
+	bounds := []float64{0}
+	x := 0.0
+	for i := 0; i < n; i++ {
+		x += 0.05 + rng.Float64()
+		bounds = append(bounds, x)
+	}
+	masses := make([]float64, n)
+	tot := 0.0
+	for i := range masses {
+		masses[i] = 0.05 + rng.Float64()
+		tot += masses[i]
+	}
+	heights := make([]float64, n)
+	for i := range heights {
+		heights[i] = masses[i] / tot / (bounds[i+1] - bounds[i])
+	}
+	return PiecewiseConst{Bounds: bounds, Heights: heights}
+}
+
+func TestQuickInvCDFMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		d := quickPC(rng)
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		prev := -1.0
+		for p := 0.0; p <= 1.0; p += 0.04 {
+			x := d.InvCDF(p)
+			if x < prev-1e-12 {
+				t.Fatalf("InvCDF not monotone at p=%v", p)
+			}
+			prev = x
+		}
+	}
+}
+
+func TestQuickCDFBounds(t *testing.T) {
+	f := func(seed int64, x float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := quickPC(rng)
+		c := d.CDF(x)
+		return c >= 0 && c <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

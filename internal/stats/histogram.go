@@ -1,0 +1,278 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PatternStats are the four precomputed values the paper stores per triple
+// pattern (Section 3.1.1):
+//
+//	M      — total number of matching triples,
+//	SigmaR — normalised score at the rank within which 80% of score mass lies,
+//	SR     — cumulative score through that rank,
+//	SM     — cumulative score through all ranks.
+//
+// Hi is the support upper bound (1 for raw patterns; w for weighted ones;
+// the number of summed patterns for convolved query distributions).
+type PatternStats struct {
+	M      int
+	SigmaR float64
+	SR     float64
+	SM     float64
+	Hi     float64
+}
+
+// ErrNoMatches is returned when fitting statistics over an empty match list.
+var ErrNoMatches = errors.New("stats: pattern has no matches")
+
+// massFraction is the paper's 80/20 bucket-boundary rule: the short, tall
+// bucket captures 80% of the score mass.
+const massFraction = 0.8
+
+// FitTwoBucket computes PatternStats from a pattern's normalised score list
+// (sorted descending, values in [0,1], as produced by kg.NormalizedScores).
+func FitTwoBucket(scores []float64) (PatternStats, error) {
+	return fitMass(scores, massFraction, 1)
+}
+
+// fitMass finds the rank r at which cumulative score mass first reaches
+// frac·SM, recording σr, Sr and SM with support upper bound hi.
+func fitMass(scores []float64, frac, hi float64) (PatternStats, error) {
+	if len(scores) == 0 {
+		return PatternStats{}, ErrNoMatches
+	}
+	sm := 0.0
+	for i, s := range scores {
+		if s < 0 || s > hi+1e-9 {
+			return PatternStats{}, fmt.Errorf("stats: score %v at rank %d outside [0,%v]", s, i+1, hi)
+		}
+		if i > 0 && s > scores[i-1]+1e-9 {
+			return PatternStats{}, fmt.Errorf("stats: scores not sorted descending at rank %d", i+1)
+		}
+		sm += s
+	}
+	if sm == 0 {
+		return PatternStats{}, errors.New("stats: all scores are zero")
+	}
+	cum := 0.0
+	r := len(scores) - 1
+	for i, s := range scores {
+		cum += s
+		if cum >= frac*sm {
+			r = i
+			break
+		}
+	}
+	sr := 0.0
+	for i := 0; i <= r; i++ {
+		sr += scores[i]
+	}
+	return PatternStats{M: len(scores), SigmaR: scores[r], SR: sr, SM: sm, Hi: hi}, nil
+}
+
+// Dist materialises the two-bucket density of Section 3.1.1:
+//
+//	f(x) = (SM−SR)/SM · 1/σr        for 0 ≤ x < σr
+//	f(x) = SR/SM · 1/(Hi−σr)        for σr ≤ x ≤ Hi
+//
+// Degenerate boundaries (σr at 0 or Hi) are nudged inward so both buckets
+// keep positive width.
+func (ps PatternStats) Dist() PiecewiseConst {
+	hi := ps.Hi
+	if hi <= 0 {
+		hi = 1
+	}
+	sigma := ps.SigmaR
+	const eps = 1e-9
+	minW := hi * 1e-6
+	if sigma < minW {
+		sigma = minW
+	}
+	if sigma > hi-minW {
+		sigma = hi - minW
+	}
+	pTail := (ps.SM - ps.SR) / ps.SM
+	pTop := ps.SR / ps.SM
+	if pTail < 0 {
+		pTail = 0
+	}
+	if pTop > 1 {
+		pTop = 1
+	}
+	// Renormalise against accumulated float error.
+	tot := pTail + pTop
+	if tot <= eps {
+		pTail, pTop, tot = 0.5, 0.5, 1
+	}
+	pTail /= tot
+	pTop /= tot
+	return PiecewiseConst{
+		Bounds:  []float64{0, sigma, hi},
+		Heights: []float64{pTail / sigma, pTop / (hi - sigma)},
+	}
+}
+
+// FitNBucket generalises the fit to n buckets with boundaries at the ranks
+// where cumulative score mass crosses j/n of the total, for j = 1..n-1
+// (Section 3.1.1's Eq. (1)-(3) family). Used by the multi-bucket ablation the
+// paper discusses in Section 4.5.2. Zero-width buckets caused by duplicate
+// boundary scores are merged. It returns the density directly.
+func FitNBucket(scores []float64, n int) (PiecewiseConst, error) {
+	if n < 1 {
+		return PiecewiseConst{}, fmt.Errorf("stats: bucket count %d < 1", n)
+	}
+	if len(scores) == 0 {
+		return PiecewiseConst{}, ErrNoMatches
+	}
+	sm := 0.0
+	for _, s := range scores {
+		sm += s
+	}
+	if sm == 0 {
+		return PiecewiseConst{}, errors.New("stats: all scores are zero")
+	}
+	// Walk ranks top-down recording (boundary score, cumulative mass above)
+	// at each j/n crossing. Boundaries descend with j.
+	type crossing struct{ sigma, cumAbove float64 }
+	var crossings []crossing
+	cum := 0.0
+	j := 1
+	for _, s := range scores {
+		cum += s
+		for j < n && cum >= float64(j)/float64(n)*sm {
+			crossings = append(crossings, crossing{sigma: s, cumAbove: cum})
+			j++
+		}
+	}
+	// Ascending bounds with the mass that falls inside each bucket.
+	// Bucket layout: [0, σ_{last}], ..., [σ_1, hi].
+	const minW = 1e-9
+	bounds := []float64{0}
+	masses := []float64{}
+	prevCum := sm // mass below the current lower boundary, walking upward
+	for i := len(crossings) - 1; i >= 0; i-- {
+		c := crossings[i]
+		lo := bounds[len(bounds)-1]
+		if c.sigma <= lo+minW || c.sigma >= 1-minW {
+			continue // merge zero-width buckets into their neighbour
+		}
+		bounds = append(bounds, c.sigma)
+		masses = append(masses, (prevCum-c.cumAbove)/sm)
+		prevCum = c.cumAbove
+	}
+	bounds = append(bounds, 1)
+	masses = append(masses, prevCum/sm)
+
+	heights := make([]float64, len(masses))
+	for i := range heights {
+		heights[i] = masses[i] / (bounds[i+1] - bounds[i])
+	}
+	pc := PiecewiseConst{Bounds: bounds, Heights: heights}
+	if err := pc.Validate(); err != nil {
+		return PiecewiseConst{}, err
+	}
+	return pc, nil
+}
+
+// Refit projects an arbitrary density (typically the piecewise-linear result
+// of a convolution) back onto the two-bucket model, implementing Section
+// 3.1.2's "this again results in a two-bucket histogram". The bucket boundary
+// σ is the score with 80% of the *expected score mass* above it:
+//
+//	TailMass(σ) = massFraction · Mean
+//
+// and the bucket probabilities mirror the per-pattern construction with
+// SR/SM := massFraction.
+func Refit(d Dist) PiecewiseConst {
+	hi := d.Hi()
+	mean := d.Mean()
+	if mean <= 0 || hi <= 0 {
+		return PiecewiseConst{Bounds: []float64{0, 1}, Heights: []float64{1}}
+	}
+	target := massFraction * mean
+	// Bisect TailMass(σ) = target; TailMass is decreasing in σ.
+	lo, hiX := 0.0, hi
+	for i := 0; i < 64; i++ {
+		mid := (lo + hiX) / 2
+		if d.TailMass(mid) > target {
+			lo = mid
+		} else {
+			hiX = mid
+		}
+	}
+	sigma := (lo + hiX) / 2
+	ps := PatternStats{
+		M:      0,
+		SigmaR: sigma,
+		SR:     massFraction,
+		SM:     1,
+		Hi:     hi,
+	}
+	return ps.Dist()
+}
+
+// RefitN projects a density onto an n-bucket histogram with equal score-mass
+// buckets — the generalisation used by the multi-bucket ablation.
+func RefitN(d Dist, n int) PiecewiseConst {
+	if n < 2 {
+		return Refit(d)
+	}
+	hi := d.Hi()
+	mean := d.Mean()
+	if mean <= 0 || hi <= 0 {
+		return PiecewiseConst{Bounds: []float64{0, 1}, Heights: []float64{1}}
+	}
+	bounds := make([]float64, 0, n+1)
+	bounds = append(bounds, 0)
+	// Boundary j has (n-j)/n of score mass above it.
+	for j := 1; j < n; j++ {
+		target := float64(n-j) / float64(n) * mean
+		lo, hiX := 0.0, hi
+		for i := 0; i < 64; i++ {
+			mid := (lo + hiX) / 2
+			if d.TailMass(mid) > target {
+				lo = mid
+			} else {
+				hiX = mid
+			}
+		}
+		bounds = append(bounds, (lo+hiX)/2)
+	}
+	bounds = append(bounds, hi)
+	minW := hi * 1e-9
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1]+minW {
+			bounds[i] = bounds[i-1] + minW
+		}
+	}
+	if bounds[n] > hi {
+		bounds[n] = hi
+		sort.Float64s(bounds)
+	}
+	heights := make([]float64, n)
+	mass := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		w := bounds[i+1] - bounds[i]
+		if w <= 0 {
+			w = minW
+		}
+		heights[i] = mass / w
+	}
+	return PiecewiseConst{Bounds: bounds, Heights: heights}
+}
+
+// Quantiles returns q evenly spaced InvCDF probes of d — convenient for
+// debugging and for golden tests.
+func Quantiles(d Dist, q int) []float64 {
+	out := make([]float64, q)
+	for i := 1; i <= q; i++ {
+		out[i-1] = d.InvCDF(float64(i) / float64(q+1))
+	}
+	return out
+}
+
+// almostEqual is shared by the package tests.
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

@@ -1,0 +1,232 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitTwoBucketPaperDefinition(t *testing.T) {
+	// Scores with clear 80/20 structure: the first two carry 1.8 of 2.11
+	// total mass (85% ≥ 80% crossing happens at rank 2).
+	scores := []float64{1.0, 0.8, 0.1, 0.1, 0.05, 0.03, 0.02, 0.01}
+	ps, err := FitTwoBucket(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.M != 8 {
+		t.Fatalf("M: got %d want 8", ps.M)
+	}
+	sm := 0.0
+	for _, s := range scores {
+		sm += s
+	}
+	if math.Abs(ps.SM-sm) > 1e-12 {
+		t.Fatalf("SM: got %v want %v", ps.SM, sm)
+	}
+	// 80% of mass = 1.688; cumulative 1.0, 1.8 → crossing at rank 2 (index 1).
+	if ps.SigmaR != 0.8 {
+		t.Fatalf("SigmaR: got %v want 0.8", ps.SigmaR)
+	}
+	if math.Abs(ps.SR-1.8) > 1e-12 {
+		t.Fatalf("SR: got %v want 1.8", ps.SR)
+	}
+}
+
+func TestFitTwoBucketErrors(t *testing.T) {
+	if _, err := FitTwoBucket(nil); err != ErrNoMatches {
+		t.Fatalf("empty: got %v want ErrNoMatches", err)
+	}
+	if _, err := FitTwoBucket([]float64{0, 0}); err == nil {
+		t.Fatal("all-zero scores accepted")
+	}
+	if _, err := FitTwoBucket([]float64{0.5, 0.9}); err == nil {
+		t.Fatal("unsorted scores accepted")
+	}
+	if _, err := FitTwoBucket([]float64{1.5}); err == nil {
+		t.Fatal("score above hi accepted")
+	}
+}
+
+func TestPatternStatsDistMatchesPaperFormulas(t *testing.T) {
+	ps := PatternStats{M: 100, SigmaR: 0.5, SR: 8, SM: 10, Hi: 1}
+	d := ps.Dist()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// f(x) = (SM−SR)/SM · 1/σ = 0.2/0.5 = 0.4 below σ,
+	// f(x) = SR/SM · 1/(1−σ) = 0.8/0.5 = 1.6 above σ.
+	if got := d.PDF(0.25); math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("tail pdf: got %v want 0.4", got)
+	}
+	if got := d.PDF(0.75); math.Abs(got-1.6) > 1e-9 {
+		t.Fatalf("top pdf: got %v want 1.6", got)
+	}
+	// cdf at σ = tail mass = 0.2.
+	if got := d.CDF(0.5); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("cdf(σ): got %v want 0.2", got)
+	}
+}
+
+func TestPatternStatsDistDegenerateBoundaries(t *testing.T) {
+	// σ at the support top: the top bucket would be empty.
+	top := PatternStats{M: 5, SigmaR: 1, SR: 4, SM: 5, Hi: 1}
+	if err := top.Dist().Validate(); err != nil {
+		t.Fatalf("σ=hi: %v", err)
+	}
+	zero := PatternStats{M: 5, SigmaR: 0, SR: 4, SM: 5, Hi: 1}
+	if err := zero.Dist().Validate(); err != nil {
+		t.Fatalf("σ=0: %v", err)
+	}
+}
+
+func TestFitNBucketBasics(t *testing.T) {
+	scores := make([]float64, 100)
+	for i := range scores {
+		scores[i] = 1 / float64(i+1) // power-law-ish
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		d, err := FitNBucket(scores, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(d.Heights) > n {
+			t.Fatalf("n=%d: got %d buckets", n, len(d.Heights))
+		}
+	}
+	if _, err := FitNBucket(scores, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := FitNBucket(nil, 2); err != ErrNoMatches {
+		t.Fatal("empty scores accepted")
+	}
+}
+
+func TestFitNBucketDuplicateScores(t *testing.T) {
+	// All scores equal: every boundary collapses; must degrade gracefully.
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	d, err := FitNBucket(scores, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitNBucketMassSharesMatchScores(t *testing.T) {
+	// The paper's model assigns each bucket a probability equal to its
+	// score-mass share. Verify the fitted CDF honours that at every bucket
+	// boundary against the raw scores.
+	rng := rand.New(rand.NewSource(5))
+	scores := make([]float64, 500)
+	for i := range scores {
+		scores[i] = math.Pow(rng.Float64(), 3) // skewed toward 0
+	}
+	sortDesc(scores)
+	sm := 0.0
+	for _, s := range scores {
+		sm += s
+	}
+	for _, n := range []int{2, 4, 16} {
+		d, err := FitNBucket(scores, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for bi := 1; bi < len(d.Bounds)-1; bi++ {
+			sigma := d.Bounds[bi]
+			// Score mass strictly above σ in the raw data (ties at σ count
+			// as "above" because the crossing rank is inclusive).
+			above := 0.0
+			for _, s := range scores {
+				if s >= sigma {
+					above += s
+				}
+			}
+			wantCDF := 1 - above/sm
+			if got := d.CDF(sigma); math.Abs(got-wantCDF) > 0.05 {
+				t.Fatalf("n=%d boundary %v: CDF %v want %v", n, sigma, got, wantCDF)
+			}
+		}
+	}
+}
+
+func sortDesc(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] > xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// TestQuickFitTwoBucketAlwaysValid: any sorted positive score list in [0,1]
+// produces a valid density.
+func TestQuickFitTwoBucketAlwaysValid(t *testing.T) {
+	f := func(raw []float64) bool {
+		scores := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			v := math.Abs(r)
+			v -= math.Floor(v) // into [0,1)
+			if v == 0 {
+				v = 0.5
+			}
+			scores = append(scores, v)
+		}
+		if len(scores) == 0 {
+			return true
+		}
+		sortDesc(scores)
+		ps, err := FitTwoBucket(scores)
+		if err != nil {
+			return false
+		}
+		return ps.Dist().Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOrderStatisticsWithinSupport: expected scores at any rank stay
+// inside the support for arbitrary densities.
+func TestQuickOrderStatisticsWithinSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		d := quickPC(rng)
+		n := 1 + rng.Intn(1000)
+		for i := 1; i <= n; i += 1 + n/7 {
+			v := ExpectedAtRank(d, n, i)
+			if v < 0 || v > d.Hi()+1e-9 {
+				t.Fatalf("rank %d of %d: %v outside [0,%v]", i, n, v, d.Hi())
+			}
+		}
+	}
+}
+
+// TestOrderStatisticsAgainstSimulation validates the David–Nagaraja
+// approximation the estimator relies on: the expected max of n uniform
+// samples is n/(n+1).
+func TestOrderStatisticsAgainstSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	d := uniform01()
+	const n, trials = 20, 20000
+	sum := 0.0
+	for tr := 0; tr < trials; tr++ {
+		max := 0.0
+		for i := 0; i < n; i++ {
+			if x := rng.Float64(); x > max {
+				max = x
+			}
+		}
+		sum += max
+	}
+	sim := sum / trials
+	est := ExpectedAtRank(d, n, 1)
+	if math.Abs(sim-est) > 0.01 {
+		t.Fatalf("order statistic estimate %v vs simulated %v", est, sim)
+	}
+}

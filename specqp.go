@@ -1,0 +1,289 @@
+// Package specqp is a Go implementation of Spec-QP — speculative query
+// planning for top-k join queries with relaxations over scored knowledge
+// graphs (Mohanty, Ramanath, Yahya, Weikum; EDBT 2019) — together with the
+// complete substrate it needs: a scored in-memory triple store, relaxation
+// rule mining, the Incremental Merge and Rank Join top-k operators, the
+// TriniT baseline engine, and a SPARQL-subset parser.
+//
+// Quick start:
+//
+//	st := specqp.NewStore()
+//	st.AddSPO("shakira", "rdf:type", "singer", 98)
+//	... more triples ...
+//	st.Freeze()
+//
+//	rules := specqp.NewRuleSet()
+//	rules.Add(specqp.Rule{From: ..., To: ..., Weight: 0.8})
+//
+//	eng := specqp.NewEngine(st, rules)
+//	q, _ := eng.ParseSPARQL(`SELECT ?s WHERE { ?s 'rdf:type' <singer> . ?s 'rdf:type' <guitarist> }`)
+//	res, _ := eng.Query(q, 10, specqp.ModeSpecQP)
+//	for _, a := range res.Answers { ... }
+package specqp
+
+import (
+	"context"
+	"fmt"
+
+	"specqp/internal/exec"
+	"specqp/internal/kg"
+	"specqp/internal/planner"
+	"specqp/internal/relax"
+	"specqp/internal/sparql"
+	"specqp/internal/stats"
+)
+
+// Re-exported core types. These aliases form the public surface; callers
+// never import internal packages directly.
+type (
+	// Store is the scored triple store.
+	Store = kg.Store
+	// Dict is the term dictionary.
+	Dict = kg.Dict
+	// ID is a dictionary-encoded term.
+	ID = kg.ID
+	// Triple is a scored 〈s p o〉 tuple.
+	Triple = kg.Triple
+	// Term is a pattern position: constant or variable.
+	Term = kg.Term
+	// Pattern is a triple pattern.
+	Pattern = kg.Pattern
+	// Query is a set of triple patterns.
+	Query = kg.Query
+	// Answer is a scored query answer.
+	Answer = kg.Answer
+	// Rule is a weighted relaxation rule.
+	Rule = relax.Rule
+	// RuleSet indexes relaxation rules by domain pattern.
+	RuleSet = relax.RuleSet
+	// Result carries answers plus efficiency metrics of one execution.
+	Result = exec.Result
+	// Plan is a speculative query plan.
+	Plan = planner.Plan
+)
+
+// Var builds a variable term (name without the leading '?').
+func Var(name string) Term { return kg.Var(name) }
+
+// Const builds a constant term from an encoded ID.
+func Const(id ID) Term { return kg.Const(id) }
+
+// NewStore returns an empty triple store with a fresh dictionary.
+func NewStore() *Store { return kg.NewStore(nil) }
+
+// NewRuleSet returns an empty relaxation rule set.
+func NewRuleSet() *RuleSet { return relax.NewRuleSet() }
+
+// NewPattern builds a triple pattern.
+func NewPattern(s, p, o Term) Pattern { return kg.NewPattern(s, p, o) }
+
+// NewQuery builds a triple pattern query.
+func NewQuery(ps ...Pattern) Query { return kg.NewQuery(ps...) }
+
+// MineCooccurrence mines Twitter-style relaxation rules for 〈?s pred term〉
+// patterns from subject/term co-occurrence: term T1 relaxes to T2 with
+// weight #subjects(T1∧T2)/#subjects(T1). maxRules caps rules per term
+// (0 = unlimited); minWeight drops weaker rules.
+func MineCooccurrence(st *Store, pred ID, maxRules int, minWeight float64) (*RuleSet, error) {
+	m := relax.CooccurrenceMiner{Pred: pred, MaxRules: maxRules, MinWeight: minWeight}
+	return m.Mine(st)
+}
+
+// TypeHierarchy re-exports the taxonomy description used by
+// MineTypeHierarchy.
+type TypeHierarchy = relax.TypeHierarchy
+
+// MineTypeHierarchy mines XKG-style relaxation rules for 〈?s type T〉 patterns
+// from a type taxonomy: siblings, parents and grandparents of each type used
+// in the store become relaxation targets.
+func MineTypeHierarchy(st *Store, h TypeHierarchy) (*RuleSet, error) {
+	return h.Mine(st)
+}
+
+// Mode selects the execution engine.
+type Mode int
+
+const (
+	// ModeSpecQP plans speculatively and prunes relaxations (the paper's
+	// contribution).
+	ModeSpecQP Mode = iota
+	// ModeTriniT processes every relaxation of every pattern (baseline).
+	ModeTriniT
+	// ModeNaive evaluates every relaxed query completely (strawman).
+	ModeNaive
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeSpecQP:
+		return "spec-qp"
+	case ModeTriniT:
+		return "trinit"
+	case ModeNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options configures an Engine.
+type Options struct {
+	// HistogramBuckets is the per-pattern score histogram resolution.
+	// 0 or 2 reproduces the paper's two-bucket model.
+	HistogramBuckets int
+	// EstimatedSelectivity switches the planner's join-cardinality source
+	// from exact counting (the paper's setting) to an independence-based
+	// estimate.
+	EstimatedSelectivity bool
+	// NaiveLimit caps the number of relaxed queries ModeNaive evaluates
+	// (0 = all of them).
+	NaiveLimit int
+}
+
+// Engine bundles a store, a rule set, the statistics catalog, the
+// speculative planner and the executors behind one façade. It is safe for
+// concurrent queries once the store is frozen.
+type Engine struct {
+	store   *Store
+	rules   *RuleSet
+	catalog *stats.Catalog
+	planner *planner.Planner
+	exec    *exec.Executor
+	opts    Options
+}
+
+// NewEngine builds an engine over a frozen store and a rule set with default
+// options.
+func NewEngine(st *Store, rules *RuleSet) *Engine {
+	return NewEngineWith(st, rules, Options{})
+}
+
+// NewEngineWith builds an engine with explicit options.
+func NewEngineWith(st *Store, rules *RuleSet, opts Options) *Engine {
+	if !st.Frozen() {
+		st.Freeze()
+	}
+	buckets := opts.HistogramBuckets
+	if buckets == 0 {
+		buckets = 2
+	}
+	var counter stats.Counter
+	if opts.EstimatedSelectivity {
+		counter = stats.EstimatedCounter{Store: st}
+	}
+	cat := stats.NewCatalog(st, buckets, counter)
+	return &Engine{
+		store:   st,
+		rules:   rules,
+		catalog: cat,
+		planner: planner.New(cat, rules),
+		exec:    exec.New(st, rules),
+		opts:    opts,
+	}
+}
+
+// Store returns the engine's triple store.
+func (e *Engine) Store() *Store { return e.store }
+
+// Rules returns the engine's rule set.
+func (e *Engine) Rules() *RuleSet { return e.rules }
+
+// ParseSPARQL parses a SPARQL-subset query against the engine's dictionary.
+func (e *Engine) ParseSPARQL(src string) (Query, error) {
+	pq, err := sparql.Parse(src, e.store.Dict())
+	if err != nil {
+		return Query{}, err
+	}
+	return pq.Query, nil
+}
+
+// PatternStats re-exports the paper's per-pattern precomputed statistics
+// {m, σr, Sr, Sm}.
+type PatternStats = stats.PatternStats
+
+// PatternStats computes the two-bucket statistics of a pattern's normalised
+// scores — the four values the paper precomputes per triple pattern.
+func (e *Engine) PatternStats(p Pattern) (PatternStats, error) {
+	return stats.FitTwoBucket(e.store.NormalizedScores(p))
+}
+
+// DefaultK is the top-k used by QuerySPARQL when the query has no LIMIT.
+const DefaultK = 10
+
+// QuerySPARQL parses and executes a SPARQL-subset query in one call. The
+// query's LIMIT clause selects k (DefaultK when absent).
+func (e *Engine) QuerySPARQL(src string, mode Mode) (Result, error) {
+	pq, err := sparql.Parse(src, e.store.Dict())
+	if err != nil {
+		return Result{}, err
+	}
+	k := pq.Limit
+	if k == 0 {
+		k = DefaultK
+	}
+	return e.Query(pq.Query, k, mode)
+}
+
+// PlanQuery runs the speculative planner without executing, for inspection.
+func (e *Engine) PlanQuery(q Query, k int) Plan {
+	return e.planner.Plan(q, k)
+}
+
+// Explain renders the planner's reasoning for a plan.
+func (e *Engine) Explain(p Plan) string { return e.planner.Explain(p) }
+
+// Query executes q for the top-k answers under the chosen mode.
+func (e *Engine) Query(q Query, k int, mode Mode) (Result, error) {
+	if k < 1 {
+		return Result{}, fmt.Errorf("specqp: k must be >= 1, got %d", k)
+	}
+	if len(q.Patterns) == 0 {
+		return Result{}, fmt.Errorf("specqp: empty query")
+	}
+	switch mode {
+	case ModeSpecQP:
+		return e.exec.SpecQP(e.planner, q, k), nil
+	case ModeTriniT:
+		return e.exec.TriniT(q, k), nil
+	case ModeNaive:
+		return e.exec.Naive(q, k, e.opts.NaiveLimit), nil
+	default:
+		return Result{}, fmt.Errorf("specqp: unknown mode %v", mode)
+	}
+}
+
+// QueryContext is Query with cancellation support for the operator-based
+// modes (ModeSpecQP, ModeTriniT): a cancelled context returns the partial
+// top-k gathered so far together with the context error. ModeNaive does not
+// support cancellation (it delegates to Query).
+func (e *Engine) QueryContext(ctx context.Context, q Query, k int, mode Mode) (Result, error) {
+	if k < 1 {
+		return Result{}, fmt.Errorf("specqp: k must be >= 1, got %d", k)
+	}
+	if len(q.Patterns) == 0 {
+		return Result{}, fmt.Errorf("specqp: empty query")
+	}
+	switch mode {
+	case ModeSpecQP:
+		return e.exec.SpecQPContext(ctx, e.planner, q, k)
+	case ModeTriniT:
+		return e.exec.TriniTContext(ctx, q, k)
+	case ModeNaive:
+		return e.Query(q, k, mode)
+	default:
+		return Result{}, fmt.Errorf("specqp: unknown mode %v", mode)
+	}
+}
+
+// DecodeAnswer renders an answer's bindings as variable→term strings.
+func (e *Engine) DecodeAnswer(q Query, a Answer) map[string]string {
+	vs := kg.NewVarSet(q)
+	out := make(map[string]string, vs.Len())
+	for i := 0; i < vs.Len(); i++ {
+		if a.Binding[i] != kg.NoID {
+			out[vs.Name(i)] = e.store.Dict().Decode(a.Binding[i])
+		}
+	}
+	return out
+}
