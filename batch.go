@@ -1,0 +1,83 @@
+package specqp
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// BatchResult pairs one query's execution result with its error, aligned by
+// index with the queries passed to QueryBatch.
+type BatchResult struct {
+	Result Result
+	Err    error
+}
+
+// QueryBatch executes queries concurrently on a bounded worker pool and
+// returns one BatchResult per query, in input order. All queries run with
+// the same k and mode. Concurrency is Options.BatchWorkers (GOMAXPROCS when
+// unset); ModeSpecQP queries share the engine's LRU plan cache, so batches
+// with recurring query shapes — the paper's workload of template-generated
+// queries — plan once per shape instead of once per query.
+//
+// Per-query failures (empty query, cancellation mid-batch) are reported in
+// the corresponding BatchResult.Err; the returned error is non-nil only for
+// batch-level misuse (k < 1). When ctx is cancelled, queries not yet started
+// fail fast with ctx.Err() and in-flight queries return their partial top-k
+// exactly like QueryContext.
+func (e *Engine) QueryBatch(ctx context.Context, queries []Query, k int, mode Mode) ([]BatchResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("specqp: k must be >= 1, got %d", k)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return results, nil
+	}
+	workers := e.opts.BatchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+
+	jobs := make(chan int, len(queries))
+	for qi := range queries {
+		jobs <- qi
+	}
+	close(jobs)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for qi := range jobs {
+				if err := ctx.Err(); err != nil {
+					results[qi].Err = err
+					continue
+				}
+				results[qi].Result, results[qi].Err = e.queryOne(ctx, queries[qi], k, mode)
+			}
+		}()
+	}
+	wg.Wait()
+	return results, nil
+}
+
+// queryOne executes a single query for QueryBatch. ModeSpecQP goes through
+// the plan cache; the other modes have no planning stage to share and
+// delegate to QueryContext.
+func (e *Engine) queryOne(ctx context.Context, q Query, k int, mode Mode) (Result, error) {
+	if len(q.Patterns) == 0 {
+		return Result{}, fmt.Errorf("specqp: empty query")
+	}
+	if mode != ModeSpecQP {
+		return e.QueryContext(ctx, q, k, mode)
+	}
+	return e.exec.SpecQPContext(ctx, e.plans, q, k)
+}

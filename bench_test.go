@@ -24,6 +24,7 @@ package specqp
 // the paper-sized configuration.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -308,6 +309,48 @@ func BenchmarkAblationRankJoin(b *testing.B) {
 			operators.DrainK(nj, 10)
 		}
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Batch query API: sequential Engine.Query against Engine.QueryBatch at
+// several pool widths, over the same workload. The ns/op ratio is the
+// multi-core speedup; the shared LRU plan cache additionally amortises
+// PLANGEN across the workload's recurring query shapes.
+
+func BenchmarkQueryBatch(b *testing.B) {
+	xkg, _ := benchDatasets(b)
+	queries := make([]Query, len(xkg.Queries))
+	for i, qs := range xkg.Queries {
+		queries[i] = qs.Query
+	}
+	b.Run("sequential", func(b *testing.B) {
+		eng := NewEngine(xkg.Store, xkg.Rules)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				if _, err := eng.Query(q, 10, ModeSpecQP); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := NewEngineWith(xkg.Store, xkg.Rules, Options{BatchWorkers: workers})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := eng.QueryBatch(context.Background(), queries, 10, ModeSpecQP)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -15,13 +15,16 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
+	"specqp"
 	"specqp/internal/datagen"
 	"specqp/internal/harness"
 	"specqp/internal/kg"
@@ -43,6 +46,7 @@ func main() {
 		buckets = flag.Int("buckets", 2, "histogram buckets (paper uses 2)")
 		csvDir  = flag.String("csv", "", "also write per-figure and per-outcome CSV files into this directory")
 		runs    = flag.Int("runs", 1, "measurement runs per query; 5 reproduces the paper's warm-cache protocol (average of the last 3)")
+		batch   = flag.Int("batch", 0, "also time the workload through Engine.QueryBatch with this many workers vs sequential Engine.Query (0 = skip)")
 	)
 	flag.Parse()
 
@@ -97,6 +101,9 @@ func main() {
 		if want("ablations") {
 			runAblations(ds)
 		}
+		if *batch > 0 {
+			runBatchComparison(ds, *batch)
+		}
 		if *csvDir != "" {
 			if err := writeCSVs(*csvDir, ds.Name, outs); err != nil {
 				log.Fatal(err)
@@ -136,6 +143,55 @@ func writeCSVs(dir, name string, outs []harness.Outcome) error {
 	return write(name+".by_relaxed.csv", func(w *os.File) error {
 		return harness.WriteFigureCSV(w, "relaxed", harness.FigureByRelaxed(outs))
 	})
+}
+
+// runBatchComparison times the dataset's whole query workload through
+// sequential Engine.Query and through Engine.QueryBatch with the given
+// worker count, printing wall-clock times and the resulting speedup. A
+// warm-up pass down each path first fills the store's match-list caches,
+// the statistics catalog and QueryBatch's plan cache (sequential Query has
+// no plan cache and replans every time), so the measured gap is what the
+// batch API actually buys: execution concurrency plus per-shape plan
+// amortisation.
+func runBatchComparison(ds *datagen.Dataset, workers int) {
+	eng := specqp.NewEngineWith(ds.Store, ds.Rules, specqp.Options{BatchWorkers: workers})
+	queries := make([]specqp.Query, len(ds.Queries))
+	for i, qs := range ds.Queries {
+		queries[i] = qs.Query
+	}
+	runSeq := func() time.Duration {
+		t0 := time.Now()
+		for _, q := range queries {
+			if _, err := eng.Query(q, 10, specqp.ModeSpecQP); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return time.Since(t0)
+	}
+	runBatch := func() time.Duration {
+		t0 := time.Now()
+		results, err := eng.QueryBatch(context.Background(), queries, 10, specqp.ModeSpecQP)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				log.Fatal(r.Err)
+			}
+		}
+		return time.Since(t0)
+	}
+	runSeq()   // warm match-list caches and the statistics catalog
+	runBatch() // warm the batch path's plan cache
+	seq := runSeq()
+	bat := runBatch()
+	speedup := 0.0
+	if bat > 0 {
+		speedup = float64(seq) / float64(bat)
+	}
+	fmt.Printf("Batch API — %d queries, %d workers (dataset %s):\n", len(queries), workers, ds.Name)
+	fmt.Printf("  %-12s %-12s %-8s\n", "sequential", "batch", "speedup")
+	fmt.Printf("  %-12v %-12v %.2fx\n", seq.Round(time.Microsecond), bat.Round(time.Microsecond), speedup)
 }
 
 // runAblations prints the three design-choice studies from DESIGN.md.

@@ -1,0 +1,3 @@
+module specqp
+
+go 1.24

@@ -48,7 +48,7 @@ func (ex *Executor) TriniTContext(ctx context.Context, q kg.Query, k int) (Resul
 // SpecQPContext is SpecQP with context support. Planning itself is not
 // interruptible (it is bounded by one exact join count plus histogram
 // convolutions); cancellation applies to execution.
-func (ex *Executor) SpecQPContext(ctx context.Context, pl *planner.Planner, q kg.Query, k int) (Result, error) {
+func (ex *Executor) SpecQPContext(ctx context.Context, pl PlanSource, q kg.Query, k int) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{Plan: planner.Plan{Query: q.Clone(), K: k}}, err
 	}

@@ -139,10 +139,16 @@ func (ex *Executor) TriniT(q kg.Query, k int) Result {
 	return ex.Run(planner.TriniTPlan(q, k))
 }
 
+// PlanSource is anything that yields a speculative plan for a query: a bare
+// planner.Planner or a planner.PlanCache.
+type PlanSource interface {
+	Plan(q kg.Query, k int) planner.Plan
+}
+
 // SpecQP plans q speculatively with pl and executes the resulting plan,
 // recording the planning time separately (the paper includes it in total
 // runtime; harness code reports PlanTime+ExecTime).
-func (ex *Executor) SpecQP(pl *planner.Planner, q kg.Query, k int) Result {
+func (ex *Executor) SpecQP(pl PlanSource, q kg.Query, k int) Result {
 	t0 := time.Now()
 	p := pl.Plan(q, k)
 	planTime := time.Since(t0)

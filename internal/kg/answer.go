@@ -196,15 +196,29 @@ func (st *Store) Evaluate(q Query) []Answer {
 }
 
 // Count returns the exact number of answers to q (join cardinality). It is
-// the "exact join selectivity" source the paper uses (footnote 3).
+// the "exact join selectivity" source the paper uses (footnote 3). Answers
+// are distinct variable bindings: duplicate (s,p,o) triples — retained in
+// the postings since the store keeps every addition — contribute multiple
+// derivations but one answer, matching Evaluate's DedupMax semantics.
 func (st *Store) Count(q Query) int {
 	vs := NewVarSet(q)
 	order := evalOrder(st, q)
+	// Without duplicate triples every derivation is a distinct binding, so
+	// counting stays allocation-free; only duplicate-bearing stores pay for
+	// the dedup map.
+	var seen map[string]bool
+	if st.hasDuplicates {
+		seen = make(map[string]bool)
+	}
 	n := 0
 	var rec func(step int, b Binding)
 	rec = func(step int, b Binding) {
 		if step == len(order) {
-			n++
+			if seen != nil {
+				seen[b.Key()] = true
+			} else {
+				n++
+			}
 			return
 		}
 		p := q.Patterns[order[step]]
@@ -215,6 +229,9 @@ func (st *Store) Count(q Query) int {
 		}
 	}
 	rec(0, NewBinding(vs.Len()))
+	if seen != nil {
+		return len(seen)
+	}
 	return n
 }
 

@@ -1,0 +1,81 @@
+package kg
+
+import "sync"
+
+// residualShards is the fan-out of the residual match-list cache. Sixteen
+// shards keep lock contention negligible at the concurrency levels the
+// engine runs at (a worker per core), while staying cheap to allocate per
+// store.
+const residualShards = 16
+
+// listCache is a sharded, single-flight cache for residual match lists —
+// the pattern shapes matchedByIndex cannot serve as a plain slice view
+// (S+O-bound intersections and repeated-variable filters). Keys hash to a
+// shard; within a shard the first goroutine to miss computes the list while
+// concurrent misses on the same key block on the entry's ready channel, so
+// every residual list is computed at most once per store lifetime.
+type listCache struct {
+	shards [residualShards]listShard
+}
+
+type listShard struct {
+	mu sync.Mutex
+	m  map[PatternKey]*listEntry
+}
+
+// listEntry is a cache slot. list is written exactly once, before ready is
+// closed; readers must receive on ready before touching list.
+type listEntry struct {
+	ready chan struct{}
+	list  []int32
+}
+
+func newListCache() *listCache {
+	c := &listCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[PatternKey]*listEntry)
+	}
+	return c
+}
+
+func (c *listCache) shard(k PatternKey) *listShard {
+	// Cheap multiplicative mix of the key's fields; the shard count is tiny
+	// so quality beyond "spreads distinct patterns" is wasted.
+	h := uint32(k.S)*0x9e3779b1 ^ uint32(k.P)*0x85ebca77 ^ uint32(k.O)*0xc2b2ae3d ^ uint32(k.Shape)
+	h ^= h >> 16
+	return &c.shards[h%residualShards]
+}
+
+// get returns the cached list for k, invoking compute at most once across
+// all concurrent callers of the same key (single-flight). compute runs
+// outside the shard lock, so a slow residual computation never blocks
+// lookups of other keys in the shard.
+func (c *listCache) get(k PatternKey, compute func() []int32) []int32 {
+	s := c.shard(k)
+	s.mu.Lock()
+	if e, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		<-e.ready
+		return e.list
+	}
+	e := &listEntry{ready: make(chan struct{})}
+	s.m[k] = e
+	s.mu.Unlock()
+	done := false
+	defer func() {
+		if !done {
+			// compute panicked: drop the poisoned entry so later calls
+			// retry instead of silently reading an empty list forever. The
+			// panic still propagates to the computing goroutine, and
+			// currently-blocked waiters are released (seeing the nil list
+			// of this one failed attempt).
+			s.mu.Lock()
+			delete(s.m, k)
+			s.mu.Unlock()
+		}
+		close(e.ready)
+	}()
+	e.list = compute()
+	done = true
+	return e.list
+}

@@ -1,0 +1,172 @@
+package kg
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// This file builds the store's posting families at Freeze time. Every
+// posting bucket — byS, byP, byO, byPO, bySP, bySPO — is sorted by raw score
+// descending (triple index ascending as tiebreak) exactly once, in parallel
+// across buckets, so that the read path can hand out slice views with no
+// locking, filtering or allocation. This is the paper's cost
+// model made literal: the database engine "retrieve[s] the matches for triple
+// patterns in sorted order", and the retrieval itself is free at query time.
+
+// buildPostings populates and sorts every posting family. Called by Freeze
+// exactly once, before the store is marked frozen.
+func (st *Store) buildPostings() {
+	for i, t := range st.triples {
+		ii := int32(i)
+		st.byS[t.S] = append(st.byS[t.S], ii)
+		st.byP[t.P] = append(st.byP[t.P], ii)
+		st.byO[t.O] = append(st.byO[t.O], ii)
+		st.byPO[[2]ID{t.P, t.O}] = append(st.byPO[[2]ID{t.P, t.O}], ii)
+		st.bySP[[2]ID{t.S, t.P}] = append(st.bySP[[2]ID{t.S, t.P}], ii)
+		k := [3]ID{t.S, t.P, t.O}
+		st.bySPO[k] = append(st.bySPO[k], ii)
+		if len(st.bySPO[k]) > 1 {
+			st.hasDuplicates = true
+		}
+	}
+
+	// Collect every bucket that actually needs sorting; singletons are
+	// trivially sorted already.
+	var buckets [][]int32
+	add := func(l []int32) {
+		if len(l) > 1 {
+			buckets = append(buckets, l)
+		}
+	}
+	for _, l := range st.byS {
+		add(l)
+	}
+	for _, l := range st.byP {
+		add(l)
+	}
+	for _, l := range st.byO {
+		add(l)
+	}
+	for _, l := range st.byPO {
+		add(l)
+	}
+	for _, l := range st.bySP {
+		add(l)
+	}
+	for _, l := range st.bySPO {
+		add(l)
+	}
+	st.sortBuckets(buckets)
+}
+
+// sortBuckets score-sorts the buckets with a worker pool. Buckets are
+// disjoint slices, so workers never touch the same memory.
+func (st *Store) sortBuckets(buckets [][]int32) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(buckets) {
+		workers = len(buckets)
+	}
+	if workers <= 1 {
+		for _, b := range buckets {
+			st.sortByScore(b)
+		}
+		return
+	}
+	jobs := make(chan []int32, len(buckets))
+	for _, b := range buckets {
+		jobs <- b
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range jobs {
+				st.sortByScore(b)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// sortByScore orders triple indexes by raw score descending, index ascending
+// on ties — the canonical match-list order everywhere in the store.
+func (st *Store) sortByScore(l []int32) {
+	sort.Slice(l, func(a, b int) bool {
+		ta, tb := st.triples[l[a]], st.triples[l[b]]
+		if ta.Score != tb.Score {
+			return ta.Score > tb.Score
+		}
+		return l[a] < l[b]
+	})
+}
+
+// matchedByIndex returns the Freeze-sorted posting that *is* the match list
+// of p: for these shapes the bound positions pin down the matches completely,
+// so the stored slice needs no filtering, sorting, locking or allocation.
+// ok is false for residual shapes — S+O bound (requires an intersection),
+// repeated-variable patterns (require a consistency filter), and full scans
+// (sorted lazily on first use, since most workloads never run one) — which
+// go through the sharded residual cache instead.
+func (st *Store) matchedByIndex(p Pattern) ([]int32, bool) {
+	sb, pb, ob := !p.S.IsVar, !p.P.IsVar, !p.O.IsVar
+	switch {
+	case sb && pb && ob:
+		return st.bySPO[[3]ID{p.S.ID, p.P.ID, p.O.ID}], true
+	case pb && ob:
+		return st.byPO[[2]ID{p.P.ID, p.O.ID}], true
+	case sb && pb:
+		return st.bySP[[2]ID{p.S.ID, p.P.ID}], true
+	case sb && ob:
+		return nil, false
+	case sb:
+		if p.P.Name == p.O.Name {
+			return nil, false
+		}
+		return st.byS[p.S.ID], true
+	case ob:
+		if p.S.Name == p.P.Name {
+			return nil, false
+		}
+		return st.byO[p.O.ID], true
+	case pb:
+		if p.S.Name == p.O.Name {
+			return nil, false
+		}
+		return st.byP[p.P.ID], true
+	default:
+		return nil, false
+	}
+}
+
+// candidates returns a sorted superset of the matches for p's bound
+// positions: the smallest applicable posting, or (nil, false) to signal a
+// full scan. Because every posting is score-sorted at Freeze, any
+// order-preserving filter over a candidate list yields a correctly sorted
+// match list.
+func (st *Store) candidates(p Pattern) ([]int32, bool) {
+	sb, pb, ob := !p.S.IsVar, !p.P.IsVar, !p.O.IsVar
+	switch {
+	case sb && pb && ob, pb && ob, sb && pb:
+		// At most one variable position: matchedByIndex resolves these
+		// shapes exactly, so share its lookup instead of repeating it.
+		return st.matchedByIndex(p)
+	case sb && ob:
+		// Intersect the two single-position postings, scanning the smaller.
+		a, b := st.byS[p.S.ID], st.byO[p.O.ID]
+		if len(b) < len(a) {
+			a = b
+		}
+		return a, true
+	case sb:
+		return st.byS[p.S.ID], true
+	case ob:
+		return st.byO[p.O.ID], true
+	case pb:
+		return st.byP[p.P.ID], true
+	default:
+		return nil, false
+	}
+}

@@ -3,17 +3,21 @@ package kg
 import (
 	"errors"
 	"fmt"
-	"sort"
-	"sync"
+	"sync/atomic"
 )
 
 // Store is an in-memory scored triple store. Triples are added with Add and
 // the store must be frozen with Freeze before querying. After Freeze the
 // store is safe for concurrent readers.
 //
-// Match lists for triple patterns are computed on first use, sorted by raw
-// score descending, and cached — mirroring the paper's setup where a database
-// engine "retrieve[s] the matches for triple patterns in sorted order".
+// Freeze builds every posting family pre-sorted by raw score descending
+// (triple index as tiebreak), mirroring the paper's setup where a database
+// engine "retrieve[s] the matches for triple patterns in sorted order". For
+// any pattern whose bound positions resolve to a single posting — fully
+// bound, (P,O), (S,P), or a single bound position without repeated variables
+// — MatchList is a lock-free, allocation-free slice view of that posting.
+// Only residual shapes (S+O-bound intersections, repeated-variable filters,
+// full scans) are computed lazily, behind a sharded single-flight cache.
 type Store struct {
 	dict    *Dict
 	triples []Triple
@@ -24,12 +28,19 @@ type Store struct {
 	// Composite indexes for the two most common access paths.
 	byPO map[[2]ID][]int32 // (P,O) bound: 〈?s p o〉
 	bySP map[[2]ID][]int32 // (S,P) bound: 〈s p ?o〉
-	// Existence index for fully bound lookups, mapping (S,P,O) to the index
-	// of the highest-scored triple with those terms.
-	bySPO map[[3]ID]int32
+	// Full index for fully bound lookups, mapping (S,P,O) to every triple
+	// with those terms — duplicate additions of the same (s,p,o) with
+	// different scores are all retained, score-sorted like every posting.
+	bySPO map[[3]ID][]int32
+	// hasDuplicates records at Freeze whether any (s,p,o) key was added more
+	// than once; Count only needs binding dedup in that case.
+	hasDuplicates bool
 
-	mu        sync.RWMutex
-	listCache map[PatternKey][]int32 // sorted-by-score-desc triple indexes
+	// residual caches match lists for patterns no posting serves directly.
+	residual *listCache
+	// residualComputes counts residual-list computations, for tests
+	// asserting the cache's single-flight guarantee.
+	residualComputes atomic.Int64
 }
 
 // NewStore returns an empty store using the given dictionary (or a fresh one
@@ -39,14 +50,14 @@ func NewStore(dict *Dict) *Store {
 		dict = NewDict()
 	}
 	return &Store{
-		dict:      dict,
-		byS:       make(map[ID][]int32),
-		byP:       make(map[ID][]int32),
-		byO:       make(map[ID][]int32),
-		byPO:      make(map[[2]ID][]int32),
-		bySP:      make(map[[2]ID][]int32),
-		bySPO:     make(map[[3]ID]int32),
-		listCache: make(map[PatternKey][]int32),
+		dict:     dict,
+		byS:      make(map[ID][]int32),
+		byP:      make(map[ID][]int32),
+		byO:      make(map[ID][]int32),
+		byPO:     make(map[[2]ID][]int32),
+		bySP:     make(map[[2]ID][]int32),
+		bySPO:    make(map[[3]ID][]int32),
+		residual: newListCache(),
 	}
 }
 
@@ -61,6 +72,9 @@ var ErrFrozen = errors.New("kg: store is frozen")
 
 // Add appends a scored triple. Scores must be non-negative; zero-scored
 // triples are legal but never contribute to top-k under the paper's model.
+// Duplicate (s,p,o) triples with different scores are all retained and all
+// appear in match lists; answer-level semantics collapse them via DedupMax
+// (Definition 8 keeps the maximum-score derivation).
 func (st *Store) Add(t Triple) error {
 	if st.frozen {
 		return ErrFrozen
@@ -82,24 +96,15 @@ func (st *Store) AddSPO(s, p, o string, score float64) error {
 	})
 }
 
-// Freeze builds the secondary indexes. Add must not be called afterwards.
-// Freeze is idempotent.
+// Freeze builds the score-sorted secondary indexes, parallelising the
+// per-bucket sorts across a worker pool. Add must not be called afterwards.
+// Freeze is idempotent but not itself safe for concurrent use; freeze from
+// one goroutine, then read from as many as you like.
 func (st *Store) Freeze() {
 	if st.frozen {
 		return
 	}
-	for i, t := range st.triples {
-		ii := int32(i)
-		st.byS[t.S] = append(st.byS[t.S], ii)
-		st.byP[t.P] = append(st.byP[t.P], ii)
-		st.byO[t.O] = append(st.byO[t.O], ii)
-		st.byPO[[2]ID{t.P, t.O}] = append(st.byPO[[2]ID{t.P, t.O}], ii)
-		st.bySP[[2]ID{t.S, t.P}] = append(st.bySP[[2]ID{t.S, t.P}], ii)
-		k := [3]ID{t.S, t.P, t.O}
-		if prev, ok := st.bySPO[k]; !ok || st.triples[prev].Score < t.Score {
-			st.bySPO[k] = ii
-		}
-	}
+	st.buildPostings()
 	st.frozen = true
 }
 
@@ -109,77 +114,43 @@ func (st *Store) Frozen() bool { return st.frozen }
 // Triple returns the triple at index i (as stored; indexes are stable).
 func (st *Store) Triple(i int32) Triple { return st.triples[i] }
 
-// candidates returns the smallest available index posting for the pattern's
-// bound positions, falling back to a full scan marker (nil, false).
-func (st *Store) candidates(p Pattern) ([]int32, bool) {
-	sb, pb, ob := !p.S.IsVar, !p.P.IsVar, !p.O.IsVar
-	switch {
-	case sb && pb && ob:
-		if i, ok := st.bySPO[[3]ID{p.S.ID, p.P.ID, p.O.ID}]; ok {
-			return []int32{i}, true
-		}
-		return nil, true
-	case pb && ob:
-		return st.byPO[[2]ID{p.P.ID, p.O.ID}], true
-	case sb && pb:
-		return st.bySP[[2]ID{p.S.ID, p.P.ID}], true
-	case sb && ob:
-		// Intersect the two single-position postings, scanning the smaller.
-		a, b := st.byS[p.S.ID], st.byO[p.O.ID]
-		if len(b) < len(a) {
-			a = b
-		}
-		return a, true
-	case sb:
-		return st.byS[p.S.ID], true
-	case ob:
-		return st.byO[p.O.ID], true
-	case pb:
-		return st.byP[p.P.ID], true
-	default:
-		return nil, false
-	}
-}
-
 // MatchList returns the indexes of triples matching p, sorted by raw score
-// descending (ties broken by triple index for determinism). The result is
-// cached and must not be mutated by callers.
+// descending (ties broken by triple index for determinism). For indexed
+// shapes this is a zero-allocation, lock-free view of a posting built at
+// Freeze; residual shapes are computed once and cached. The result must not
+// be mutated by callers.
 func (st *Store) MatchList(p Pattern) []int32 {
 	if !st.frozen {
 		panic("kg: MatchList before Freeze")
 	}
-	key := p.Key()
-	st.mu.RLock()
-	if l, ok := st.listCache[key]; ok {
-		st.mu.RUnlock()
+	if l, ok := st.matchedByIndex(p); ok {
 		return l
 	}
-	st.mu.RUnlock()
+	return st.residual.get(p.Key(), func() []int32 { return st.computeMatches(p) })
+}
 
-	cand, ok := st.candidates(p)
-	if !ok {
-		cand = make([]int32, len(st.triples))
-		for i := range cand {
-			cand[i] = int32(i)
-		}
-	}
+// computeMatches filters the smallest candidate posting down to the exact
+// match list. Candidate postings are score-sorted at Freeze and filtering
+// preserves order, so only the full-scan fallback — which walks triples in
+// insertion order — sorts its result.
+func (st *Store) computeMatches(p Pattern) []int32 {
+	st.residualComputes.Add(1)
 	var out []int32
+	cand, indexed := st.candidates(p)
+	if !indexed {
+		for i := range st.triples {
+			if p.Matches(st.triples[i]) {
+				out = append(out, int32(i))
+			}
+		}
+		st.sortByScore(out)
+		return out
+	}
 	for _, i := range cand {
 		if p.Matches(st.triples[i]) {
 			out = append(out, i)
 		}
 	}
-	sort.Slice(out, func(a, b int) bool {
-		ta, tb := st.triples[out[a]], st.triples[out[b]]
-		if ta.Score != tb.Score {
-			return ta.Score > tb.Score
-		}
-		return out[a] < out[b]
-	})
-
-	st.mu.Lock()
-	st.listCache[key] = out
-	st.mu.Unlock()
 	return out
 }
 
@@ -187,7 +158,9 @@ func (st *Store) MatchList(p Pattern) []int32 {
 func (st *Store) Cardinality(p Pattern) int { return len(st.MatchList(p)) }
 
 // MaxScore returns the maximum raw score among matches of p, or 0 if there
-// are no matches. Per Definition 5 this is the normalisation constant.
+// are no matches. Per Definition 5 this is the normalisation constant. Match
+// lists are score-sorted at Freeze, so this is an O(1) head lookup — no list
+// walk, no lock.
 func (st *Store) MaxScore(p Pattern) float64 {
 	l := st.MatchList(p)
 	if len(l) == 0 {
@@ -208,11 +181,15 @@ func (st *Store) NormalizedScore(p Pattern, t Triple) float64 {
 }
 
 // NormalizedScores returns the normalised score list for p, sorted
-// descending, aligned with MatchList(p).
+// descending, aligned with MatchList(p). The slice is freshly allocated and
+// owned by the caller.
 func (st *Store) NormalizedScores(p Pattern) []float64 {
 	l := st.MatchList(p)
 	out := make([]float64, len(l))
-	max := st.MaxScore(p)
+	if len(l) == 0 {
+		return out
+	}
+	max := st.triples[l[0]].Score
 	if max == 0 {
 		return out
 	}

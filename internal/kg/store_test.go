@@ -187,34 +187,23 @@ func TestMatchListAgainstBruteForce(t *testing.T) {
 		for pi := 0; pi < 20; pi++ {
 			p := NewPattern(randTerm(), randTerm(), randTerm())
 			got := st.MatchList(p)
-			fullyBound := !p.S.IsVar && !p.P.IsVar && !p.O.IsVar
+			// Every shape — including fully bound patterns, which keep all
+			// duplicate (s,p,o) additions — returns the complete match set
+			// in score-descending, index-ascending order.
 			want := 0
-			bestScore := -1.0
 			for i := 0; i < st.Len(); i++ {
 				if p.Matches(st.Triple(int32(i))) {
 					want++
-					if s := st.Triple(int32(i)).Score; s > bestScore {
-						bestScore = s
-					}
 				}
-			}
-			if fullyBound {
-				// The SPO existence index collapses duplicate triples to the
-				// highest-scored representative.
-				if want > 0 {
-					if len(got) != 1 {
-						t.Fatalf("fully bound list: got %d entries want 1", len(got))
-					}
-					if st.Triple(got[0]).Score != bestScore {
-						t.Fatalf("fully bound kept score %v want max %v", st.Triple(got[0]).Score, bestScore)
-					}
-				} else if len(got) != 0 {
-					t.Fatalf("fully bound: got %d matches want 0", len(got))
-				}
-				continue
 			}
 			if len(got) != want {
 				t.Fatalf("pattern %v: got %d matches want %d", p, len(got), want)
+			}
+			for i := 1; i < len(got); i++ {
+				a, b := st.Triple(got[i-1]), st.Triple(got[i])
+				if a.Score < b.Score || (a.Score == b.Score && got[i-1] >= got[i]) {
+					t.Fatalf("pattern %v: match list out of order at %d", p, i)
+				}
 			}
 		}
 	}

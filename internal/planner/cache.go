@@ -1,0 +1,143 @@
+package planner
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+
+	"specqp/internal/kg"
+)
+
+// ShapeKey returns a canonical key for (q, k): two queries share a key iff
+// they have the same constants in the same positions and the same
+// cross-pattern variable-sharing structure. Variable names are erased to
+// first-occurrence indexes, so 〈?x a b〉.〈?x c d〉 and 〈?y a b〉.〈?y c d〉 share
+// a key while 〈?x a b〉.〈?z c d〉 does not. PLANGEN's decisions depend only on
+// per-pattern statistics (keyed by constants) and the exact join count
+// (keyed by the join structure), so plans are identical within a shape
+// class.
+func ShapeKey(q kg.Query, k int) string {
+	var b strings.Builder
+	vars := map[string]int{}
+	term := func(t kg.Term) {
+		if t.IsVar {
+			i, ok := vars[t.Name]
+			if !ok {
+				i = len(vars)
+				vars[t.Name] = i
+			}
+			b.WriteByte('v')
+			b.WriteString(strconv.Itoa(i))
+		} else {
+			b.WriteByte('#')
+			b.WriteString(strconv.FormatUint(uint64(t.ID), 10))
+		}
+		b.WriteByte(' ')
+	}
+	for _, p := range q.Patterns {
+		term(p.S)
+		term(p.P)
+		term(p.O)
+		b.WriteByte('.')
+	}
+	b.WriteString("k=")
+	b.WriteString(strconv.Itoa(k))
+	return b.String()
+}
+
+// PlanCache memoises Planner.Plan behind a small LRU keyed by query shape.
+// It is safe for concurrent use; planning happens outside the lock, so a
+// slow PLANGEN run never blocks cache hits (two goroutines racing on the
+// same cold shape may both plan — the results are identical and one wins).
+type PlanCache struct {
+	pl       *Planner
+	capacity int
+
+	mu    sync.Mutex
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type planItem struct {
+	key  string
+	plan Plan
+}
+
+// DefaultPlanCacheSize is the LRU capacity when none is given.
+const DefaultPlanCacheSize = 128
+
+// NewPlanCache wraps pl with an LRU of the given capacity (<= 0 selects
+// DefaultPlanCacheSize).
+func NewPlanCache(pl *Planner, capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheSize
+	}
+	return &PlanCache{
+		pl:       pl,
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Planner returns the wrapped planner.
+func (c *PlanCache) Planner() *Planner { return c.pl }
+
+// Len reports the number of cached plans.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Plan returns the plan for q's shape, computing and caching it on a miss.
+// The returned plan carries the caller's own query (shape-equal queries may
+// use different variable names) and freshly copied slices, so callers may
+// mutate it — e.g. through Result.Plan — without corrupting the cache.
+func (c *PlanCache) Plan(q kg.Query, k int) Plan {
+	key := ShapeKey(q, k)
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		p := el.Value.(*planItem).plan
+		c.mu.Unlock()
+		return materialise(p, q)
+	}
+	c.mu.Unlock()
+
+	p := c.pl.Plan(q, k)
+
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		// Lost the race to another planner; keep the incumbent.
+		c.order.MoveToFront(el)
+	} else {
+		// Store a private copy: the plan about to be returned escapes to
+		// the caller, who is free to mutate it.
+		c.items[key] = c.order.PushFront(&planItem{key: key, plan: materialise(p, p.Query)})
+		if c.order.Len() > c.capacity {
+			last := c.order.Back()
+			c.order.Remove(last)
+			delete(c.items, last.Value.(*planItem).key)
+		}
+	}
+	c.mu.Unlock()
+	return p
+}
+
+// materialise returns a copy of plan p bound to query q, with its mutable
+// slices duplicated — including each decision's chain-rule patterns — so no
+// two copies share backing arrays.
+func materialise(p Plan, q kg.Query) Plan {
+	p.Query = q.Clone()
+	p.JoinGroup = append([]int(nil), p.JoinGroup...)
+	p.Singletons = append([]int(nil), p.Singletons...)
+	p.Decisions = append([]PatternDecision(nil), p.Decisions...)
+	for i := range p.Decisions {
+		if ch := p.Decisions[i].TopRule.Chain; ch != nil {
+			p.Decisions[i].TopRule.Chain = append([]kg.Pattern(nil), ch...)
+		}
+	}
+	return p
+}

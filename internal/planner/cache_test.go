@@ -1,0 +1,138 @@
+package planner
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"specqp/internal/kg"
+)
+
+func TestShapeKeyCanonicalisesVarNames(t *testing.T) {
+	a := kg.NewQuery(
+		kg.NewPattern(kg.Var("x"), kg.Const(1), kg.Const(2)),
+		kg.NewPattern(kg.Var("x"), kg.Const(3), kg.Const(4)),
+	)
+	b := kg.NewQuery(
+		kg.NewPattern(kg.Var("y"), kg.Const(1), kg.Const(2)),
+		kg.NewPattern(kg.Var("y"), kg.Const(3), kg.Const(4)),
+	)
+	if ShapeKey(a, 10) != ShapeKey(b, 10) {
+		t.Fatal("renamed variables must share a shape key")
+	}
+	// Breaking the cross-pattern sharing changes the join structure and must
+	// change the key even though per-pattern keys are identical.
+	c := kg.NewQuery(
+		kg.NewPattern(kg.Var("x"), kg.Const(1), kg.Const(2)),
+		kg.NewPattern(kg.Var("z"), kg.Const(3), kg.Const(4)),
+	)
+	if ShapeKey(a, 10) == ShapeKey(c, 10) {
+		t.Fatal("different variable sharing must not share a shape key")
+	}
+	if ShapeKey(a, 10) == ShapeKey(a, 20) {
+		t.Fatal("different k must not share a shape key")
+	}
+}
+
+func TestPlanCacheReturnsEquivalentPlans(t *testing.T) {
+	st, rules, pa, pb := planStore(t)
+	pl := newPlanner(st, rules)
+	cache := NewPlanCache(pl, 8)
+
+	q := kg.NewQuery(pa, pb)
+	direct := pl.Plan(q, 5)
+	cached1 := cache.Plan(q, 5)
+	cached2 := cache.Plan(q, 5)
+
+	if !reflect.DeepEqual(direct.JoinGroup, cached1.JoinGroup) ||
+		!reflect.DeepEqual(direct.Singletons, cached1.Singletons) {
+		t.Fatalf("cached plan differs: direct %v/%v cached %v/%v",
+			direct.JoinGroup, direct.Singletons, cached1.JoinGroup, cached1.Singletons)
+	}
+	if !reflect.DeepEqual(cached1.Singletons, cached2.Singletons) {
+		t.Fatal("second hit differs from first")
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache len: got %d want 1", cache.Len())
+	}
+
+	// A shape-equal query with renamed variables hits the same entry but
+	// carries its own query back out.
+	renamed := kg.NewQuery(
+		kg.NewPattern(kg.Var("other"), pa.P, pa.O),
+		kg.NewPattern(kg.Var("other"), pb.P, pb.O),
+	)
+	hit := cache.Plan(renamed, 5)
+	if cache.Len() != 1 {
+		t.Fatalf("renamed query missed the cache: len %d", cache.Len())
+	}
+	if hit.Query.Patterns[0].S.Name != "other" {
+		t.Fatalf("cached plan kept foreign variable name %q", hit.Query.Patterns[0].S.Name)
+	}
+	if !reflect.DeepEqual(hit.Singletons, cached1.Singletons) {
+		t.Fatal("renamed query got a different plan")
+	}
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	st, rules, pa, pb := planStore(t)
+	cache := NewPlanCache(newPlanner(st, rules), 2)
+	q1 := kg.NewQuery(pa)
+	q2 := kg.NewQuery(pb)
+	q3 := kg.NewQuery(pa, pb)
+
+	cache.Plan(q1, 5)
+	cache.Plan(q2, 5)
+	cache.Plan(q1, 5) // touch q1 so q2 is the LRU victim
+	cache.Plan(q3, 5) // evicts q2
+	if cache.Len() != 2 {
+		t.Fatalf("cache len: got %d want 2", cache.Len())
+	}
+	// Re-planning q1 and q3 must not grow the cache (still resident)…
+	cache.Plan(q1, 5)
+	cache.Plan(q3, 5)
+	if cache.Len() != 2 {
+		t.Fatalf("resident entries re-inserted: len %d", cache.Len())
+	}
+	// …while q2 was evicted and re-enters, evicting the new LRU.
+	cache.Plan(q2, 5)
+	if cache.Len() != 2 {
+		t.Fatalf("cache exceeded capacity: len %d", cache.Len())
+	}
+}
+
+func TestPlanCacheConcurrent(t *testing.T) {
+	st, rules, pa, pb := planStore(t)
+	cache := NewPlanCache(newPlanner(st, rules), 4)
+	ref := cache.Plan(kg.NewQuery(pa, pb), 5)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				v := kg.Var(fmt.Sprintf("v%d", (w+rep)%5)) // shape-equal renames
+				q := kg.NewQuery(
+					kg.NewPattern(v, pa.P, pa.O),
+					kg.NewPattern(v, pb.P, pb.O),
+				)
+				p := cache.Plan(q, 5)
+				if !reflect.DeepEqual(p.Singletons, ref.Singletons) {
+					errs <- fmt.Errorf("worker %d: plan diverged", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("shape-equal renames created %d entries, want 1", cache.Len())
+	}
+}

@@ -139,6 +139,11 @@ type Options struct {
 	// NaiveLimit caps the number of relaxed queries ModeNaive evaluates
 	// (0 = all of them).
 	NaiveLimit int
+	// BatchWorkers bounds QueryBatch's worker pool (0 = GOMAXPROCS).
+	BatchWorkers int
+	// PlanCacheSize is the capacity of the LRU plan cache QueryBatch uses
+	// for ModeSpecQP, keyed by query shape (0 = planner.DefaultPlanCacheSize).
+	PlanCacheSize int
 }
 
 // Engine bundles a store, a rule set, the statistics catalog, the
@@ -149,6 +154,7 @@ type Engine struct {
 	rules   *RuleSet
 	catalog *stats.Catalog
 	planner *planner.Planner
+	plans   *planner.PlanCache
 	exec    *exec.Executor
 	opts    Options
 }
@@ -173,11 +179,13 @@ func NewEngineWith(st *Store, rules *RuleSet, opts Options) *Engine {
 		counter = stats.EstimatedCounter{Store: st}
 	}
 	cat := stats.NewCatalog(st, buckets, counter)
+	pl := planner.New(cat, rules)
 	return &Engine{
 		store:   st,
 		rules:   rules,
 		catalog: cat,
-		planner: planner.New(cat, rules),
+		planner: pl,
+		plans:   planner.NewPlanCache(pl, opts.PlanCacheSize),
 		exec:    exec.New(st, rules),
 		opts:    opts,
 	}
