@@ -26,6 +26,7 @@ package specqp
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"testing"
 
@@ -166,11 +167,7 @@ func benchFigure(b *testing.B, ds *datagen.Dataset, byRelaxed bool) {
 		for g := range groups {
 			gkeys = append(gkeys, g)
 		}
-		for i := 1; i < len(gkeys); i++ {
-			for j := i; j > 0 && gkeys[j] < gkeys[j-1]; j-- {
-				gkeys[j], gkeys[j-1] = gkeys[j-1], gkeys[j]
-			}
-		}
+		sort.Ints(gkeys)
 		label := "tp"
 		if byRelaxed {
 			label = "relaxed"

@@ -21,6 +21,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -47,34 +49,84 @@ func main() {
 		csvDir  = flag.String("csv", "", "also write per-figure and per-outcome CSV files into this directory")
 		runs    = flag.Int("runs", 1, "measurement runs per query; 5 reproduces the paper's warm-cache protocol (average of the last 3)")
 		batch   = flag.Int("batch", 0, "also time the workload through Engine.QueryBatch with this many workers vs sequential Engine.Query (0 = skip)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file (go tool pprof)")
+		memProf = flag.String("memprofile", "", "write a heap profile taken at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
 
-	runXKG := *dataset == "xkg" || *dataset == "both"
-	runTwitter := *dataset == "twitter" || *dataset == "both"
+	// The experiment body runs inside run() so its profile-flushing defers
+	// execute on every exit path before main's log.Fatal can call os.Exit —
+	// a mid-run error must still leave usable -cpuprofile/-memprofile files.
+	if err := run(*exp, *dataset, *load, *csvDir, *cpuProf, *memProf, *seed, *scale, *buckets, *runs, *batch); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(exp, dataset, load, csvDir, cpuProf, memProf string, seed int64, scale float64, buckets, runs, batch int) error {
+	if cpuProf != "" {
+		f, err := os.Create(cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if memProf != "" {
+		// log.Printf, not a returned error: a heap-profile failure must not
+		// mask the run's own error, and the CPU profile still flushes.
+		defer func() {
+			f, err := os.Create(memProf)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise only live objects in the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}()
+	}
+
+	runXKG := dataset == "xkg" || dataset == "both"
+	runTwitter := dataset == "twitter" || dataset == "both"
 
 	var sets []*datagen.Dataset
 	if runXKG {
-		sets = append(sets, getDataset(*load, "xkg", func() (*datagen.Dataset, error) {
-			cfg := datagen.XKGConfig{Seed: *seed, Entities: int(20000 * *scale)}
+		ds, err := getDataset(load, "xkg", func() (*datagen.Dataset, error) {
+			cfg := datagen.XKGConfig{Seed: seed, Entities: int(20000 * scale)}
 			return datagen.XKG(cfg)
-		}))
+		})
+		if err != nil {
+			return err
+		}
+		sets = append(sets, ds)
 	}
 	if runTwitter {
-		sets = append(sets, getDataset(*load, "twitter", func() (*datagen.Dataset, error) {
-			cfg := datagen.TwitterConfig{Seed: *seed, Tweets: int(15000 * *scale)}
+		ds, err := getDataset(load, "twitter", func() (*datagen.Dataset, error) {
+			cfg := datagen.TwitterConfig{Seed: seed, Tweets: int(15000 * scale)}
 			return datagen.Twitter(cfg)
-		}))
+		})
+		if err != nil {
+			return err
+		}
+		sets = append(sets, ds)
 	}
 
 	for _, ds := range sets {
 		fmt.Printf("===== dataset %s: %d triples, %d rules, %d queries =====\n",
 			ds.Name, ds.Store.Len(), ds.Rules.Len(), len(ds.Queries))
-		r := harness.NewRunnerWith(ds, *buckets, nil, []int{10, 15, 20})
-		r.Runs = *runs
+		r := harness.NewRunnerWith(ds, buckets, nil, []int{10, 15, 20})
+		r.Runs = runs
 		outs := r.RunAll()
 
-		want := func(name string) bool { return *exp == "all" || *exp == name }
+		want := func(name string) bool { return exp == "all" || exp == name }
 		if want("table2") {
 			harness.PrintTable2(os.Stdout, ds.Name, harness.Table2(outs))
 		}
@@ -101,16 +153,19 @@ func main() {
 		if want("ablations") {
 			runAblations(ds)
 		}
-		if *batch > 0 {
-			runBatchComparison(ds, *batch)
+		if batch > 0 {
+			if err := runBatchComparison(ds, batch); err != nil {
+				return err
+			}
 		}
-		if *csvDir != "" {
-			if err := writeCSVs(*csvDir, ds.Name, outs); err != nil {
-				log.Fatal(err)
+		if csvDir != "" {
+			if err := writeCSVs(csvDir, ds.Name, outs); err != nil {
+				return err
 			}
 		}
 		fmt.Println()
 	}
+	return nil
 }
 
 // writeCSVs dumps the per-outcome table and both figure series for one
@@ -153,38 +208,48 @@ func writeCSVs(dir, name string, outs []harness.Outcome) error {
 // no plan cache and replans every time), so the measured gap is what the
 // batch API actually buys: execution concurrency plus per-shape plan
 // amortisation.
-func runBatchComparison(ds *datagen.Dataset, workers int) {
+func runBatchComparison(ds *datagen.Dataset, workers int) error {
 	eng := specqp.NewEngineWith(ds.Store, ds.Rules, specqp.Options{BatchWorkers: workers})
 	queries := make([]specqp.Query, len(ds.Queries))
 	for i, qs := range ds.Queries {
 		queries[i] = qs.Query
 	}
-	runSeq := func() time.Duration {
+	runSeq := func() (time.Duration, error) {
 		t0 := time.Now()
 		for _, q := range queries {
 			if _, err := eng.Query(q, 10, specqp.ModeSpecQP); err != nil {
-				log.Fatal(err)
+				return 0, err
 			}
 		}
-		return time.Since(t0)
+		return time.Since(t0), nil
 	}
-	runBatch := func() time.Duration {
+	runBatch := func() (time.Duration, error) {
 		t0 := time.Now()
 		results, err := eng.QueryBatch(context.Background(), queries, 10, specqp.ModeSpecQP)
 		if err != nil {
-			log.Fatal(err)
+			return 0, err
 		}
 		for _, r := range results {
 			if r.Err != nil {
-				log.Fatal(r.Err)
+				return 0, r.Err
 			}
 		}
-		return time.Since(t0)
+		return time.Since(t0), nil
 	}
-	runSeq()   // warm match-list caches and the statistics catalog
-	runBatch() // warm the batch path's plan cache
-	seq := runSeq()
-	bat := runBatch()
+	if _, err := runSeq(); err != nil { // warm match-list caches and the statistics catalog
+		return err
+	}
+	if _, err := runBatch(); err != nil { // warm the batch path's plan cache
+		return err
+	}
+	seq, err := runSeq()
+	if err != nil {
+		return err
+	}
+	bat, err := runBatch()
+	if err != nil {
+		return err
+	}
 	speedup := 0.0
 	if bat > 0 {
 		speedup = float64(seq) / float64(bat)
@@ -192,6 +257,7 @@ func runBatchComparison(ds *datagen.Dataset, workers int) {
 	fmt.Printf("Batch API — %d queries, %d workers (dataset %s):\n", len(queries), workers, ds.Name)
 	fmt.Printf("  %-12s %-12s %-8s\n", "sequential", "batch", "speedup")
 	fmt.Printf("  %-12v %-12v %.2fx\n", seq.Round(time.Microsecond), bat.Round(time.Microsecond), speedup)
+	return nil
 }
 
 // runAblations prints the three design-choice studies from DESIGN.md.
@@ -242,19 +308,11 @@ func timeDur(ns int64) interface{} {
 
 // getDataset loads a dataset triple/rule/query bundle from dir if given,
 // otherwise generates it.
-func getDataset(dir, name string, gen func() (*datagen.Dataset, error)) *datagen.Dataset {
+func getDataset(dir, name string, gen func() (*datagen.Dataset, error)) (*datagen.Dataset, error) {
 	if dir == "" {
-		ds, err := gen()
-		if err != nil {
-			log.Fatal(err)
-		}
-		return ds
+		return gen()
 	}
-	ds, err := loadDataset(dir, name)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return ds
+	return loadDataset(dir, name)
 }
 
 func loadDataset(dir, name string) (*datagen.Dataset, error) {

@@ -3,6 +3,7 @@ package datagen
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"specqp/internal/kg"
 	"specqp/internal/relax"
@@ -89,8 +90,16 @@ func Twitter(cfg TwitterConfig) (*Dataset, error) {
 			terms[t] = true
 		}
 		tid := dict.Encode(fmt.Sprintf("tweet:%d", tw))
+		// Iterate the term set in sorted order: map iteration order is
+		// random per process, and triple insertion order is the score-sort
+		// tiebreak, so ranging the map directly made match-list order — and
+		// with it top-k pull counts and the mem-objects metric — vary from
+		// run to run for the same seed.
 		for t := range terms {
 			tweetTerms[tw] = append(tweetTerms[tw], t)
+		}
+		sort.Ints(tweetTerms[tw])
+		for _, t := range tweetTerms[tw] {
 			if err := st.Add(kg.Triple{S: tid, P: hasTag, O: termIDs[t], Score: retweets[tw]}); err != nil {
 				return nil, err
 			}

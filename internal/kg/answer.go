@@ -84,9 +84,26 @@ func (b Binding) Merge(o Binding) Binding {
 	return m
 }
 
+// Compare orders bindings of equal length lexicographically by bound ID
+// (unbound NoID positions sort last, being the maximum uint32). It is the
+// allocation-free tie-break used by SortAnswers and the operators' result
+// heaps; Key() remains for cold paths that want a map-friendly string.
+func (b Binding) Compare(o Binding) int {
+	for i := range b {
+		if b[i] != o[i] {
+			if b[i] < o[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
 // Key returns a comparable string key for the bound positions (for
 // deduplication and hashing). Bindings of equal length produce equal keys
-// iff they bind the same values.
+// iff they bind the same values. It allocates per call; hot paths use
+// BindingKey via a Keyer instead.
 func (b Binding) Key() string {
 	buf := make([]byte, 0, len(b)*4)
 	for _, v := range b {
@@ -120,13 +137,13 @@ func (a Answer) String() string {
 }
 
 // SortAnswers orders answers by score descending, breaking ties by binding
-// key ascending for determinism.
+// order (Binding.Compare) ascending for determinism.
 func SortAnswers(as []Answer) {
 	sort.Slice(as, func(i, j int) bool {
 		if as[i].Score != as[j].Score {
 			return as[i].Score > as[j].Score
 		}
-		return as[i].Binding.Key() < as[j].Binding.Key()
+		return as[i].Binding.Compare(as[j].Binding) < 0
 	})
 }
 
@@ -205,17 +222,19 @@ func (st *Store) Count(q Query) int {
 	order := evalOrder(st, q)
 	// Without duplicate triples every derivation is a distinct binding, so
 	// counting stays allocation-free; only duplicate-bearing stores pay for
-	// the dedup map.
-	var seen map[string]bool
+	// the dedup map (integer-keyed via the packed-key scheme).
+	var seen map[BindingKey]bool
+	var keyer *Keyer
 	if st.hasDuplicates {
-		seen = make(map[string]bool)
+		seen = make(map[BindingKey]bool)
+		keyer = NewKeyer()
 	}
 	n := 0
 	var rec func(step int, b Binding)
 	rec = func(step int, b Binding) {
 		if step == len(order) {
 			if seen != nil {
-				seen[b.Key()] = true
+				seen[keyer.Key(b)] = true
 			} else {
 				n++
 			}

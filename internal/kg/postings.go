@@ -6,62 +6,146 @@ import (
 	"sync"
 )
 
-// This file builds the store's posting families at Freeze time. Every
-// posting bucket — byS, byP, byO, byPO, bySP, bySPO — is sorted by raw score
-// descending (triple index ascending as tiebreak) exactly once, in parallel
-// across buckets, so that the read path can hand out slice views with no
-// locking, filtering or allocation. This is the paper's cost
-// model made literal: the database engine "retrieve[s] the matches for triple
-// patterns in sorted order", and the retrieval itself is free at query time.
+// This file builds the store's posting families at Freeze time. All six
+// families — byS, byP, byO, byPO, bySP, bySPO — share one []int32 arena:
+// each family owns a contiguous region, each key a span (offset + length)
+// inside it, laid out with a counting pass so no per-key slice is ever
+// allocated or grown. Every span is sorted by raw score descending (triple
+// index ascending as tiebreak) exactly once, in parallel across spans, so
+// the read path hands out slice views with no locking, filtering or
+// allocation. This is the paper's cost model made literal: the database
+// engine "retrieve[s] the matches for triple patterns in sorted order", and
+// the retrieval itself is free at query time — and with the arena layout the
+// index costs a flat 4 bytes per triple per family, with no slice-header or
+// append-growth overhead on the millions of single-match keys a large graph
+// has.
+
+// Family indexes into Store.arenas.
+const (
+	famS = iota
+	famP
+	famO
+	famPO
+	famSP
+	famSPO
+	famCount
+)
+
+// span locates one posting inside its family's arena. Offsets are relative
+// to the family arena, which holds exactly one entry per triple — so int32
+// offsets cover every store whose triple indexes fit int32, the same
+// capacity as the old per-key-slice layout.
+type span struct {
+	off, n int32
+}
+
+// view returns the arena slice a span describes, capacity-clamped so caller
+// appends can never bleed into the neighbouring posting.
+func (st *Store) view(f int, s span) []int32 {
+	a := st.arenas[f]
+	return a[s.off : s.off+s.n : s.off+s.n]
+}
+
+// bump counts one occurrence of key k during the counting pass.
+func bump[K comparable](m map[K]span, k K) {
+	s := m[k]
+	s.n++
+	m[k] = s
+}
+
+// assignOffsets lays the family's keys out contiguously in its arena and
+// rewinds each count to zero so the fill pass can reuse it as a cursor.
+func assignOffsets[K comparable](m map[K]span) {
+	off := int32(0)
+	for k, s := range m {
+		m[k] = span{off: off}
+		off += s.n
+	}
+}
+
+// place writes triple index ti into k's next free arena slot.
+func place[K comparable](m map[K]span, k K, arena []int32, ti int32) {
+	s := m[k]
+	arena[s.off+s.n] = ti
+	s.n++
+	m[k] = s
+}
 
 // buildPostings populates and sorts every posting family. Called by Freeze
 // exactly once, before the store is marked frozen.
 func (st *Store) buildPostings() {
+	n := len(st.triples)
+	st.byS = make(map[ID]span)
+	st.byP = make(map[ID]span)
+	st.byO = make(map[ID]span)
+	st.byPO = make(map[[2]ID]span)
+	st.bySP = make(map[[2]ID]span)
+	st.bySPO = make(map[[3]ID]span, n)
+
+	for _, t := range st.triples {
+		bump(st.byS, t.S)
+		bump(st.byP, t.P)
+		bump(st.byO, t.O)
+		bump(st.byPO, [2]ID{t.P, t.O})
+		bump(st.bySP, [2]ID{t.S, t.P})
+		bump(st.bySPO, [3]ID{t.S, t.P, t.O})
+	}
+	// Fewer distinct (s,p,o) keys than triples means some key was added more
+	// than once; Count only needs binding dedup in that case.
+	st.hasDuplicates = len(st.bySPO) < n
+
+	backing := make([]int32, famCount*n)
+	for f := 0; f < famCount; f++ {
+		st.arenas[f] = backing[f*n : (f+1)*n : (f+1)*n]
+	}
+	assignOffsets(st.byS)
+	assignOffsets(st.byP)
+	assignOffsets(st.byO)
+	assignOffsets(st.byPO)
+	assignOffsets(st.bySP)
+	assignOffsets(st.bySPO)
+
 	for i, t := range st.triples {
 		ii := int32(i)
-		st.byS[t.S] = append(st.byS[t.S], ii)
-		st.byP[t.P] = append(st.byP[t.P], ii)
-		st.byO[t.O] = append(st.byO[t.O], ii)
-		st.byPO[[2]ID{t.P, t.O}] = append(st.byPO[[2]ID{t.P, t.O}], ii)
-		st.bySP[[2]ID{t.S, t.P}] = append(st.bySP[[2]ID{t.S, t.P}], ii)
-		k := [3]ID{t.S, t.P, t.O}
-		st.bySPO[k] = append(st.bySPO[k], ii)
-		if len(st.bySPO[k]) > 1 {
-			st.hasDuplicates = true
-		}
+		place(st.byS, t.S, st.arenas[famS], ii)
+		place(st.byP, t.P, st.arenas[famP], ii)
+		place(st.byO, t.O, st.arenas[famO], ii)
+		place(st.byPO, [2]ID{t.P, t.O}, st.arenas[famPO], ii)
+		place(st.bySP, [2]ID{t.S, t.P}, st.arenas[famSP], ii)
+		place(st.bySPO, [3]ID{t.S, t.P, t.O}, st.arenas[famSPO], ii)
 	}
 
-	// Collect every bucket that actually needs sorting; singletons are
+	// Collect every span that actually needs sorting; singletons are
 	// trivially sorted already.
 	var buckets [][]int32
-	add := func(l []int32) {
-		if len(l) > 1 {
-			buckets = append(buckets, l)
+	collect := func(f int, s span) {
+		if s.n > 1 {
+			buckets = append(buckets, st.view(f, s))
 		}
 	}
-	for _, l := range st.byS {
-		add(l)
+	for _, s := range st.byS {
+		collect(famS, s)
 	}
-	for _, l := range st.byP {
-		add(l)
+	for _, s := range st.byP {
+		collect(famP, s)
 	}
-	for _, l := range st.byO {
-		add(l)
+	for _, s := range st.byO {
+		collect(famO, s)
 	}
-	for _, l := range st.byPO {
-		add(l)
+	for _, s := range st.byPO {
+		collect(famPO, s)
 	}
-	for _, l := range st.bySP {
-		add(l)
+	for _, s := range st.bySP {
+		collect(famSP, s)
 	}
-	for _, l := range st.bySPO {
-		add(l)
+	for _, s := range st.bySPO {
+		collect(famSPO, s)
 	}
 	st.sortBuckets(buckets)
 }
 
 // sortBuckets score-sorts the buckets with a worker pool. Buckets are
-// disjoint slices, so workers never touch the same memory.
+// disjoint arena regions, so workers never touch the same memory.
 func (st *Store) sortBuckets(buckets [][]int32) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(buckets) {
@@ -105,7 +189,7 @@ func (st *Store) sortByScore(l []int32) {
 
 // matchedByIndex returns the Freeze-sorted posting that *is* the match list
 // of p: for these shapes the bound positions pin down the matches completely,
-// so the stored slice needs no filtering, sorting, locking or allocation.
+// so the arena span needs no filtering, sorting, locking or allocation.
 // ok is false for residual shapes — S+O bound (requires an intersection),
 // repeated-variable patterns (require a consistency filter), and full scans
 // (sorted lazily on first use, since most workloads never run one) — which
@@ -114,28 +198,28 @@ func (st *Store) matchedByIndex(p Pattern) ([]int32, bool) {
 	sb, pb, ob := !p.S.IsVar, !p.P.IsVar, !p.O.IsVar
 	switch {
 	case sb && pb && ob:
-		return st.bySPO[[3]ID{p.S.ID, p.P.ID, p.O.ID}], true
+		return st.view(famSPO, st.bySPO[[3]ID{p.S.ID, p.P.ID, p.O.ID}]), true
 	case pb && ob:
-		return st.byPO[[2]ID{p.P.ID, p.O.ID}], true
+		return st.view(famPO, st.byPO[[2]ID{p.P.ID, p.O.ID}]), true
 	case sb && pb:
-		return st.bySP[[2]ID{p.S.ID, p.P.ID}], true
+		return st.view(famSP, st.bySP[[2]ID{p.S.ID, p.P.ID}]), true
 	case sb && ob:
 		return nil, false
 	case sb:
 		if p.P.Name == p.O.Name {
 			return nil, false
 		}
-		return st.byS[p.S.ID], true
+		return st.view(famS, st.byS[p.S.ID]), true
 	case ob:
 		if p.S.Name == p.P.Name {
 			return nil, false
 		}
-		return st.byO[p.O.ID], true
+		return st.view(famO, st.byO[p.O.ID]), true
 	case pb:
 		if p.S.Name == p.O.Name {
 			return nil, false
 		}
-		return st.byP[p.P.ID], true
+		return st.view(famP, st.byP[p.P.ID]), true
 	default:
 		return nil, false
 	}
@@ -155,17 +239,17 @@ func (st *Store) candidates(p Pattern) ([]int32, bool) {
 		return st.matchedByIndex(p)
 	case sb && ob:
 		// Intersect the two single-position postings, scanning the smaller.
-		a, b := st.byS[p.S.ID], st.byO[p.O.ID]
-		if len(b) < len(a) {
-			a = b
+		a, fa := st.byS[p.S.ID], famS
+		if b := st.byO[p.O.ID]; b.n < a.n {
+			a, fa = b, famO
 		}
-		return a, true
+		return st.view(fa, a), true
 	case sb:
-		return st.byS[p.S.ID], true
+		return st.view(famS, st.byS[p.S.ID]), true
 	case ob:
-		return st.byO[p.O.ID], true
+		return st.view(famO, st.byO[p.O.ID]), true
 	case pb:
-		return st.byP[p.P.ID], true
+		return st.view(famP, st.byP[p.P.ID]), true
 	default:
 		return nil, false
 	}

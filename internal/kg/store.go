@@ -3,6 +3,7 @@ package kg
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 )
 
@@ -23,15 +24,21 @@ type Store struct {
 	triples []Triple
 	frozen  bool
 
-	// Secondary indexes from single bound positions to triple indexes.
-	byS, byP, byO map[ID][]int32
+	// arenas is the shared posting storage built at Freeze: one region per
+	// family below (slices of a single flat allocation), holding triple
+	// indexes addressed by the spans in the index maps. This replaces a
+	// slice header and growth slack per distinct key; per-family spans keep
+	// int32 offsets sufficient for any store whose triple indexes fit int32.
+	arenas [famCount][]int32
+	// Secondary indexes from single bound positions to posting spans.
+	byS, byP, byO map[ID]span
 	// Composite indexes for the two most common access paths.
-	byPO map[[2]ID][]int32 // (P,O) bound: 〈?s p o〉
-	bySP map[[2]ID][]int32 // (S,P) bound: 〈s p ?o〉
+	byPO map[[2]ID]span // (P,O) bound: 〈?s p o〉
+	bySP map[[2]ID]span // (S,P) bound: 〈s p ?o〉
 	// Full index for fully bound lookups, mapping (S,P,O) to every triple
 	// with those terms — duplicate additions of the same (s,p,o) with
 	// different scores are all retained, score-sorted like every posting.
-	bySPO map[[3]ID][]int32
+	bySPO map[[3]ID]span
 	// hasDuplicates records at Freeze whether any (s,p,o) key was added more
 	// than once; Count only needs binding dedup in that case.
 	hasDuplicates bool
@@ -49,14 +56,10 @@ func NewStore(dict *Dict) *Store {
 	if dict == nil {
 		dict = NewDict()
 	}
+	// The posting maps are built by Freeze (buildPostings), sized from the
+	// triple count; an unfrozen store has no readable indexes.
 	return &Store{
 		dict:     dict,
-		byS:      make(map[ID][]int32),
-		byP:      make(map[ID][]int32),
-		byO:      make(map[ID][]int32),
-		byPO:     make(map[[2]ID][]int32),
-		bySP:     make(map[[2]ID][]int32),
-		bySPO:    make(map[[3]ID][]int32),
 		residual: newListCache(),
 	}
 }
@@ -110,6 +113,12 @@ func (st *Store) Freeze() {
 
 // Frozen reports whether Freeze has been called.
 func (st *Store) Frozen() bool { return st.frozen }
+
+// HasDuplicates reports whether any (s,p,o) key was added more than once
+// (with the same or different scores). Determined at Freeze. Operators use
+// this to skip binding deduplication when a match list provably cannot
+// repeat a binding.
+func (st *Store) HasDuplicates() bool { return st.hasDuplicates }
 
 // Triple returns the triple at index i (as stored; indexes are stable).
 func (st *Store) Triple(i int32) Triple { return st.triples[i] }
@@ -212,16 +221,12 @@ func (st *Store) PatternString(p Pattern) string {
 
 // QueryString renders a query with decoded constants.
 func (st *Store) QueryString(q Query) string {
-	parts := make([]string, len(q.Patterns))
+	var b strings.Builder
 	for i, p := range q.Patterns {
-		parts[i] = st.PatternString(p)
-	}
-	s := ""
-	for i, part := range parts {
 		if i > 0 {
-			s += " . "
+			b.WriteString(" . ")
 		}
-		s += part
+		b.WriteString(st.PatternString(p))
 	}
-	return s
+	return b.String()
 }

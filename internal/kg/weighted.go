@@ -45,10 +45,11 @@ func (st *Store) EvaluateWeighted(q Query, weights []float64) []Answer {
 // is the maximum over derivations). Relaxed provenance masks of collapsed
 // answers follow the kept maximum.
 func DedupMax(as []Answer) []Answer {
-	best := make(map[string]int, len(as))
+	keyer := NewKeyer()
+	best := make(map[BindingKey]int, len(as))
 	out := as[:0]
 	for _, a := range as {
-		k := a.Binding.Key()
+		k := keyer.Key(a.Binding)
 		if i, ok := best[k]; ok {
 			if a.Score > out[i].Score {
 				out[i] = a

@@ -1,0 +1,120 @@
+package operators
+
+import (
+	"testing"
+
+	"specqp/internal/kg"
+)
+
+// dupFreeStore builds a store with no duplicate (s,p,o) triples, so scans
+// over patterns whose variables are all in the query's variable set qualify
+// for the dedup-free fast path.
+func dupFreeStore(t testing.TB) *kg.Store {
+	t.Helper()
+	st := kg.NewStore(nil)
+	for i := 0; i < 64; i++ {
+		s := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"}[i%8]
+		o := []string{"A", "B", "C", "D"}[(i/8)%4]
+		p := []string{"type", "likes"}[(i/32)%2]
+		if err := st.AddSPO(s, p, o, float64(100-i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Freeze()
+	if st.HasDuplicates() {
+		t.Fatal("test store unexpectedly has duplicate triples")
+	}
+	return st
+}
+
+// TestListScanNextZeroAllocs is the acceptance-criterion guard: on a
+// duplicate-free pattern, the scan's steady state (drain, reset, drain
+// again) performs zero heap allocations — the scratch binding, compiled
+// binder and slab arena leave nothing to allocate per candidate or per
+// emitted entry.
+func TestListScanNextZeroAllocs(t *testing.T) {
+	st := dupFreeStore(t)
+	ty, _ := st.Dict().Lookup("type")
+	pat := kg.NewPattern(kg.Var("s"), kg.Const(ty), kg.Var("o"))
+	vs := kg.NewVarSet(kg.NewQuery(pat))
+	s := NewListScan(st, vs, pat, 1, 0, nil)
+	// First pass sizes the arena slabs.
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		s.Reset()
+		for {
+			if _, ok := s.Next(); !ok {
+				return
+			}
+		}
+	}); allocs != 0 {
+		t.Fatalf("steady-state scan: %v allocs per drain, want 0", allocs)
+	}
+}
+
+// TestListScanDedupPathSteadyAllocs pins the dedup path too: a store with
+// duplicate triples needs the seen map, but after the first drain sizes map,
+// keyer and arena, resets stay allocation-free (packed keys, reused slabs).
+func TestListScanDedupPathSteadyAllocs(t *testing.T) {
+	st := kg.NewStore(nil)
+	for i := 0; i < 16; i++ {
+		if err := st.AddSPO("e", "type", []string{"A", "B"}[i%2], float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Freeze()
+	if !st.HasDuplicates() {
+		t.Fatal("test store should have duplicate triples")
+	}
+	ty, _ := st.Dict().Lookup("type")
+	pat := kg.NewPattern(kg.Var("s"), kg.Const(ty), kg.Var("o"))
+	vs := kg.NewVarSet(kg.NewQuery(pat))
+	s := NewListScan(st, vs, pat, 1, 0, nil)
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		s.Reset()
+		for {
+			if _, ok := s.Next(); !ok {
+				return
+			}
+		}
+	}); allocs != 0 {
+		t.Fatalf("steady-state dedup scan: %v allocs per drain, want 0", allocs)
+	}
+}
+
+// TestListScanSkipsDedupMap asserts the fast-path predicate itself: no seen
+// map on provably duplicate-free patterns, a seen map as soon as duplicates
+// or out-of-varset variables make one necessary.
+func TestListScanSkipsDedupMap(t *testing.T) {
+	st := dupFreeStore(t)
+	ty, _ := st.Dict().Lookup("type")
+	pat := kg.NewPattern(kg.Var("s"), kg.Const(ty), kg.Var("o"))
+	vs := kg.NewVarSet(kg.NewQuery(pat))
+	if s := NewListScan(st, vs, pat, 1, 0, nil); s.seen != nil {
+		t.Fatal("duplicate-free pattern should not carry a dedup map")
+	}
+	// A pattern variable outside the query's variable set collapses
+	// distinct triples onto one binding — dedup must be on.
+	fresh := kg.NewPattern(kg.Var("s"), kg.Const(ty), kg.Var("zzz_not_in_query"))
+	if s := NewListScan(st, vs, fresh, 1, 0, nil); s.seen == nil {
+		t.Fatal("out-of-varset variable requires the dedup map")
+	}
+	// Semantics stay correct: the fresh-var scan dedups to distinct subjects.
+	es := Drain(NewListScan(st, vs, fresh, 1, 0, nil))
+	subjects := map[kg.ID]bool{}
+	for _, e := range es {
+		if subjects[e.Binding[0]] {
+			t.Fatal("fresh-var scan emitted a duplicate binding")
+		}
+		subjects[e.Binding[0]] = true
+	}
+}

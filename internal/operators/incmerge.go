@@ -1,7 +1,9 @@
 package operators
 
 import (
-	"container/heap"
+	"fmt"
+
+	"specqp/internal/kg"
 )
 
 // IncrementalMerge folds one triple pattern's original match stream and the
@@ -13,15 +15,23 @@ import (
 // The implementation is a lazy k-way heap merge: each input advances only
 // when its current head is globally next, so lists whose relaxation weight is
 // low are barely read — this is exactly what makes TriniT cheaper than the
-// naive evaluate-everything baseline.
+// naive evaluate-everything baseline. Dedup is integer-keyed (packed
+// kg.BindingKeys) and the head heap is hand-rolled, so steady-state merging
+// allocates nothing beyond what the inputs themselves produce.
 type IncrementalMerge struct {
-	inputs  []Stream
-	heads   mergeHeap
-	seen    map[string]bool
-	counter *Counter
-	top     float64
-	last    float64
-	primed  bool
+	inputs []Stream
+	// nonResettable is the index of the first input that does not implement
+	// Resettable, or -1 when every input does (the invariant Reset needs).
+	// It is established at construction so a Reset on an unresettable merge
+	// fails with a diagnostic instead of a bare type-assertion panic.
+	nonResettable int
+	heads         []mergeHead
+	seen          map[kg.BindingKey]bool
+	keyer         *kg.Keyer
+	counter       *Counter
+	top           float64
+	last          float64
+	primed        bool
 }
 
 type mergeHead struct {
@@ -29,30 +39,32 @@ type mergeHead struct {
 	src   int
 }
 
-type mergeHeap []mergeHead
-
-func (h mergeHeap) Len() int { return len(h) }
-func (h mergeHeap) Less(i, j int) bool {
-	if h[i].entry.Score != h[j].entry.Score {
-		return h[i].entry.Score > h[j].entry.Score
+// heapLess orders heads by score descending with input index as tie-break.
+func (h mergeHead) heapLess(o mergeHead) bool {
+	if h.entry.Score != o.entry.Score {
+		return h.entry.Score > o.entry.Score
 	}
-	return h[i].src < h[j].src
-}
-func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeHead)) }
-func (h *mergeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	return h.src < o.src
 }
 
 // NewIncrementalMerge merges the given streams. Inputs must each be sorted by
 // score descending; stream 0 is conventionally the original pattern. The
 // counter records merged-entry creations.
 func NewIncrementalMerge(inputs []Stream, c *Counter) *IncrementalMerge {
-	return &IncrementalMerge{inputs: inputs, seen: make(map[string]bool), counter: c}
+	m := &IncrementalMerge{
+		inputs:        inputs,
+		nonResettable: -1,
+		seen:          make(map[kg.BindingKey]bool),
+		keyer:         kg.NewKeyer(),
+		counter:       c,
+	}
+	for i, in := range inputs {
+		if _, ok := in.(Resettable); !ok {
+			m.nonResettable = i
+			break
+		}
+	}
+	return m
 }
 
 func (m *IncrementalMerge) prime() {
@@ -62,10 +74,9 @@ func (m *IncrementalMerge) prime() {
 	m.primed = true
 	for i, in := range m.inputs {
 		if e, ok := in.Next(); ok {
-			m.heads = append(m.heads, mergeHead{entry: e, src: i})
+			heapPush(&m.heads, mergeHead{entry: e, src: i})
 		}
 	}
-	heap.Init(&m.heads)
 	if len(m.heads) > 0 {
 		m.top = m.heads[0].entry.Score
 	}
@@ -91,11 +102,11 @@ func (m *IncrementalMerge) Next() (Entry, bool) {
 		h := m.heads[0]
 		if e, ok := m.inputs[h.src].Next(); ok {
 			m.heads[0] = mergeHead{entry: e, src: h.src}
-			heap.Fix(&m.heads, 0)
+			heapFixRoot(m.heads)
 		} else {
-			heap.Pop(&m.heads)
+			heapPop(&m.heads)
 		}
-		key := h.entry.Binding.Key()
+		key := m.keyer.Key(h.entry.Binding)
 		if m.seen[key] {
 			continue
 		}
@@ -108,13 +119,26 @@ func (m *IncrementalMerge) Next() (Entry, bool) {
 	return Entry{}, false
 }
 
-// Reset implements Resettable when every input does.
+// CanReset reports whether every input implements Resettable — the
+// precondition of Reset.
+func (m *IncrementalMerge) CanReset() bool { return m.nonResettable < 0 }
+
+// Reset implements Resettable when every input does; check CanReset before
+// calling on merges built over arbitrary streams. Calling Reset on a merge
+// with a non-resettable input panics with a diagnostic identifying the
+// input, rather than an opaque type-assertion failure mid-restart.
 func (m *IncrementalMerge) Reset() {
+	if m.nonResettable >= 0 {
+		panic(fmt.Sprintf(
+			"operators: IncrementalMerge.Reset: input %d (%T) does not implement Resettable; the merge is resettable only when every input is",
+			m.nonResettable, m.inputs[m.nonResettable]))
+	}
 	for _, in := range m.inputs {
 		in.(Resettable).Reset()
 	}
-	m.heads = nil
-	m.seen = make(map[string]bool)
+	m.heads = m.heads[:0]
+	clear(m.seen)
+	m.keyer.Reset()
 	m.primed = false
 	m.last = 0
 }

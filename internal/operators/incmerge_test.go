@@ -3,6 +3,7 @@ package operators
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"specqp/internal/kg"
@@ -163,6 +164,47 @@ func TestIncrementalMergeReset(t *testing.T) {
 			t.Fatal("reset changed order")
 		}
 	}
+}
+
+// nonResettableStream is a Stream that deliberately lacks Reset.
+type nonResettableStream struct{ inner *sliceStream }
+
+func (s *nonResettableStream) Next() (Entry, bool) { return s.inner.Next() }
+func (s *nonResettableStream) TopScore() float64   { return s.inner.TopScore() }
+func (s *nonResettableStream) Bound() float64      { return s.inner.Bound() }
+
+// TestIncrementalMergeResetInvariant pins the constructor-established Reset
+// contract: CanReset reflects whether every input is Resettable, and Reset
+// on a merge with a non-resettable input fails with a diagnostic that names
+// the offending input instead of an opaque interface-conversion panic.
+func TestIncrementalMergeResetInvariant(t *testing.T) {
+	ok := NewIncrementalMerge([]Stream{
+		newSliceStream([]float64{1.0}, 0, 0, 1),
+		newSliceStream([]float64{0.5}, 10, 0, 1),
+	}, nil)
+	if !ok.CanReset() {
+		t.Fatal("all-resettable merge must report CanReset")
+	}
+	ok.Reset() // must not panic
+
+	bad := NewIncrementalMerge([]Stream{
+		newSliceStream([]float64{1.0}, 0, 0, 1),
+		&nonResettableStream{inner: newSliceStream([]float64{0.5}, 10, 0, 1)},
+	}, nil)
+	if bad.CanReset() {
+		t.Fatal("merge with non-resettable input must not report CanReset")
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Reset on non-resettable merge must panic")
+		}
+		msg, isString := r.(string)
+		if !isString || !strings.Contains(msg, "input 1") || !strings.Contains(msg, "Resettable") {
+			t.Fatalf("panic message not diagnostic: %v", r)
+		}
+	}()
+	bad.Reset()
 }
 
 func TestIncrementalMergeRandomisedOrderInvariant(t *testing.T) {

@@ -1,7 +1,7 @@
 package operators
 
 import (
-	"container/heap"
+	"specqp/internal/kg"
 )
 
 // NRJN is the Nested-loops Rank Join variant (Ilyas et al., VLDB 2003): like
@@ -9,7 +9,8 @@ import (
 // bound, but it stores no hash tables — whenever an outer entry arrives, the
 // inner stream is re-scanned from the start. It trades memory (no stored
 // inputs) for repeated inner scans, and is included as the rank-join
-// strategy ablation.
+// strategy ablation. Join-key comparison and emitted-binding dedup use
+// packed kg.BindingKeys; merged bindings come from a slab arena.
 //
 // The inner input must be Resettable.
 type NRJN struct {
@@ -18,22 +19,27 @@ type NRJN struct {
 	joinVars []int
 	counter  *Counter
 
-	queue   resultHeap
-	emitted map[string]bool
-	done    bool
-	top     float64
-	last    float64
-	primed  bool
+	joinKeyer *kg.Keyer
+	emitKeyer *kg.Keyer
+	arena     bindingArena
+	queue     []Entry
+	emitted   map[kg.BindingKey]bool
+	done      bool
+	top       float64
+	last      float64
+	primed    bool
 }
 
 // NewNRJN builds a nested-loops rank join of outer with inner.
 func NewNRJN(outer Stream, inner Resettable, joinVars []int, c *Counter) *NRJN {
 	return &NRJN{
-		outer:    outer,
-		inner:    inner,
-		joinVars: joinVars,
-		counter:  c,
-		emitted:  make(map[string]bool),
+		outer:     outer,
+		inner:     inner,
+		joinVars:  joinVars,
+		counter:   c,
+		joinKeyer: kg.NewProjKeyer(joinVars),
+		emitKeyer: kg.NewKeyer(),
+		emitted:   make(map[kg.BindingKey]bool),
 	}
 }
 
@@ -78,22 +84,22 @@ func (n *NRJN) step() bool {
 		n.done = true
 		return false
 	}
-	key := joinKeyOf(o, n.joinVars)
+	key := n.joinKeyer.Key(o.Binding)
 	n.inner.Reset()
 	for {
 		ie, ok := n.inner.Next()
 		if !ok {
 			break
 		}
-		if joinKeyOf(ie, n.joinVars) != key {
+		if n.joinKeyer.Key(ie.Binding) != key {
 			continue
 		}
 		if !o.Binding.CompatibleWith(ie.Binding) {
 			continue
 		}
 		n.counter.Inc()
-		heap.Push(&n.queue, Entry{
-			Binding: o.Binding.Merge(ie.Binding),
+		heapPush(&n.queue, Entry{
+			Binding: n.arena.merge(o.Binding, ie.Binding),
 			Score:   o.Score + ie.Score,
 			Relaxed: o.Relaxed | ie.Relaxed,
 		})
@@ -106,8 +112,8 @@ func (n *NRJN) Next() (Entry, bool) {
 	n.prime()
 	for {
 		if len(n.queue) > 0 && n.queue[0].Score >= n.threshold()-1e-12 {
-			e := heap.Pop(&n.queue).(Entry)
-			k := e.Binding.Key()
+			e := heapPop(&n.queue)
+			k := n.emitKeyer.Key(e.Binding)
 			if n.emitted[k] {
 				continue
 			}
@@ -117,8 +123,8 @@ func (n *NRJN) Next() (Entry, bool) {
 		}
 		if n.done {
 			for len(n.queue) > 0 {
-				e := heap.Pop(&n.queue).(Entry)
-				k := e.Binding.Key()
+				e := heapPop(&n.queue)
+				k := n.emitKeyer.Key(e.Binding)
 				if n.emitted[k] {
 					continue
 				}
@@ -131,13 +137,4 @@ func (n *NRJN) Next() (Entry, bool) {
 		}
 		n.step()
 	}
-}
-
-func joinKeyOf(e Entry, joinVars []int) string {
-	buf := make([]byte, 0, len(joinVars)*4)
-	for _, v := range joinVars {
-		id := e.Binding[v]
-		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
-	}
-	return string(buf)
 }

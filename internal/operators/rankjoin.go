@@ -1,7 +1,7 @@
 package operators
 
 import (
-	"container/heap"
+	"sort"
 
 	"specqp/internal/kg"
 )
@@ -15,14 +15,24 @@ import (
 //
 // allows (Ilyas et al.). Hash tables on the join key hold the entries seen so
 // far; a priority queue buffers join results until they are provably final.
+// All per-entry bookkeeping is integer-keyed: join keys and emitted-binding
+// keys are packed kg.BindingKeys, merged bindings come from a slab arena, and
+// the result queue is a hand-rolled heap — so the join itself allocates only
+// for table/queue growth, never per probe.
 type RankJoin struct {
 	left, right Stream
 	joinVars    []int // variable indexes bound on both sides
 	counter     *Counter
 
-	leftTab, rightTab map[string][]Entry
-	queue             resultHeap
-	emitted           map[string]bool
+	// joinKeyer keys the joinVars projection and is shared by both tables so
+	// left and right entries probe each other; emitKeyer keys whole merged
+	// bindings for final dedup.
+	joinKeyer         *kg.Keyer
+	emitKeyer         *kg.Keyer
+	arena             bindingArena
+	leftTab, rightTab map[kg.BindingKey][]Entry
+	queue             []Entry
+	emitted           map[kg.BindingKey]bool
 	leftDone          bool
 	rightDone         bool
 	pullLeft          bool // alternation state
@@ -31,36 +41,19 @@ type RankJoin struct {
 	primed            bool
 }
 
-type resultHeap []Entry
-
-func (h resultHeap) Len() int { return len(h) }
-func (h resultHeap) Less(i, j int) bool {
-	if h[i].Score != h[j].Score {
-		return h[i].Score > h[j].Score
-	}
-	return h[i].Binding.Key() < h[j].Binding.Key()
-}
-func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Entry)) }
-func (h *resultHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
-
 // NewRankJoin joins left and right on the given shared variable indexes
 // (indexes into the query's VarSet; compute them with JoinVars).
 func NewRankJoin(left, right Stream, joinVars []int, c *Counter) *RankJoin {
 	return &RankJoin{
-		left:     left,
-		right:    right,
-		joinVars: joinVars,
-		counter:  c,
-		leftTab:  make(map[string][]Entry),
-		rightTab: make(map[string][]Entry),
-		emitted:  make(map[string]bool),
+		left:      left,
+		right:     right,
+		joinVars:  joinVars,
+		counter:   c,
+		joinKeyer: kg.NewProjKeyer(joinVars),
+		emitKeyer: kg.NewKeyer(),
+		leftTab:   make(map[kg.BindingKey][]Entry),
+		rightTab:  make(map[kg.BindingKey][]Entry),
+		emitted:   make(map[kg.BindingKey]bool),
 	}
 }
 
@@ -73,23 +66,8 @@ func JoinVars(left, right map[int]bool) []int {
 			out = append(out, v)
 		}
 	}
-	// Deterministic order.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Ints(out) // deterministic order
 	return out
-}
-
-// joinKey extracts the join-key string from an entry's binding.
-func (rj *RankJoin) joinKey(e Entry) string {
-	buf := make([]byte, 0, len(rj.joinVars)*4)
-	for _, v := range rj.joinVars {
-		id := e.Binding[v]
-		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
-	}
-	return string(buf)
 }
 
 // threshold computes the HRJN corner bound on unseen join results. Every
@@ -173,7 +151,7 @@ func (rj *RankJoin) pullOne() bool {
 			rj.leftDone = true
 			return !rj.rightDone
 		}
-		key := rj.joinKey(e)
+		key := rj.joinKeyer.Key(e.Binding)
 		rj.leftTab[key] = append(rj.leftTab[key], e)
 		for _, o := range rj.rightTab[key] {
 			rj.enqueue(e, o)
@@ -184,7 +162,7 @@ func (rj *RankJoin) pullOne() bool {
 			rj.rightDone = true
 			return !rj.leftDone
 		}
-		key := rj.joinKey(e)
+		key := rj.joinKeyer.Key(e.Binding)
 		rj.rightTab[key] = append(rj.rightTab[key], e)
 		for _, o := range rj.leftTab[key] {
 			rj.enqueue(o, e)
@@ -198,12 +176,12 @@ func (rj *RankJoin) enqueue(l, r Entry) {
 		return
 	}
 	joined := Entry{
-		Binding: l.Binding.Merge(r.Binding),
+		Binding: rj.arena.merge(l.Binding, r.Binding),
 		Score:   l.Score + r.Score,
 		Relaxed: l.Relaxed | r.Relaxed,
 	}
 	rj.counter.Inc()
-	heap.Push(&rj.queue, joined)
+	heapPush(&rj.queue, joined)
 }
 
 // Next implements Stream.
@@ -211,8 +189,8 @@ func (rj *RankJoin) Next() (Entry, bool) {
 	rj.prime()
 	for {
 		if len(rj.queue) > 0 && rj.queue[0].Score >= rj.threshold()-1e-12 {
-			e := heap.Pop(&rj.queue).(Entry)
-			key := e.Binding.Key()
+			e := heapPop(&rj.queue)
+			key := rj.emitKeyer.Key(e.Binding)
 			if rj.emitted[key] {
 				continue
 			}
@@ -223,8 +201,8 @@ func (rj *RankJoin) Next() (Entry, bool) {
 		if !rj.pullOne() {
 			// Inputs exhausted: flush the queue.
 			for len(rj.queue) > 0 {
-				e := heap.Pop(&rj.queue).(Entry)
-				key := e.Binding.Key()
+				e := heapPop(&rj.queue)
+				key := rj.emitKeyer.Key(e.Binding)
 				if rj.emitted[key] {
 					continue
 				}

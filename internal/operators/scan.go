@@ -6,25 +6,54 @@ import (
 
 // ListScan streams the matches of a single triple pattern in descending
 // normalised-score order, optionally weighted by a relaxation rule's weight
-// and tagged with the relaxed-pattern bit. It deduplicates bindings (two
-// identical triples with different raw scores keep the higher, which comes
-// first in the sorted list).
+// and tagged with the relaxed-pattern bit. It deduplicates bindings when —
+// and only when — duplicates are possible (two identical triples with
+// different raw scores keep the higher, which comes first in the sorted
+// list); patterns that provably cannot repeat a binding skip the dedup map
+// entirely.
+//
+// The scan binds each candidate triple into a reusable scratch binding and
+// clones — from a slab arena — only on emit, so non-matching candidates and
+// dedup-suppressed repeats cost zero allocations, and emits amortise to one
+// allocation per arenaChunkEntries entries.
 type ListScan struct {
 	store   *kg.Store
-	vs      *kg.VarSet
-	pattern kg.Pattern
 	weight  float64
 	mask    uint32
 	counter *Counter
 
-	list   []int32
-	max    float64
-	pos    int
-	seen   map[string]bool
-	last   float64
-	primed bool
-	top    float64
+	list []int32
+	max  float64
+	pos  int
+
+	// Compiled binder: one slot per pattern position, resolved against the
+	// variable set once at construction so Next never does a map lookup.
+	slots   [3]bindSlot
+	touched []int      // distinct variable indexes this pattern binds
+	scratch kg.Binding // reused across candidates; cloned only on emit
+	arena   bindingArena
+
+	// seen is nil when the pattern provably cannot produce duplicate
+	// bindings: the store holds no duplicate (s,p,o) triples and every
+	// position is a constant or a variable of the query's variable set (so
+	// any two distinct triples differ in some captured position).
+	seen  map[kg.BindingKey]bool
+	keyer *kg.Keyer
+
+	last float64
+	top  float64
 }
+
+// bindSlot is the compiled form of one pattern position.
+type bindSlot struct {
+	varIdx  int   // ≥0: scratch slot to bind; slotConst / slotIgnore otherwise
+	constID kg.ID // constant to match, when varIdx == slotConst
+}
+
+const (
+	slotConst  = -1 // position is a constant term
+	slotIgnore = -2 // variable outside the query's variable set
+)
 
 // NewListScan builds a scan over pattern p. weight scales normalised scores
 // (use 1 for the original pattern, the rule weight for a relaxation). mask is
@@ -33,14 +62,48 @@ type ListScan struct {
 func NewListScan(store *kg.Store, vs *kg.VarSet, p kg.Pattern, weight float64, mask uint32, c *Counter) *ListScan {
 	s := &ListScan{
 		store:   store,
-		vs:      vs,
-		pattern: p,
 		weight:  weight,
 		mask:    mask,
 		counter: c,
 		list:    store.MatchList(p),
 		max:     store.MaxScore(p),
-		seen:    make(map[string]bool),
+		scratch: kg.NewBinding(vs.Len()),
+	}
+	dedup := store.HasDuplicates()
+	for i, term := range [3]kg.Term{p.S, p.P, p.O} {
+		switch {
+		case !term.IsVar:
+			s.slots[i] = bindSlot{varIdx: slotConst, constID: term.ID}
+		default:
+			vi := vs.Index(term.Name)
+			if vi < 0 {
+				// Variable not part of the query's variable set (e.g. a
+				// relaxation introduced a fresh variable name): the binding
+				// carries only query variables, so two triples differing
+				// only here collapse to one binding — dedup is required.
+				s.slots[i] = bindSlot{varIdx: slotIgnore}
+				dedup = true
+				continue
+			}
+			s.slots[i] = bindSlot{varIdx: vi}
+			known := false
+			for _, t := range s.touched {
+				if t == vi {
+					known = true
+					break
+				}
+			}
+			if !known {
+				s.touched = append(s.touched, vi)
+			}
+		}
+	}
+	if dedup {
+		s.seen = make(map[kg.BindingKey]bool)
+		// Key only the slots this pattern binds — every other position is
+		// NoID in all of the scan's bindings — so patterns of ≤2 variables
+		// stay on the packed, allocation-free path.
+		s.keyer = kg.NewProjKeyer(s.touched)
 	}
 	if len(s.list) > 0 && s.max > 0 {
 		s.top = weight * store.Triple(s.list[0]).Score / s.max
@@ -55,64 +118,68 @@ func (s *ListScan) TopScore() float64 { return s.top }
 // Bound implements Stream.
 func (s *ListScan) Bound() float64 { return s.last }
 
+// bind matches t against the compiled pattern, writing variable values into
+// the scratch binding. It returns false when a constant mismatches or a
+// repeated variable binds inconsistently.
+func (s *ListScan) bind(t kg.Triple) bool {
+	for _, vi := range s.touched {
+		s.scratch[vi] = kg.NoID
+	}
+	vals := [3]kg.ID{t.S, t.P, t.O}
+	for i, sl := range s.slots {
+		v := vals[i]
+		switch sl.varIdx {
+		case slotConst:
+			if sl.constID != v {
+				return false
+			}
+		case slotIgnore:
+			// Fresh variable: matches anything, captured nowhere.
+		default:
+			if s.scratch[sl.varIdx] != kg.NoID && s.scratch[sl.varIdx] != v {
+				return false
+			}
+			s.scratch[sl.varIdx] = v
+		}
+	}
+	return true
+}
+
 // Next implements Stream.
 func (s *ListScan) Next() (Entry, bool) {
 	for s.pos < len(s.list) {
 		t := s.store.Triple(s.list[s.pos])
 		s.pos++
-		b := kg.NewBinding(s.vs.Len())
-		nb, ok := bindTriple(s.vs, s.pattern, t, b)
-		if !ok {
+		if !s.bind(t) {
 			continue
 		}
-		key := nb.Key()
-		if s.seen[key] {
-			continue
+		if s.seen != nil {
+			key := s.keyer.Key(s.scratch)
+			if s.seen[key] {
+				continue
+			}
+			s.seen[key] = true
 		}
-		s.seen[key] = true
 		score := 0.0
 		if s.max > 0 {
 			score = s.weight * t.Score / s.max
 		}
 		s.last = score
 		s.counter.Inc()
-		return Entry{Binding: nb, Score: score, Relaxed: s.mask}, true
+		return Entry{Binding: s.arena.clone(s.scratch), Score: score, Relaxed: s.mask}, true
 	}
 	s.last = 0
 	return Entry{}, false
 }
 
-// Reset implements Resettable.
+// Reset implements Resettable. It invalidates entries previously returned by
+// Next: their bindings are reused by the next pass over the list.
 func (s *ListScan) Reset() {
 	s.pos = 0
-	s.seen = make(map[string]bool)
 	s.last = s.top
-}
-
-// bindTriple extends binding b with the variable assignments implied by
-// matching t against p. It returns false when a constant mismatches or a
-// repeated variable binds inconsistently.
-func bindTriple(vs *kg.VarSet, p kg.Pattern, t kg.Triple, b kg.Binding) (kg.Binding, bool) {
-	nb := b.Clone()
-	set := func(term kg.Term, v kg.ID) bool {
-		if !term.IsVar {
-			return term.ID == v
-		}
-		i := vs.Index(term.Name)
-		if i < 0 {
-			// Variable not part of the query's variable set (e.g. a
-			// relaxation introduced a fresh variable name): ignore it, the
-			// binding carries only query variables.
-			return true
-		}
-		if nb[i] != kg.NoID {
-			return nb[i] == v
-		}
-		nb[i] = v
-		return true
+	s.arena.reset()
+	if s.seen != nil {
+		clear(s.seen)
+		s.keyer.Reset()
 	}
-	if set(p.S, t.S) && set(p.P, t.P) && set(p.O, t.O) {
-		return nb, true
-	}
-	return nil, false
 }
