@@ -26,6 +26,7 @@ package specqp
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -334,6 +335,101 @@ func BenchmarkQueryBatch(b *testing.B) {
 	for _, workers := range []int{2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			eng := NewEngineWith(xkg.Store, xkg.Rules, Options{BatchWorkers: workers})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := eng.QueryBatch(context.Background(), queries, 10, ModeSpecQP)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sharded execution: the Figure 6 workload (XKG queries, k ∈ {10}) per store
+// layout. shards=1 is the flat baseline and must match the unsharded ns/op
+// and allocs/op; shards=GOMAXPROCS is the multi-core configuration — on a
+// multi-core runner its ns/op drop is the sharding speedup (answers are
+// bit-identical across the ladder, see TestShardedEnginesBitIdentical).
+
+func shardedBenchCounts() []int {
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	} else {
+		// Single-core runner: still exercise the sharded code path so its
+		// overhead is visible, even though no parallel speedup is possible.
+		counts = append(counts, 4)
+	}
+	return counts
+}
+
+func BenchmarkShardedFigure6(b *testing.B) {
+	xkg, _ := benchDatasets(b)
+	for _, shards := range shardedBenchCounts() {
+		eng := NewEngineWith(xkg.Store, xkg.Rules, Options{Shards: shards})
+		for _, mode := range []Mode{ModeSpecQP, ModeTriniT} {
+			b.Run(fmt.Sprintf("shards=%d/%v", shards, mode), func(b *testing.B) {
+				// Warm match-list, statistics and residual caches so the
+				// measurement isolates execution.
+				for _, qs := range xkg.Queries {
+					if _, err := eng.Query(qs.Query, 10, mode); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					qs := xkg.Queries[i%len(xkg.Queries)]
+					if _, err := eng.Query(qs.Query, 10, mode); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkShardedMatchList drains one pattern's scan per store layout: the
+// flat ListScan over its zero-alloc posting view against the sharded k-way
+// merge over per-segment views (the path every sharded query's leg takes).
+// Both emit the identical entry sequence; kg's BenchmarkShardedMatchList
+// covers the raw merged-list reads underneath.
+func BenchmarkShardedMatchList(b *testing.B) {
+	xkg, _ := benchDatasets(b)
+	pat := xkg.Queries[0].Query.Patterns[0]
+	vs := kg.NewVarSet(kg.NewQuery(pat))
+	b.Run("flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			operators.Drain(operators.NewPatternScan(xkg.Store, vs, pat, 1, 0, nil))
+		}
+	})
+	for _, shards := range shardedBenchCounts()[1:] {
+		ss := kg.NewShardedStoreFrom(xkg.Store, shards)
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				operators.Drain(operators.NewPatternScan(ss, vs, pat, 1, 0, nil))
+			}
+		})
+	}
+}
+
+// BenchmarkShardedQueryBatch runs the whole workload through QueryBatch per
+// layout — inter-query concurrency on top of intra-query sharding.
+func BenchmarkShardedQueryBatch(b *testing.B) {
+	xkg, _ := benchDatasets(b)
+	queries := make([]Query, len(xkg.Queries))
+	for i, qs := range xkg.Queries {
+		queries[i] = qs.Query
+	}
+	for _, shards := range shardedBenchCounts() {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			eng := NewEngineWith(xkg.Store, xkg.Rules, Options{Shards: shards})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				results, err := eng.QueryBatch(context.Background(), queries, 10, ModeSpecQP)

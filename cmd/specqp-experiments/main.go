@@ -49,6 +49,7 @@ func main() {
 		csvDir  = flag.String("csv", "", "also write per-figure and per-outcome CSV files into this directory")
 		runs    = flag.Int("runs", 1, "measurement runs per query; 5 reproduces the paper's warm-cache protocol (average of the last 3)")
 		batch   = flag.Int("batch", 0, "also time the workload through Engine.QueryBatch with this many workers vs sequential Engine.Query (0 = skip)")
+		shards  = flag.Int("shards", 1, "store segments for the batch/sharding comparisons (1 = flat, -1 = one per CPU); >1 also times sharded vs flat sequential execution")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file (go tool pprof)")
 		memProf = flag.String("memprofile", "", "write a heap profile taken at exit to this file (go tool pprof)")
 	)
@@ -57,12 +58,12 @@ func main() {
 	// The experiment body runs inside run() so its profile-flushing defers
 	// execute on every exit path before main's log.Fatal can call os.Exit —
 	// a mid-run error must still leave usable -cpuprofile/-memprofile files.
-	if err := run(*exp, *dataset, *load, *csvDir, *cpuProf, *memProf, *seed, *scale, *buckets, *runs, *batch); err != nil {
+	if err := run(*exp, *dataset, *load, *csvDir, *cpuProf, *memProf, *seed, *scale, *buckets, *runs, *batch, *shards); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(exp, dataset, load, csvDir, cpuProf, memProf string, seed int64, scale float64, buckets, runs, batch int) error {
+func run(exp, dataset, load, csvDir, cpuProf, memProf string, seed int64, scale float64, buckets, runs, batch, shards int) error {
 	if cpuProf != "" {
 		f, err := os.Create(cpuProf)
 		if err != nil {
@@ -153,8 +154,13 @@ func run(exp, dataset, load, csvDir, cpuProf, memProf string, seed int64, scale 
 		if want("ablations") {
 			runAblations(ds)
 		}
+		if shards != 1 {
+			if err := runShardedComparison(ds, shards); err != nil {
+				return err
+			}
+		}
 		if batch > 0 {
-			if err := runBatchComparison(ds, batch); err != nil {
+			if err := runBatchComparison(ds, batch, shards); err != nil {
 				return err
 			}
 		}
@@ -208,8 +214,61 @@ func writeCSVs(dir, name string, outs []harness.Outcome) error {
 // no plan cache and replans every time), so the measured gap is what the
 // batch API actually buys: execution concurrency plus per-shape plan
 // amortisation.
-func runBatchComparison(ds *datagen.Dataset, workers int) error {
-	eng := specqp.NewEngineWith(ds.Store, ds.Rules, specqp.Options{BatchWorkers: workers})
+// runShardedComparison times the dataset's query workload sequentially over
+// the flat layout and over a sharded engine (parallel per-shard merge scans
+// plus concurrent join legs), printing the per-query wall-clock speedup.
+// Answers are bit-identical across layouts; only the schedule changes.
+func runShardedComparison(ds *datagen.Dataset, shards int) error {
+	effective := shards
+	if effective < 0 {
+		effective = runtime.GOMAXPROCS(0)
+	}
+	if effective <= 1 {
+		// -shards -1 resolves to GOMAXPROCS; on a single-CPU machine that is
+		// one segment, i.e. the flat layout — timing it against itself would
+		// present noise as a sharding result. Resolve before building so the
+		// repartition + parallel freeze is not paid just to be thrown away.
+		fmt.Printf("Sharding — not engaged: %d segment(s) resolved on this machine (dataset %s)\n", effective, ds.Name)
+		return nil
+	}
+	sharded := specqp.NewEngineWith(ds.Store, ds.Rules, specqp.Options{Shards: effective})
+	flat := specqp.NewEngineWith(ds.Store, ds.Rules, specqp.Options{Shards: 1})
+	timeAll := func(eng *specqp.Engine) (time.Duration, error) {
+		t0 := time.Now()
+		for _, qs := range ds.Queries {
+			if _, err := eng.Query(qs.Query, 10, specqp.ModeSpecQP); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(t0), nil
+	}
+	// Warm both engines' match-list and statistics caches first.
+	if _, err := timeAll(flat); err != nil {
+		return err
+	}
+	if _, err := timeAll(sharded); err != nil {
+		return err
+	}
+	flatT, err := timeAll(flat)
+	if err != nil {
+		return err
+	}
+	shardT, err := timeAll(sharded)
+	if err != nil {
+		return err
+	}
+	speedup := 0.0
+	if shardT > 0 {
+		speedup = float64(flatT) / float64(shardT)
+	}
+	fmt.Printf("Sharding — %d queries, %d segments (dataset %s):\n", len(ds.Queries), effective, ds.Name)
+	fmt.Printf("  %-12s %-12s %-8s\n", "flat", "sharded", "speedup")
+	fmt.Printf("  %-12v %-12v %.2fx\n", flatT.Round(time.Microsecond), shardT.Round(time.Microsecond), speedup)
+	return nil
+}
+
+func runBatchComparison(ds *datagen.Dataset, workers, shards int) error {
+	eng := specqp.NewEngineWith(ds.Store, ds.Rules, specqp.Options{BatchWorkers: workers, Shards: shards})
 	queries := make([]specqp.Query, len(ds.Queries))
 	for i, qs := range ds.Queries {
 		queries[i] = qs.Query

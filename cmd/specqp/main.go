@@ -16,6 +16,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -28,104 +29,141 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("specqp: ")
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		if err == errBadFlags {
+			// The FlagSet already printed the problem and usage.
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
 
+// errBadFlags signals a flag-parse failure the FlagSet has already reported,
+// so main exits non-zero without printing it a second time.
+var errBadFlags = fmt.Errorf("invalid command line")
+
+// run is the whole CLI behind a testable seam: flags are parsed from args,
+// queries stream from in when no -query/-queries is given, answer data —
+// the golden-diffable listing — goes to out, and per-query errors go to
+// errOut so redirected answer output never interleaves with error text.
+func run(args []string, in io.Reader, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("specqp", flag.ContinueOnError)
+	fs.SetOutput(errOut)
 	var (
-		triplesPath = flag.String("triples", "", "path to triples TSV (required)")
-		rulesPath   = flag.String("rules", "", "path to relaxation rules TSV (optional)")
-		queryStr    = flag.String("query", "", "SPARQL query to execute (default: read queries from stdin)")
-		queryFile   = flag.String("queries", "", "file with one SPARQL query per line ('#' comments allowed)")
-		k           = flag.Int("k", 10, "number of answers to return")
-		modeStr     = flag.String("mode", "spec-qp", "engine: spec-qp, trinit or naive")
-		explain     = flag.Bool("explain", false, "print the speculative plan reasoning")
-		compare     = flag.Bool("compare", false, "run all three engines and compare")
-		buckets     = flag.Int("buckets", 2, "histogram buckets for the estimator")
-		estimated   = flag.Bool("estimated-selectivity", false, "use estimated instead of exact join selectivity")
+		triplesPath = fs.String("triples", "", "path to triples TSV (required)")
+		rulesPath   = fs.String("rules", "", "path to relaxation rules TSV (optional)")
+		queryStr    = fs.String("query", "", "SPARQL query to execute (default: read queries from stdin)")
+		queryFile   = fs.String("queries", "", "file with one SPARQL query per line ('#' comments allowed)")
+		k           = fs.Int("k", 10, "number of answers to return")
+		modeStr     = fs.String("mode", "spec-qp", "engine: spec-qp, trinit or naive")
+		explain     = fs.Bool("explain", false, "print the speculative plan reasoning")
+		compare     = fs.Bool("compare", false, "run all three engines and compare")
+		buckets     = fs.Int("buckets", 2, "histogram buckets for the estimator")
+		estimated   = fs.Bool("estimated-selectivity", false, "use estimated instead of exact join selectivity")
+		shards      = fs.Int("shards", 1, "store segments (1 = flat layout, -1 = one per CPU); answers are identical at every setting")
+		timings     = fs.Bool("timings", true, "print plan/exec timings (disable for diffable output)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return errBadFlags
+	}
 
 	if *triplesPath == "" {
-		log.Fatal("-triples is required")
+		return fmt.Errorf("-triples is required")
 	}
 	st, err := loadTriples(*triplesPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	rules := specqp.NewRuleSet()
 	if *rulesPath != "" {
 		rules, err = loadRules(*rulesPath, st.Dict())
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
-	fmt.Printf("loaded %d triples, %d relaxation rules\n", st.Len(), rules.Len())
+	fmt.Fprintf(out, "loaded %d triples, %d relaxation rules\n", st.Len(), rules.Len())
 
 	eng := specqp.NewEngineWith(st, rules, specqp.Options{
 		HistogramBuckets:     *buckets,
 		EstimatedSelectivity: *estimated,
+		Shards:               *shards,
 	})
 
 	mode, err := parseMode(*modeStr)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	run := func(src string) {
+	runQuery := func(src string) {
 		q, err := eng.ParseSPARQL(src)
 		if err != nil {
-			log.Printf("parse error: %v", err)
+			fmt.Fprintf(errOut, "parse error: %v\n", err)
 			return
 		}
 		if *explain {
-			fmt.Print(eng.Explain(eng.PlanQuery(q, *k)))
+			fmt.Fprint(out, eng.Explain(eng.PlanQuery(q, *k)))
 		}
 		if *compare {
 			for _, m := range []specqp.Mode{specqp.ModeTriniT, specqp.ModeSpecQP, specqp.ModeNaive} {
 				res, err := eng.Query(q, *k, m)
 				if err != nil {
-					log.Printf("%v: %v", m, err)
+					fmt.Fprintf(errOut, "%v: %v\n", m, err)
 					continue
 				}
-				printResult(eng, q, m, res, *k)
+				printResult(out, eng, q, m, res, *timings)
 			}
 			return
 		}
 		res, err := eng.Query(q, *k, mode)
 		if err != nil {
-			log.Printf("%v", err)
+			fmt.Fprintf(errOut, "%v\n", err)
 			return
 		}
-		printResult(eng, q, mode, res, *k)
+		printResult(out, eng, q, mode, res, *timings)
 	}
 
 	switch {
 	case *queryStr != "":
-		run(*queryStr)
+		runQuery(*queryStr)
 	case *queryFile != "":
 		qs, err := loadQueries(*queryFile)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		for i, src := range qs {
-			fmt.Printf("--- query %d ---\n", i+1)
-			run(src)
+			fmt.Fprintf(out, "--- query %d ---\n", i+1)
+			runQuery(src)
 		}
 	default:
-		fmt.Println("enter one SPARQL query per line (empty line or EOF to quit):")
-		sc := bufio.NewScanner(os.Stdin)
+		fmt.Fprintln(out, "enter one SPARQL query per line (empty line or EOF to quit):")
+		sc := bufio.NewScanner(in)
 		sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 		for sc.Scan() {
 			line := strings.TrimSpace(sc.Text())
 			if line == "" {
 				break
 			}
-			run(line)
+			runQuery(line)
+		}
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("reading queries: %v", err)
 		}
 	}
+	return nil
 }
 
-func printResult(eng *specqp.Engine, q specqp.Query, mode specqp.Mode, res specqp.Result, k int) {
-	fmt.Printf("%s: %d answers, %d memory objects, plan %v + exec %v\n",
-		mode, len(res.Answers), res.MemoryObjects, res.PlanTime, res.ExecTime)
+// printResult writes the metrics header and the ranked answer listing. With
+// timings off the output is fully deterministic (PR 2 pinned operator and
+// iteration order), which is what the golden end-to-end test diffs.
+func printResult(out io.Writer, eng *specqp.Engine, q specqp.Query, mode specqp.Mode, res specqp.Result, timings bool) {
+	fmt.Fprintf(out, "%s: %d answers, %d memory objects", mode, len(res.Answers), res.MemoryObjects)
+	if timings {
+		fmt.Fprintf(out, ", plan %v + exec %v", res.PlanTime, res.ExecTime)
+	}
+	fmt.Fprintln(out)
 	for rank, a := range res.Answers {
 		vars := eng.DecodeAnswer(q, a)
 		parts := make([]string, 0, len(vars))
@@ -138,7 +176,7 @@ func printResult(eng *specqp.Engine, q specqp.Query, mode specqp.Mode, res specq
 		if n := a.RelaxedCount(); n > 0 {
 			suffix = fmt.Sprintf("  [%d relaxed]", n)
 		}
-		fmt.Printf("  %2d. %-50s score=%.4f%s\n", rank+1, strings.Join(parts, " "), a.Score, suffix)
+		fmt.Fprintf(out, "  %2d. %-50s score=%.4f%s\n", rank+1, strings.Join(parts, " "), a.Score, suffix)
 	}
 }
 

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden file from current output")
+
+// cliArgs are the fixture invocation shared by the golden and sharding
+// tests: -compare runs all three engines over the committed music KG, and
+// -timings=false keeps the output fully deterministic (PR 2's determinism
+// fixes pinned answer order, memory-object counts and map-iteration-free
+// rendering).
+func cliArgs(extra ...string) []string {
+	args := []string{
+		"-triples", filepath.Join("testdata", "music.triples.tsv"),
+		"-rules", filepath.Join("testdata", "music.rules.tsv"),
+		"-queries", filepath.Join("testdata", "music.queries.txt"),
+		"-compare", "-k", "3", "-timings=false",
+	}
+	return append(args, extra...)
+}
+
+func runCLI(t *testing.T, args []string) string {
+	t.Helper()
+	var buf, errBuf bytes.Buffer
+	if err := run(args, nil, &buf, &errBuf); err != nil {
+		t.Fatalf("run %v: %v", args, err)
+	}
+	if errBuf.Len() > 0 {
+		t.Fatalf("run %v wrote errors: %s", args, errBuf.String())
+	}
+	return buf.String()
+}
+
+// TestGoldenCompare is the end-to-end golden test: -compare over the
+// committed TSV fixture must reproduce the committed ranked answers and
+// metrics headers byte-for-byte. Regenerate with `go test ./cmd/specqp
+// -run TestGoldenCompare -update` after an intentional output change.
+func TestGoldenCompare(t *testing.T) {
+	got := runCLI(t, cliArgs())
+	goldenPath := filepath.Join("testdata", "golden_compare.txt")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("output diverged from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// memObjects matches the run-dependent part of the metrics header: sharded
+// execution prefetches entries the top-k cutoff may never consume, so the
+// memory-object count is a scheduling-dependent upper bound there.
+var memObjects = regexp.MustCompile(`, \d+ memory objects`)
+
+// TestShardedCLIMatchesFlat runs the same fixture through a sharded engine
+// and requires identical ranked answers and answer counts — the CLI-level
+// face of the bit-identical-answers guarantee.
+func TestShardedCLIMatchesFlat(t *testing.T) {
+	flat := memObjects.ReplaceAllString(runCLI(t, cliArgs()), "")
+	for _, shards := range []string{"2", "5", "-1"} {
+		sharded := memObjects.ReplaceAllString(runCLI(t, cliArgs("-shards", shards)), "")
+		if sharded != flat {
+			t.Fatalf("-shards=%s changed the output.\n--- sharded ---\n%s\n--- flat ---\n%s", shards, sharded, flat)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package specqp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -79,6 +80,111 @@ func TestEngineConcurrentQueries(t *testing.T) {
 						errs <- fmt.Errorf("worker %d: rank %d score %v want %v",
 							w, i, res.Answers[i].Score, refs[qi][i].Score)
 						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedQueryBatchHammer is the sharded concurrency hammer: QueryBatch
+// over a multi-segment engine under -race, with a query mix that hits every
+// shared structure at once — recurring shapes exercise the LRU plan cache,
+// S+O-bound and repeated-variable patterns exercise each shard's residual
+// single-flight cache plus the sharded store's merged-list cache, and plain
+// patterns run through the per-shard merge scans and leg prefetchers. Every
+// batch's answers must equal the sequential unsharded reference.
+func TestShardedQueryBatchHammer(t *testing.T) {
+	st := NewStore()
+	for e := 0; e < 400; e++ {
+		name := fmt.Sprintf("e%03d", e)
+		score := 1000.0 / float64(1+e)
+		if err := st.AddSPO(name, "rdf:type", fmt.Sprintf("T%d", e%7), score); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.AddSPO(name, "linksTo", fmt.Sprintf("e%03d", (e*3+1)%400), score/2); err != nil {
+			t.Fatal(err)
+		}
+		if e%5 == 0 { // duplicate (s,p,o) keys keep the dedup paths honest
+			if err := st.AddSPO(name, "rdf:type", fmt.Sprintf("T%d", e%7), score*0.7); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st.Freeze()
+	d := st.Dict()
+	ty, _ := d.Lookup("rdf:type")
+	links, _ := d.Lookup("linksTo")
+	typePat := func(i int) Pattern {
+		id, _ := d.Lookup(fmt.Sprintf("T%d", i))
+		return NewPattern(Var("s"), Const(ty), Const(id))
+	}
+	rules := NewRuleSet()
+	for i := 0; i < 7; i++ {
+		if err := rules.Add(Rule{From: typePat(i), To: typePat((i + 2) % 7), Weight: 0.4 + float64(i)/20}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var queries []Query
+	for i := 0; i < 7; i++ {
+		e0, _ := d.Lookup(fmt.Sprintf("e%03d", i*13))
+		queries = append(queries,
+			// Recurring two-pattern shape: plan-cache hits across the batch.
+			NewQuery(typePat(i), typePat((i+1)%7)),
+			// Join through linksTo: per-shard merge paths on both legs.
+			NewQuery(typePat(i), NewPattern(Var("s"), Const(links), Var("o"))),
+			// S+O bound residual shape per shard.
+			NewQuery(NewPattern(Const(e0), Var("p"), Const(e0)), typePat(i)),
+			// Repeated-variable residual shape.
+			NewQuery(NewPattern(Var("x"), Const(links), Var("x")), typePat(i)),
+		)
+	}
+
+	ref := NewEngineWith(st, rules, Options{Shards: 1})
+	refAnswers := make([][]Answer, len(queries))
+	for i, q := range queries {
+		res, err := ref.Query(q, 10, ModeSpecQP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refAnswers[i] = res.Answers
+	}
+
+	eng := NewEngineWith(st, rules, Options{Shards: 4, BatchWorkers: 8, PlanCacheSize: 16})
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				results, err := eng.QueryBatch(context.Background(), queries, 10, ModeSpecQP)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for qi, r := range results {
+					if r.Err != nil {
+						errs <- fmt.Errorf("worker %d query %d: %v", w, qi, r.Err)
+						return
+					}
+					if len(r.Result.Answers) != len(refAnswers[qi]) {
+						errs <- fmt.Errorf("worker %d query %d: %d answers, want %d",
+							w, qi, len(r.Result.Answers), len(refAnswers[qi]))
+						return
+					}
+					for i, a := range r.Result.Answers {
+						want := refAnswers[qi][i]
+						if a.Score != want.Score || a.Binding.Compare(want.Binding) != 0 {
+							errs <- fmt.Errorf("worker %d query %d rank %d: %v, want %v", w, qi, i, a, want)
+							return
+						}
 					}
 				}
 			}

@@ -17,7 +17,8 @@ import (
 func (ex *Executor) RunContext(ctx context.Context, p planner.Plan) (Result, error) {
 	c := &operators.Counter{}
 	start := time.Now()
-	root, _ := ex.buildStream(p, c)
+	root, _, stop := ex.buildStream(p, c)
+	defer stop()
 
 	answers := make([]kg.Answer, 0, p.K)
 	var err error

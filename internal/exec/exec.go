@@ -13,6 +13,7 @@ package exec
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"specqp/internal/kg"
@@ -37,64 +38,104 @@ type Result struct {
 
 // Executor runs plans against one store + rule set.
 type Executor struct {
-	Store *kg.Store
+	Store kg.Graph
 	Rules *relax.RuleSet
+	// Parallel executes independent join legs concurrently: legs are
+	// constructed on separate goroutines (cardinality probes, match-list and
+	// chain-relaxation materialisation overlap), and each leg stream is
+	// wrapped in an order-preserving Prefetch so leg production overlaps the
+	// rank join's consumption. Answers are bit-identical to sequential
+	// execution — Prefetch is observationally identical to its inner stream —
+	// but Result.MemoryObjects may exceed the sequential count: prefetched
+	// entries the top-k cutoff never consumes are still created and counted.
+	Parallel bool
 }
 
 // New returns an Executor.
-func New(st *kg.Store, rs *relax.RuleSet) *Executor {
+func New(st kg.Graph, rs *relax.RuleSet) *Executor {
 	return &Executor{Store: st, Rules: rs}
 }
 
+// leg is one independent input pipeline of the left-deep join.
+type leg struct {
+	stream operators.Stream
+	vars   map[int]bool
+	card   int
+	single bool
+}
+
+// buildLeg constructs the pipeline for pattern index i of the plan: a plain
+// sorted scan for join-group patterns, an Incremental Merge over the original
+// scan plus one weighted scan per relaxation rule for singletons.
+func (ex *Executor) buildLeg(q kg.Query, vs *kg.VarSet, i int, single bool, c *operators.Counter) leg {
+	pat := q.Patterns[i]
+	if !single {
+		return leg{
+			stream: operators.NewPatternScan(ex.Store, vs, pat, 1, 0, c),
+			vars:   operators.PatternBoundVars(vs, pat),
+			card:   ex.Store.Cardinality(pat),
+		}
+	}
+	mask := uint32(1) << uint(i)
+	inputs := []operators.Stream{operators.NewPatternScan(ex.Store, vs, pat, 1, 0, c)}
+	card := ex.Store.Cardinality(pat)
+	for _, r := range ex.Rules.For(pat) {
+		if r.IsChain() {
+			matches := relax.ChainMatches(ex.Store, relax.ApplyChain(r, pat), vs)
+			inputs = append(inputs, operators.NewAnswerScan(matches, r.Weight, mask, c))
+			card += len(matches)
+			continue
+		}
+		rp := relax.Apply(r, pat)
+		inputs = append(inputs, operators.NewPatternScan(ex.Store, vs, rp, r.Weight, mask, c))
+		card += ex.Store.Cardinality(rp)
+	}
+	return leg{
+		stream: operators.NewIncrementalMerge(inputs, c),
+		vars:   operators.PatternBoundVars(vs, pat),
+		card:   card,
+		single: true,
+	}
+}
+
 // buildStream assembles the operator tree for a plan and returns the root
-// stream. Join-group patterns become plain sorted scans; singleton patterns
-// become Incremental Merges over the original scan plus one weighted scan per
-// relaxation rule. The join order is join group first (cheapest pattern
-// first), then singletons by ascending cardinality — a deterministic
-// left-deep order that keeps intermediate results small.
-func (ex *Executor) buildStream(p planner.Plan, c *operators.Counter) (operators.Stream, *kg.VarSet) {
+// stream plus a stop function releasing any background prefetchers (call it
+// once the stream will no longer be consumed). The join order is join group
+// first (cheapest pattern first), then singletons by ascending cardinality —
+// a deterministic left-deep order that keeps intermediate results small,
+// independent of construction concurrency.
+func (ex *Executor) buildStream(p planner.Plan, c *operators.Counter) (operators.Stream, *kg.VarSet, func()) {
 	q := p.Query
 	vs := kg.NewVarSet(q)
 
-	type leg struct {
-		stream operators.Stream
-		vars   map[int]bool
-		card   int
-		single bool
+	legs := make([]leg, len(p.JoinGroup)+len(p.Singletons))
+	build := func(slot int, patIdx int, single bool) {
+		legs[slot] = ex.buildLeg(q, vs, patIdx, single, c)
 	}
-	var legs []leg
-
-	for _, i := range p.JoinGroup {
-		pat := q.Patterns[i]
-		s := operators.NewListScan(ex.Store, vs, pat, 1, 0, c)
-		legs = append(legs, leg{
-			stream: s,
-			vars:   operators.PatternBoundVars(vs, pat),
-			card:   ex.Store.Cardinality(pat),
-		})
-	}
-	for _, i := range p.Singletons {
-		pat := q.Patterns[i]
-		mask := uint32(1) << uint(i)
-		inputs := []operators.Stream{operators.NewListScan(ex.Store, vs, pat, 1, 0, c)}
-		card := ex.Store.Cardinality(pat)
-		for _, r := range ex.Rules.For(pat) {
-			if r.IsChain() {
-				matches := relax.ChainMatches(ex.Store, relax.ApplyChain(r, pat), vs)
-				inputs = append(inputs, operators.NewAnswerScan(matches, r.Weight, mask, c))
-				card += len(matches)
-				continue
-			}
-			rp := relax.Apply(r, pat)
-			inputs = append(inputs, operators.NewListScan(ex.Store, vs, rp, r.Weight, mask, c))
-			card += ex.Store.Cardinality(rp)
+	if ex.Parallel && len(legs) > 1 {
+		var wg sync.WaitGroup
+		for slot, i := range p.JoinGroup {
+			wg.Add(1)
+			go func(slot, i int) {
+				defer wg.Done()
+				build(slot, i, false)
+			}(slot, i)
 		}
-		legs = append(legs, leg{
-			stream: operators.NewIncrementalMerge(inputs, c),
-			vars:   operators.PatternBoundVars(vs, pat),
-			card:   card,
-			single: true,
-		})
+		for off, i := range p.Singletons {
+			wg.Add(1)
+			go func(slot, i int) {
+				defer wg.Done()
+				build(slot, i, true)
+			}(len(p.JoinGroup)+off, i)
+		}
+		wg.Wait()
+	} else {
+		for slot, i := range p.JoinGroup {
+			build(slot, i, false)
+		}
+		for off, i := range p.Singletons {
+			build(len(p.JoinGroup)+off, i, true)
+		}
 	}
 
 	// Deterministic order: join-group legs first, each group sorted by
@@ -111,14 +152,27 @@ func (ex *Executor) buildStream(p planner.Plan, c *operators.Counter) (operators
 	for i, l := range legs {
 		streams[i], vars[i] = l.stream, l.vars
 	}
-	return operators.LeftDeep(streams, vars, c), vs
+	stop := func() {}
+	if ex.Parallel && len(streams) > 1 {
+		stopCh := make(chan struct{})
+		var once sync.Once
+		stop = func() { once.Do(func() { close(stopCh) }) }
+		for i := range streams {
+			streams[i] = operators.NewPrefetch(streams[i], operators.DefaultPrefetchDepth, stopCh)
+		}
+	}
+	return operators.LeftDeep(streams, vars, c), vs, stop
 }
 
 // Run executes plan p and returns the top-k answers (k from the plan).
 func (ex *Executor) Run(p planner.Plan) Result {
 	c := &operators.Counter{}
 	start := time.Now()
-	root, _ := ex.buildStream(p, c)
+	root, _, stop := ex.buildStream(p, c)
+	// Deferred, not inline: a panic out of the drain must still release the
+	// legs' prefetch goroutines, or each one stays blocked on its buffer
+	// send for the process lifetime.
+	defer stop()
 	entries := operators.DrainK(root, p.K)
 	elapsed := time.Since(start)
 

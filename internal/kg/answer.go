@@ -182,34 +182,7 @@ func bindPattern(vs *VarSet, p Pattern, t Triple, b Binding) (Binding, bool) {
 // are evaluated smallest-cardinality first with index-backed candidate
 // selection.
 func (st *Store) Evaluate(q Query) []Answer {
-	vs := NewVarSet(q)
-	order := evalOrder(st, q)
-	var out []Answer
-	var rec func(step int, b Binding, score float64)
-	rec = func(step int, b Binding, score float64) {
-		if step == len(order) {
-			out = append(out, Answer{Binding: b.Clone(), Score: score})
-			return
-		}
-		p := q.Patterns[order[step]]
-		max := st.MaxScore(p)
-		for _, ti := range st.boundCandidates(p, vs, b) {
-			t := st.triples[ti]
-			nb, ok := bindPattern(vs, p, t, b)
-			if !ok {
-				continue
-			}
-			s := 0.0
-			if max > 0 {
-				s = t.Score / max
-			}
-			rec(step+1, nb, score+s)
-		}
-	}
-	rec(0, NewBinding(vs.Len()), 0)
-	out = DedupMax(out)
-	SortAnswers(out)
-	return out
+	return evaluateWeighted(st, q, nil)
 }
 
 // Count returns the exact number of answers to q (join cardinality). It is
@@ -218,86 +191,24 @@ func (st *Store) Evaluate(q Query) []Answer {
 // the postings since the store keeps every addition — contribute multiple
 // derivations but one answer, matching Evaluate's DedupMax semantics.
 func (st *Store) Count(q Query) int {
-	vs := NewVarSet(q)
-	order := evalOrder(st, q)
-	// Without duplicate triples every derivation is a distinct binding, so
-	// counting stays allocation-free; only duplicate-bearing stores pay for
-	// the dedup map (integer-keyed via the packed-key scheme).
-	var seen map[BindingKey]bool
-	var keyer *Keyer
-	if st.hasDuplicates {
-		seen = make(map[BindingKey]bool)
-		keyer = NewKeyer()
-	}
-	n := 0
-	var rec func(step int, b Binding)
-	rec = func(step int, b Binding) {
-		if step == len(order) {
-			if seen != nil {
-				seen[keyer.Key(b)] = true
-			} else {
-				n++
-			}
-			return
-		}
-		p := q.Patterns[order[step]]
-		for _, ti := range st.boundCandidates(p, vs, b) {
-			if nb, ok := bindPattern(vs, p, st.triples[ti], b); ok {
-				rec(step+1, nb)
-			}
-		}
-	}
-	rec(0, NewBinding(vs.Len()))
-	if seen != nil {
-		return len(seen)
-	}
-	return n
+	return countAnswers(st, q)
 }
 
 // Selectivity returns the exact join selectivity φ of q: the answer count
 // divided by the product of per-pattern cardinalities. Returns 0 when any
 // pattern is empty.
 func (st *Store) Selectivity(q Query) float64 {
-	prod := 1.0
-	for _, p := range q.Patterns {
-		c := st.Cardinality(p)
-		if c == 0 {
-			return 0
-		}
-		prod *= float64(c)
-	}
-	return float64(st.Count(q)) / prod
+	return selectivity(st, q)
 }
 
-// evalOrder orders patterns by ascending cardinality, which keeps the
-// backtracking join cheap and deterministic.
-func evalOrder(st *Store, q Query) []int {
-	order := make([]int, len(q.Patterns))
-	for i := range order {
-		order[i] = i
+// forCandidates implements matcher: it feeds f every triple of the cheapest
+// candidate posting for sub (a superset of the exact matches).
+func (st *Store) forCandidates(sub Pattern, f func(t Triple)) {
+	cand, ok := st.candidates(sub)
+	if !ok {
+		cand = st.MatchList(sub)
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return st.Cardinality(q.Patterns[order[a]]) < st.Cardinality(q.Patterns[order[b]])
-	})
-	return order
-}
-
-// boundCandidates returns candidate triple indexes for p after substituting
-// variables already bound in b, using the store indexes where possible.
-func (st *Store) boundCandidates(p Pattern, vs *VarSet, b Binding) []int32 {
-	sub := p
-	subst := func(t Term) Term {
-		if !t.IsVar {
-			return t
-		}
-		if i := vs.Index(t.Name); i >= 0 && b[i] != NoID {
-			return Const(b[i])
-		}
-		return t
+	for _, ti := range cand {
+		f(st.triples[ti])
 	}
-	sub.S, sub.P, sub.O = subst(p.S), subst(p.P), subst(p.O)
-	if cand, ok := st.candidates(sub); ok {
-		return cand
-	}
-	return st.MatchList(sub)
 }

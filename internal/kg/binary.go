@@ -120,6 +120,15 @@ func ReadBinary(r io.Reader) (*Store, error) {
 	}
 
 	st := NewStore(nil)
+	// Counts are attacker-controlled: never allocate proportionally to a
+	// claimed length before the bytes actually arrive. Terms are read in
+	// bounded steps directly into termBuf's tail — append's geometric growth
+	// keeps the buffer within a small factor of the bytes actually
+	// delivered, so a snapshot claiming a huge term costs at most one step
+	// of over-allocation; the triple loop below likewise grows with data
+	// read, not with the declared nTriples.
+	const termChunk = 64 << 10
+	var zeroChunk [termChunk]byte
 	termBuf := make([]byte, 0, 64)
 	for i := uint32(0); i < nTerms; i++ {
 		l, err := getU32()
@@ -129,12 +138,18 @@ func ReadBinary(r io.Reader) (*Store, error) {
 		if l > 1<<24 {
 			return nil, fmt.Errorf("kg: term %d implausibly long (%d bytes)", i, l)
 		}
-		if cap(termBuf) < int(l) {
-			termBuf = make([]byte, l)
-		}
-		termBuf = termBuf[:l]
-		if _, err := io.ReadFull(br, termBuf); err != nil {
-			return nil, fmt.Errorf("kg: term %d bytes: %v", i, err)
+		termBuf = termBuf[:0]
+		for read := uint32(0); read < l; {
+			n := l - read
+			if n > termChunk {
+				n = termChunk
+			}
+			start := len(termBuf)
+			termBuf = append(termBuf, zeroChunk[:n]...)
+			if _, err := io.ReadFull(br, termBuf[start:]); err != nil {
+				return nil, fmt.Errorf("kg: term %d bytes: %v", i, err)
+			}
+			read += n
 		}
 		if got := st.dict.Encode(string(termBuf)); got != ID(i) {
 			return nil, fmt.Errorf("kg: snapshot contains duplicate term %q", termBuf)
@@ -161,7 +176,7 @@ func ReadBinary(r io.Reader) (*Store, error) {
 			return nil, fmt.Errorf("kg: triple %d references unknown term", i)
 		}
 		score := math.Float64frombits(bits)
-		if score < 0 || math.IsNaN(score) {
+		if score < 0 || math.IsNaN(score) || math.IsInf(score, 0) {
 			return nil, fmt.Errorf("kg: triple %d has invalid score %v", i, score)
 		}
 		if err := st.Add(Triple{S: ID(s), P: ID(p), O: ID(o), Score: score}); err != nil {

@@ -1,0 +1,91 @@
+package kg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// snapshotBytes serialises a small valid store for the seed corpus.
+func snapshotBytes(tb testing.TB) []byte {
+	tb.Helper()
+	st := NewStore(nil)
+	for _, tr := range []struct {
+		s, p, o string
+		score   float64
+	}{
+		{"shakira", "rdf:type", "singer", 98},
+		{"prince", "rdf:type", "guitarist", 99},
+		{"prince", "rdf:type", "guitarist", 40}, // duplicate key
+		{"miley", "collab", "prince", 0},
+	} {
+		if err := st.AddSPO(tr.s, tr.p, tr.o, tr.score); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := st.WriteBinary(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadBinary fuzzes the snapshot reader with hostile inputs. The
+// properties:
+//
+//  1. ReadBinary never panics and never trusts attacker-controlled counts
+//     for allocation (the term and triple loops grow with bytes actually
+//     read — a claimed multi-gigabyte snapshot backed by a short stream must
+//     fail fast, not allocate);
+//  2. accepted snapshots are well-formed: frozen, in-range term references,
+//     finite non-negative scores, and WriteBinary→ReadBinary round-trips to
+//     the identical triple sequence.
+func FuzzReadBinary(f *testing.F) {
+	valid := snapshotBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5]) // truncated mid-triple
+	f.Add(valid[:9])            // truncated after magic
+	f.Add([]byte("SPECQPKG"))   // magic only
+	f.Add([]byte("not a snapshot"))
+	// Claimed counts far beyond the actual payload.
+	huge := append([]byte{}, valid[:16]...)
+	binary.LittleEndian.PutUint32(huge[12:16], 1<<31)
+	huge = append(huge, valid[16:]...)
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if !st.Frozen() {
+			t.Fatal("accepted snapshot produced an unfrozen store")
+		}
+		nTerms := st.Dict().Len()
+		for i := 0; i < st.Len(); i++ {
+			tr := st.Triple(int32(i))
+			if int(tr.S) >= nTerms || int(tr.P) >= nTerms || int(tr.O) >= nTerms {
+				t.Fatalf("triple %d references term beyond dictionary (%d terms)", i, nTerms)
+			}
+			if tr.Score < 0 || tr.Score != tr.Score || tr.Score > 1e308*1.79 {
+				t.Fatalf("triple %d carries invalid score %v", i, tr.Score)
+			}
+		}
+		var buf bytes.Buffer
+		if err := st.WriteBinary(&buf); err != nil {
+			t.Fatalf("re-serialising accepted snapshot: %v", err)
+		}
+		st2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("re-reading serialised snapshot: %v", err)
+		}
+		if st2.Len() != st.Len() || st2.Dict().Len() != st.Dict().Len() {
+			t.Fatalf("round trip changed sizes: %d/%d triples, %d/%d terms",
+				st.Len(), st2.Len(), st.Dict().Len(), st2.Dict().Len())
+		}
+		for i := 0; i < st.Len(); i++ {
+			if st.Triple(int32(i)) != st2.Triple(int32(i)) {
+				t.Fatalf("round trip changed triple %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,231 @@
+package kg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Graph is the read interface of a frozen triple store — everything the
+// planner, the statistics catalog, the relaxation miners and the physical
+// operators need from the storage layer. It is implemented by *Store (one
+// flat posting layout) and *ShardedStore (N hash-partitioned segments).
+//
+// Triple indexes handed out by MatchList and accepted by Triple are global:
+// dense, insertion-ordered, and stable across the store's lifetime. Every
+// match list is sorted by raw score descending with the global index as
+// tiebreak — the canonical order all operators and oracles rely on.
+type Graph interface {
+	// Dict returns the term dictionary shared by every triple.
+	Dict() *Dict
+	// Len reports the number of triples.
+	Len() int
+	// Frozen reports whether the store is frozen (readable).
+	Frozen() bool
+	// Triple returns the triple at global index i.
+	Triple(i int32) Triple
+	// MatchList returns the global indexes of triples matching p, sorted by
+	// raw score descending (global index ascending on ties). The result must
+	// not be mutated.
+	MatchList(p Pattern) []int32
+	// Cardinality returns the number of triples matching p.
+	Cardinality(p Pattern) int
+	// MaxScore returns the maximum raw score among matches of p (0 if none) —
+	// the normalisation constant of Definition 5.
+	MaxScore(p Pattern) float64
+	// NormalizedScores returns the normalised score list for p, sorted
+	// descending, aligned with MatchList(p). Caller-owned.
+	NormalizedScores(p Pattern) []float64
+	// HasDuplicates reports whether any (s,p,o) key was added more than once.
+	HasDuplicates() bool
+	// Evaluate computes the complete answer set of q (Definition 6 scoring).
+	Evaluate(q Query) []Answer
+	// EvaluateWeighted is Evaluate with per-pattern weight multipliers.
+	EvaluateWeighted(q Query, weights []float64) []Answer
+	// Count returns the exact number of distinct answers to q.
+	Count(q Query) int
+	// Selectivity returns Count(q) over the product of pattern cardinalities.
+	Selectivity(q Query) float64
+	// PatternString renders a pattern with decoded constants.
+	PatternString(p Pattern) string
+	// QueryString renders a query with decoded constants.
+	QueryString(q Query) string
+}
+
+// matcher is the package-internal contract the shared evaluator needs beyond
+// Graph: candidate enumeration for a (possibly variable-substituted) pattern
+// without materialising a match list per recursion step.
+type matcher interface {
+	Graph
+	// forCandidates calls f with every candidate triple for sub — a superset
+	// of the exact matches, drawn from the cheapest applicable index.
+	forCandidates(sub Pattern, f func(t Triple))
+}
+
+// Compile-time interface checks.
+var (
+	_ matcher = (*Store)(nil)
+	_ matcher = (*ShardedStore)(nil)
+)
+
+// substPattern substitutes variables of p already bound in b, yielding the
+// pattern whose candidates constrain the next recursion step.
+func substPattern(p Pattern, vs *VarSet, b Binding) Pattern {
+	subst := func(t Term) Term {
+		if !t.IsVar {
+			return t
+		}
+		if i := vs.Index(t.Name); i >= 0 && b[i] != NoID {
+			return Const(b[i])
+		}
+		return t
+	}
+	return Pattern{S: subst(p.S), P: subst(p.P), O: subst(p.O)}
+}
+
+// evalOrder orders patterns by ascending cardinality, which keeps the
+// backtracking join cheap and deterministic.
+func evalOrder(g Graph, q Query) []int {
+	order := make([]int, len(q.Patterns))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return g.Cardinality(q.Patterns[order[a]]) < g.Cardinality(q.Patterns[order[b]])
+	})
+	return order
+}
+
+// evaluateWeighted is the shared backtracking-join evaluator behind
+// Evaluate and EvaluateWeighted on both store layouts. weights nil means all
+// ones. Candidate enumeration order never affects the result: every
+// derivation is visited, DedupMax keeps the maximum score per binding, and
+// SortAnswers fixes the output order.
+func evaluateWeighted(g matcher, q Query, weights []float64) []Answer {
+	vs := NewVarSet(q)
+	order := evalOrder(g, q)
+	var out []Answer
+	var rec func(step int, b Binding, score float64)
+	rec = func(step int, b Binding, score float64) {
+		if step == len(order) {
+			out = append(out, Answer{Binding: b.Clone(), Score: score})
+			return
+		}
+		pi := order[step]
+		p := q.Patterns[pi]
+		max := g.MaxScore(p)
+		w := 1.0
+		if weights != nil && weights[pi] > 0 {
+			w = weights[pi]
+		}
+		g.forCandidates(substPattern(p, vs, b), func(t Triple) {
+			nb, ok := bindPattern(vs, p, t, b)
+			if !ok {
+				return
+			}
+			s := 0.0
+			if max > 0 {
+				s = w * t.Score / max
+			}
+			rec(step+1, nb, score+s)
+		})
+	}
+	rec(0, NewBinding(vs.Len()), 0)
+	out = DedupMax(out)
+	SortAnswers(out)
+	return out
+}
+
+// countAnswers is the shared exact join-cardinality computation. Without
+// duplicate triples every derivation is a distinct binding, so counting
+// stays allocation-free; only duplicate-bearing stores pay for the dedup map.
+func countAnswers(g matcher, q Query) int {
+	vs := NewVarSet(q)
+	order := evalOrder(g, q)
+	var seen map[BindingKey]bool
+	var keyer *Keyer
+	if g.HasDuplicates() {
+		seen = make(map[BindingKey]bool)
+		keyer = NewKeyer()
+	}
+	n := 0
+	var rec func(step int, b Binding)
+	rec = func(step int, b Binding) {
+		if step == len(order) {
+			if seen != nil {
+				seen[keyer.Key(b)] = true
+			} else {
+				n++
+			}
+			return
+		}
+		p := q.Patterns[order[step]]
+		g.forCandidates(substPattern(p, vs, b), func(t Triple) {
+			if nb, ok := bindPattern(vs, p, t, b); ok {
+				rec(step+1, nb)
+			}
+		})
+	}
+	rec(0, NewBinding(vs.Len()))
+	if seen != nil {
+		return len(seen)
+	}
+	return n
+}
+
+// normalizedScores is the shared Definition 5 normalisation: each match's
+// raw score divided by the head (maximum) score, aligned with MatchList(p).
+// Centralised so the two layouts cannot diverge on the max==0 guard or the
+// division — the bit-identical contract depends on identical floats.
+func normalizedScores(g Graph, p Pattern) []float64 {
+	l := g.MatchList(p)
+	out := make([]float64, len(l))
+	if len(l) == 0 {
+		return out
+	}
+	max := g.Triple(l[0]).Score
+	if max == 0 {
+		return out
+	}
+	for i, ti := range l {
+		out[i] = g.Triple(ti).Score / max
+	}
+	return out
+}
+
+// selectivity is the shared exact-selectivity computation: Count(q) divided
+// by the product of per-pattern cardinalities (0 when any pattern is empty).
+func selectivity(g Graph, q Query) float64 {
+	prod := 1.0
+	for _, p := range q.Patterns {
+		c := g.Cardinality(p)
+		if c == 0 {
+			return 0
+		}
+		prod *= float64(c)
+	}
+	return float64(g.Count(q)) / prod
+}
+
+// patternString renders a pattern with constants decoded through d.
+func patternString(d *Dict, p Pattern) string {
+	f := func(t Term) string {
+		if t.IsVar {
+			return "?" + t.Name
+		}
+		return d.Decode(t.ID)
+	}
+	return fmt.Sprintf("〈%s %s %s〉", f(p.S), f(p.P), f(p.O))
+}
+
+// queryString renders a query with constants decoded through d.
+func queryString(d *Dict, q Query) string {
+	var b strings.Builder
+	for i, p := range q.Patterns {
+		if i > 0 {
+			b.WriteString(" . ")
+		}
+		b.WriteString(patternString(d, p))
+	}
+	return b.String()
+}

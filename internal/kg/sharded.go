@@ -1,0 +1,290 @@
+package kg
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ShardedStore is a Graph over N hash-partitioned segments: every triple is
+// routed to a shard by its subject ID, each shard is an independent *Store
+// sharing one dictionary, and Freeze freezes all shards in parallel (each
+// shard's posting sorts additionally fan out over their own worker pool).
+//
+// Partitioning by subject has two load-bearing consequences:
+//
+//   - all copies of one (s,p,o) key live in one shard, so per-shard duplicate
+//     detection and per-shard dedup remain exact;
+//   - a pattern with a bound subject is answered entirely by one shard, and
+//     two triples in different shards can only collapse onto the same binding
+//     when the pattern's subject is a variable outside the query's variable
+//     set (every other shape captures or pins the subject).
+//
+// Global triple indexes are insertion-ordered across the whole sharded store
+// (a per-triple directory maps them to shard-local indexes, and each shard
+// keeps the inverse table). Because a shard's local order is the global
+// insertion order restricted to that shard, per-shard score-sorted postings
+// interleave into exactly the unsharded match-list order — the property that
+// makes sharded execution bit-identical to the flat layout.
+//
+// Memory overhead versus a flat Store is 12 bytes per triple (directory plus
+// inverse table); the per-shard posting arenas sum to the flat layout's size.
+type ShardedStore struct {
+	dict   *Dict
+	shards []*Store
+	frozen bool
+
+	// Directory: global index → owning shard and shard-local index.
+	locShard []int32
+	locIdx   []int32
+	// Inverse table: global[s][l] is the global index of shard s's triple l.
+	global [][]int32
+
+	// merged caches materialised global match lists for the generic
+	// Graph.MatchList path (cold paths: statistics, oracles). The hot query
+	// path never materialises — ShardedListScan merges per-shard views.
+	merged *listCache
+}
+
+// NewShardedStore returns an empty sharded store with n segments using the
+// given dictionary (or a fresh one if dict is nil). n < 1 is clamped to 1.
+func NewShardedStore(dict *Dict, n int) *ShardedStore {
+	if dict == nil {
+		dict = NewDict()
+	}
+	if n < 1 {
+		n = 1
+	}
+	ss := &ShardedStore{
+		dict:   dict,
+		shards: make([]*Store, n),
+		global: make([][]int32, n),
+		merged: newListCache(),
+	}
+	for i := range ss.shards {
+		ss.shards[i] = NewStore(dict)
+	}
+	return ss
+}
+
+// NewShardedStoreFrom partitions an existing store's triples into n segments
+// (sharing its dictionary) and freezes the result. st itself is left
+// untouched — in particular it is not frozen if it was not already.
+func NewShardedStoreFrom(st *Store, n int) *ShardedStore {
+	ss := NewShardedStore(st.dict, n)
+	for _, t := range st.triples {
+		if err := ss.Add(t); err != nil {
+			// st accepted the triple, so the shard must too.
+			panic(fmt.Sprintf("kg: resharding valid triple failed: %v", err))
+		}
+	}
+	ss.Freeze()
+	return ss
+}
+
+// shardFor routes a subject ID to its shard.
+func (ss *ShardedStore) shardFor(s ID) int {
+	h := uint32(s) * 0x9e3779b1
+	h ^= h >> 16
+	return int(h % uint32(len(ss.shards)))
+}
+
+// NumShards reports the number of segments.
+func (ss *ShardedStore) NumShards() int { return len(ss.shards) }
+
+// Shard returns segment i. The segment is a plain Store; after Freeze it
+// serves zero-alloc shard-local match-list views.
+func (ss *ShardedStore) Shard(i int) *Store { return ss.shards[i] }
+
+// GlobalIndexes returns the table mapping shard s's local triple indexes to
+// global indexes. The result must not be mutated.
+func (ss *ShardedStore) GlobalIndexes(s int) []int32 { return ss.global[s] }
+
+// Dict returns the shared term dictionary.
+func (ss *ShardedStore) Dict() *Dict { return ss.dict }
+
+// Len reports the total number of triples across all shards.
+func (ss *ShardedStore) Len() int { return len(ss.locShard) }
+
+// Frozen reports whether Freeze has been called.
+func (ss *ShardedStore) Frozen() bool { return ss.frozen }
+
+// Add routes a scored triple to its subject's shard.
+func (ss *ShardedStore) Add(t Triple) error {
+	if ss.frozen {
+		return ErrFrozen
+	}
+	si := ss.shardFor(t.S)
+	sh := ss.shards[si]
+	if err := sh.Add(t); err != nil {
+		return err
+	}
+	ss.locShard = append(ss.locShard, int32(si))
+	ss.locIdx = append(ss.locIdx, int32(sh.Len()-1))
+	ss.global[si] = append(ss.global[si], int32(len(ss.locShard)-1))
+	return nil
+}
+
+// AddSPO encodes the three terms and appends the triple.
+func (ss *ShardedStore) AddSPO(s, p, o string, score float64) error {
+	return ss.Add(Triple{
+		S:     ss.dict.Encode(s),
+		P:     ss.dict.Encode(p),
+		O:     ss.dict.Encode(o),
+		Score: score,
+	})
+}
+
+// Freeze freezes every shard concurrently. Add must not be called
+// afterwards. Like Store.Freeze it is idempotent but must be called from a
+// single goroutine; read from as many as you like afterwards.
+func (ss *ShardedStore) Freeze() {
+	if ss.frozen {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, sh := range ss.shards {
+		wg.Add(1)
+		go func(sh *Store) {
+			defer wg.Done()
+			sh.Freeze()
+		}(sh)
+	}
+	wg.Wait()
+	ss.frozen = true
+}
+
+// HasDuplicates reports whether any shard holds duplicate (s,p,o) keys.
+// Identical keys share a subject and therefore a shard, so this is exact.
+func (ss *ShardedStore) HasDuplicates() bool {
+	for _, sh := range ss.shards {
+		if sh.HasDuplicates() {
+			return true
+		}
+	}
+	return false
+}
+
+// Triple returns the triple at global index i.
+func (ss *ShardedStore) Triple(i int32) Triple {
+	return ss.shards[ss.locShard[i]].Triple(ss.locIdx[i])
+}
+
+// subjectShard returns the single shard able to match p when p's subject is
+// bound, and ok=false otherwise.
+func (ss *ShardedStore) subjectShard(p Pattern) (*Store, bool) {
+	if p.S.IsVar {
+		return nil, false
+	}
+	return ss.shards[ss.shardFor(p.S.ID)], true
+}
+
+// Cardinality returns the number of triples matching p — the aggregate over
+// all shards, which is what the planner's cost model must see. A bound
+// subject pins the single owning shard; every other shape sums per-shard
+// cardinalities without materialising a merged list.
+func (ss *ShardedStore) Cardinality(p Pattern) int {
+	if sh, ok := ss.subjectShard(p); ok {
+		return sh.Cardinality(p)
+	}
+	n := 0
+	for _, sh := range ss.shards {
+		n += sh.Cardinality(p)
+	}
+	return n
+}
+
+// MaxScore returns the global maximum raw score among matches of p — the
+// Definition 5 normalisation constant. Per-shard lists are score-sorted, so
+// this is one head peek per shard.
+func (ss *ShardedStore) MaxScore(p Pattern) float64 {
+	if sh, ok := ss.subjectShard(p); ok {
+		return sh.MaxScore(p)
+	}
+	max := 0.0
+	for _, sh := range ss.shards {
+		if m := sh.MaxScore(p); m > max {
+			max = m
+		}
+	}
+	return max
+}
+
+// MatchList returns the global indexes of triples matching p in canonical
+// order (score descending, global index ascending on ties). The merged list
+// is materialised once per pattern key behind a single-flight cache; the hot
+// query path (ShardedListScan) never calls this — it merges the per-shard
+// zero-alloc views directly.
+func (ss *ShardedStore) MatchList(p Pattern) []int32 {
+	if !ss.frozen {
+		panic("kg: MatchList before Freeze")
+	}
+	return ss.merged.get(p.Key(), func() []int32 { return ss.mergeMatches(p) })
+}
+
+// mergeMatches translates every shard's match list to global indexes and
+// restores canonical global order.
+func (ss *ShardedStore) mergeMatches(p Pattern) []int32 {
+	var out []int32
+	for si, sh := range ss.shards {
+		glob := ss.global[si]
+		for _, li := range sh.MatchList(p) {
+			out = append(out, glob[li])
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ta, tb := ss.Triple(out[a]), ss.Triple(out[b])
+		if ta.Score != tb.Score {
+			return ta.Score > tb.Score
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+// NormalizedScores returns the normalised score list for p, sorted
+// descending, aligned with MatchList(p). The slice is freshly allocated and
+// owned by the caller.
+func (ss *ShardedStore) NormalizedScores(p Pattern) []float64 {
+	return normalizedScores(ss, p)
+}
+
+// forCandidates implements matcher. A bound subject pins one shard; every
+// other shape unions the shards' candidate postings. Enumeration order is
+// irrelevant to the shared evaluator's results.
+func (ss *ShardedStore) forCandidates(sub Pattern, f func(t Triple)) {
+	if sh, ok := ss.subjectShard(sub); ok {
+		sh.forCandidates(sub, f)
+		return
+	}
+	for _, sh := range ss.shards {
+		sh.forCandidates(sub, f)
+	}
+}
+
+// Evaluate computes the complete answer set of q (Definition 6 scoring),
+// identical to the flat store's evaluator over the same triples.
+func (ss *ShardedStore) Evaluate(q Query) []Answer {
+	return evaluateWeighted(ss, q, nil)
+}
+
+// EvaluateWeighted is Evaluate with per-pattern weight multipliers.
+func (ss *ShardedStore) EvaluateWeighted(q Query, weights []float64) []Answer {
+	return evaluateWeighted(ss, q, weights)
+}
+
+// Count returns the exact number of distinct answers to q.
+func (ss *ShardedStore) Count(q Query) int {
+	return countAnswers(ss, q)
+}
+
+// Selectivity returns the exact join selectivity φ of q.
+func (ss *ShardedStore) Selectivity(q Query) float64 {
+	return selectivity(ss, q)
+}
+
+// PatternString renders a pattern with decoded constants.
+func (ss *ShardedStore) PatternString(p Pattern) string { return patternString(ss.dict, p) }
+
+// QueryString renders a query with decoded constants.
+func (ss *ShardedStore) QueryString(q Query) string { return queryString(ss.dict, q) }

@@ -3,7 +3,7 @@ package kg
 import (
 	"errors"
 	"fmt"
-	"strings"
+	"math"
 	"sync/atomic"
 )
 
@@ -73,17 +73,19 @@ func (st *Store) Len() int { return len(st.triples) }
 // ErrFrozen is returned by mutating calls after Freeze.
 var ErrFrozen = errors.New("kg: store is frozen")
 
-// Add appends a scored triple. Scores must be non-negative; zero-scored
-// triples are legal but never contribute to top-k under the paper's model.
-// Duplicate (s,p,o) triples with different scores are all retained and all
-// appear in match lists; answer-level semantics collapse them via DedupMax
-// (Definition 8 keeps the maximum-score derivation).
+// Add appends a scored triple. Scores must be finite and non-negative
+// (NaN or ±Inf would poison the score-sorted posting order and Definition 5
+// normalisation, and could not round-trip through the binary snapshot
+// format); zero-scored triples are legal but never contribute to top-k under
+// the paper's model. Duplicate (s,p,o) triples with different scores are all
+// retained and all appear in match lists; answer-level semantics collapse
+// them via DedupMax (Definition 8 keeps the maximum-score derivation).
 func (st *Store) Add(t Triple) error {
 	if st.frozen {
 		return ErrFrozen
 	}
-	if t.Score < 0 {
-		return fmt.Errorf("kg: negative triple score %v", t.Score)
+	if t.Score < 0 || math.IsNaN(t.Score) || math.IsInf(t.Score, 0) {
+		return fmt.Errorf("kg: invalid triple score %v", t.Score)
 	}
 	st.triples = append(st.triples, t)
 	return nil
@@ -193,40 +195,11 @@ func (st *Store) NormalizedScore(p Pattern, t Triple) float64 {
 // descending, aligned with MatchList(p). The slice is freshly allocated and
 // owned by the caller.
 func (st *Store) NormalizedScores(p Pattern) []float64 {
-	l := st.MatchList(p)
-	out := make([]float64, len(l))
-	if len(l) == 0 {
-		return out
-	}
-	max := st.triples[l[0]].Score
-	if max == 0 {
-		return out
-	}
-	for i, ti := range l {
-		out[i] = st.triples[ti].Score / max
-	}
-	return out
+	return normalizedScores(st, p)
 }
 
 // PatternString renders a pattern with decoded constants.
-func (st *Store) PatternString(p Pattern) string {
-	f := func(t Term) string {
-		if t.IsVar {
-			return "?" + t.Name
-		}
-		return st.dict.Decode(t.ID)
-	}
-	return fmt.Sprintf("〈%s %s %s〉", f(p.S), f(p.P), f(p.O))
-}
+func (st *Store) PatternString(p Pattern) string { return patternString(st.dict, p) }
 
 // QueryString renders a query with decoded constants.
-func (st *Store) QueryString(q Query) string {
-	var b strings.Builder
-	for i, p := range q.Patterns {
-		if i > 0 {
-			b.WriteString(" . ")
-		}
-		b.WriteString(st.PatternString(p))
-	}
-	return b.String()
-}
+func (st *Store) QueryString(q Query) string { return queryString(st.dict, q) }

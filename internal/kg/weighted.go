@@ -5,39 +5,7 @@ package kg
 // (per-pattern relaxation weighting; weights nil means all 1). Used by the
 // naive baseline and by tests as ground truth for relaxed queries.
 func (st *Store) EvaluateWeighted(q Query, weights []float64) []Answer {
-	vs := NewVarSet(q)
-	order := evalOrder(st, q)
-	var out []Answer
-	var rec func(step int, b Binding, score float64)
-	rec = func(step int, b Binding, score float64) {
-		if step == len(order) {
-			out = append(out, Answer{Binding: b.Clone(), Score: score})
-			return
-		}
-		pi := order[step]
-		p := q.Patterns[pi]
-		max := st.MaxScore(p)
-		w := 1.0
-		if weights != nil && weights[pi] > 0 {
-			w = weights[pi]
-		}
-		for _, ti := range st.boundCandidates(p, vs, b) {
-			t := st.triples[ti]
-			nb, ok := bindPattern(vs, p, t, b)
-			if !ok {
-				continue
-			}
-			s := 0.0
-			if max > 0 {
-				s = w * t.Score / max
-			}
-			rec(step+1, nb, score+s)
-		}
-	}
-	rec(0, NewBinding(vs.Len()), 0)
-	out = DedupMax(out)
-	SortAnswers(out)
-	return out
+	return evaluateWeighted(st, q, weights)
 }
 
 // DedupMax collapses answers with identical bindings, keeping the maximum

@@ -1,0 +1,90 @@
+package operators
+
+// Prefetch pulls entries from an inner stream on a background goroutine into
+// a bounded buffer, so independent join legs produce entries concurrently
+// while the rank join consumes them. It is *observationally identical* to
+// the inner stream: TopScore is captured at construction, and each buffered
+// entry carries the inner stream's Bound as recorded immediately after that
+// entry was pulled — exactly the value a sequential consumer would have seen
+// at that point. The rank join's corner-bound arithmetic, pull balancing and
+// termination therefore behave bit-for-bit as in sequential execution; only
+// the wall-clock overlap changes.
+//
+// The inner stream must be self-contained after construction (all leg
+// streams — scans, merges, answer scans — are): it is consumed exclusively
+// by the background goroutine. Entries stay valid because leg streams only
+// recycle bindings on Reset, which the prefetched pipeline never calls.
+// Prefetch is deliberately not Resettable.
+type Prefetch struct {
+	ch    chan prefetched
+	top   float64
+	bound float64
+	done  bool
+}
+
+type prefetched struct {
+	e     Entry
+	bound float64
+	ok    bool
+}
+
+// DefaultPrefetchDepth is the per-leg buffer used by the executor: deep
+// enough to decouple producer bursts from the join's alternating pulls,
+// small enough that an early top-k cutoff wastes little work.
+const DefaultPrefetchDepth = 64
+
+// NewPrefetch starts prefetching s. Closing stop terminates the background
+// goroutine (used by the executor when the top-k is reached before the legs
+// are exhausted); consumers must not call Next afterwards.
+func NewPrefetch(s Stream, depth int, stop <-chan struct{}) *Prefetch {
+	if depth < 1 {
+		depth = 1
+	}
+	p := &Prefetch{
+		ch:  make(chan prefetched, depth),
+		top: s.TopScore(),
+	}
+	p.bound = s.Bound()
+	go func() {
+		defer close(p.ch)
+		for {
+			e, ok := s.Next()
+			item := prefetched{e: e, bound: s.Bound(), ok: ok}
+			select {
+			case p.ch <- item:
+			case <-stop:
+				return
+			}
+			if !ok {
+				return
+			}
+		}
+	}()
+	return p
+}
+
+// TopScore implements Stream.
+func (p *Prefetch) TopScore() float64 { return p.top }
+
+// Bound implements Stream.
+func (p *Prefetch) Bound() float64 { return p.bound }
+
+// Next implements Stream.
+func (p *Prefetch) Next() (Entry, bool) {
+	if p.done {
+		return Entry{}, false
+	}
+	item, ok := <-p.ch
+	if !ok {
+		// Channel closed by stop: treat as exhausted without touching the
+		// bound (nothing observes it after a cancelled run).
+		p.done = true
+		return Entry{}, false
+	}
+	p.bound = item.bound
+	if !item.ok {
+		p.done = true
+		return Entry{}, false
+	}
+	return item.e, true
+}

@@ -17,7 +17,7 @@ import (
 // dedup-suppressed repeats cost zero allocations, and emits amortise to one
 // allocation per arenaChunkEntries entries.
 type ListScan struct {
-	store   *kg.Store
+	store   kg.Graph
 	weight  float64
 	mask    uint32
 	counter *Counter
@@ -25,6 +25,10 @@ type ListScan struct {
 	list []int32
 	max  float64
 	pos  int
+	// lastIdx is the store-local index of the triple behind the most recent
+	// emission — the tiebreak ShardedListScan needs to interleave per-shard
+	// sub-scans in exact global order.
+	lastIdx int32
 
 	// Compiled binder: one slot per pattern position, resolved against the
 	// variable set once at construction so Next never does a map lookup.
@@ -59,14 +63,22 @@ const (
 // (use 1 for the original pattern, the rule weight for a relaxation). mask is
 // OR-ed into every entry's Relaxed field (0 for originals, 1<<patternIdx for
 // relaxations). vs must be the variable set of the enclosing query.
-func NewListScan(store *kg.Store, vs *kg.VarSet, p kg.Pattern, weight float64, mask uint32, c *Counter) *ListScan {
+func NewListScan(store kg.Graph, vs *kg.VarSet, p kg.Pattern, weight float64, mask uint32, c *Counter) *ListScan {
+	return newListScanOver(store, vs, p, weight, mask, c, store.MatchList(p), store.MaxScore(p))
+}
+
+// newListScanOver builds a scan over an explicit match list and an explicit
+// normalisation constant. ShardedListScan uses it to run each per-shard
+// sub-scan against the shard's zero-alloc list view while normalising by the
+// global maximum, so sub-scan scores equal the unsharded scan's exactly.
+func newListScanOver(store kg.Graph, vs *kg.VarSet, p kg.Pattern, weight float64, mask uint32, c *Counter, list []int32, max float64) *ListScan {
 	s := &ListScan{
 		store:   store,
 		weight:  weight,
 		mask:    mask,
 		counter: c,
-		list:    store.MatchList(p),
-		max:     store.MaxScore(p),
+		list:    list,
+		max:     max,
 		scratch: kg.NewBinding(vs.Len()),
 	}
 	dedup := store.HasDuplicates()
@@ -148,7 +160,8 @@ func (s *ListScan) bind(t kg.Triple) bool {
 // Next implements Stream.
 func (s *ListScan) Next() (Entry, bool) {
 	for s.pos < len(s.list) {
-		t := s.store.Triple(s.list[s.pos])
+		ti := s.list[s.pos]
+		t := s.store.Triple(ti)
 		s.pos++
 		if !s.bind(t) {
 			continue
@@ -165,6 +178,7 @@ func (s *ListScan) Next() (Entry, bool) {
 			score = s.weight * t.Score / s.max
 		}
 		s.last = score
+		s.lastIdx = ti
 		s.counter.Inc()
 		return Entry{Binding: s.arena.clone(s.scratch), Score: score, Relaxed: s.mask}, true
 	}

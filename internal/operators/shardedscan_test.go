@@ -1,0 +1,287 @@
+package operators
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"specqp/internal/kg"
+)
+
+// randomOpStore builds a flat store with score ties and duplicate (s,p,o)
+// keys — the shapes that stress merge tie-breaking and dedup.
+func randomOpStore(t testing.TB, seed int64, n int) *kg.Store {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	st := kg.NewStore(nil)
+	for st.Dict().Len() < 16 {
+		st.Dict().Encode(fmt.Sprintf("t%d", st.Dict().Len()))
+	}
+	add := func(s, p, o kg.ID, sc float64) {
+		if err := st.Add(kg.Triple{S: s, P: p, O: o, Score: sc}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		s, p, o := kg.ID(rng.Intn(8)), kg.ID(8+rng.Intn(3)), kg.ID(11+rng.Intn(5))
+		add(s, p, o, float64(1+rng.Intn(20)))
+		if rng.Intn(4) == 0 {
+			add(s, p, o, float64(1+rng.Intn(20)))
+		}
+	}
+	st.Freeze()
+	return st
+}
+
+// scanPatterns enumerates the scan shapes the merge must reproduce exactly,
+// including the cross-shard dedup shape (subject variable outside the
+// query's variable set) and score-tied lists.
+func scanPatterns() []kg.Pattern {
+	var pats []kg.Pattern
+	for p := 8; p < 11; p++ {
+		pats = append(pats,
+			kg.NewPattern(kg.Var("x"), kg.Const(kg.ID(p)), kg.Var("y")),
+			kg.NewPattern(kg.Var("x"), kg.Const(kg.ID(p)), kg.Const(kg.ID(11))),
+			// Subject outside the variable set: bindings drop the subject, so
+			// different shards can produce identical bindings.
+			kg.NewPattern(kg.Var("free_subj"), kg.Const(kg.ID(p)), kg.Var("y")),
+			kg.NewPattern(kg.Var("free_subj"), kg.Const(kg.ID(p)), kg.Const(kg.ID(12))),
+		)
+	}
+	pats = append(pats,
+		kg.NewPattern(kg.Const(kg.ID(3)), kg.Var("x"), kg.Var("y")), // single-shard (S bound)
+		kg.NewPattern(kg.Var("x"), kg.Var("y"), kg.Const(kg.ID(13))),
+		kg.NewPattern(kg.Var("x"), kg.Var("free_p"), kg.Var("y")),
+	)
+	return pats
+}
+
+// drainStream pulls everything while recording the observable trajectory:
+// entries plus the Bound value after every pull.
+type observation struct {
+	entries []Entry
+	bounds  []float64
+	top     float64
+}
+
+func observe(s Stream) observation {
+	o := observation{top: s.TopScore()}
+	for {
+		e, ok := s.Next()
+		o.bounds = append(o.bounds, s.Bound())
+		if !ok {
+			return o
+		}
+		o.entries = append(o.entries, e)
+	}
+}
+
+func compareObservations(t *testing.T, label string, got, want observation) {
+	t.Helper()
+	if got.top != want.top {
+		t.Fatalf("%s: TopScore %v, want %v", label, got.top, want.top)
+	}
+	if len(got.entries) != len(want.entries) {
+		t.Fatalf("%s: %d entries, want %d", label, len(got.entries), len(want.entries))
+	}
+	for i := range got.entries {
+		g, w := got.entries[i], want.entries[i]
+		if g.Score != w.Score || g.Relaxed != w.Relaxed || g.Binding.Compare(w.Binding) != 0 {
+			t.Fatalf("%s: entry %d is %v, want %v", label, i, g, w)
+		}
+	}
+	if len(got.bounds) != len(want.bounds) {
+		t.Fatalf("%s: %d bound samples, want %d", label, len(got.bounds), len(want.bounds))
+	}
+	for i := range got.bounds {
+		if got.bounds[i] != want.bounds[i] {
+			t.Fatalf("%s: bound after pull %d is %v, want %v", label, i, got.bounds[i], want.bounds[i])
+		}
+	}
+}
+
+// TestShardedListScanMatchesListScan is the stream-equivalence property
+// test behind the sharded engine's correctness: for every pattern shape and
+// shard count, the merged per-shard scan is observationally identical to the
+// flat ListScan — same entries, same order (score ties broken by global
+// insertion index), same scores, same counter value, same TopScore/Bound
+// trajectory.
+func TestShardedListScanMatchesListScan(t *testing.T) {
+	q := kg.NewQuery(kg.NewPattern(kg.Var("x"), kg.Var("p"), kg.Var("y")))
+	vs := kg.NewVarSet(q)
+	for trial := int64(0); trial < 5; trial++ {
+		st := randomOpStore(t, 600+trial, 250)
+		for _, n := range []int{1, 2, 3, 7, 16} {
+			ss := kg.NewShardedStoreFrom(st, n)
+			for pi, pat := range scanPatterns() {
+				var cFlat, cSharded Counter
+				want := observe(NewListScan(st, vs, pat, 0.7, 2, &cFlat))
+				got := observe(NewShardedListScan(ss, vs, pat, 0.7, 2, &cSharded))
+				label := fmt.Sprintf("trial %d shards=%d pattern %d", trial, n, pi)
+				compareObservations(t, label, got, want)
+				if cFlat.Value() != cSharded.Value() {
+					t.Fatalf("%s: sharded counter %d, flat %d", label, cSharded.Value(), cFlat.Value())
+				}
+			}
+		}
+	}
+}
+
+// TestShardedListScanNormalizedCollapse pins the merge tiebreak on *raw*
+// scores: float64 division can collapse two distinct raw scores onto one
+// normalised value, and the flat list order (raw score desc, index asc) must
+// still be reproduced. The fixture searches for a genuine collapse pair
+// (r′ < r with r′/max == r/max), inserts the lower-raw triple with the
+// earlier global index under a different subject, and requires the merged
+// scan to keep emitting the higher-raw triple first at every shard count.
+func TestShardedListScanNormalizedCollapse(t *testing.T) {
+	// Find r, max with nextafter(r,0)/max == r/max and r < max.
+	var r, r2, max float64
+	found := false
+	for _, m := range []float64{10, 3, 7, 1e3, 1e16} {
+		for _, base := range []float64{1e15, 3e14, 7.7e15, 1e16 / 3} {
+			if base >= m*1e15 { // keep r < max after scaling
+				continue
+			}
+			cand := base
+			cand2 := nextAfterDown(cand)
+			mx := m * 1e15
+			if cand2 != cand && cand/mx == cand2/mx && cand < mx {
+				r, r2, max, found = cand, cand2, mx, true
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Skip("no normalisation-collapse pair found on this platform")
+	}
+	build := func() *kg.Store {
+		st := kg.NewStore(nil)
+		for st.Dict().Len() < 16 {
+			st.Dict().Encode(fmt.Sprintf("t%d", st.Dict().Len()))
+		}
+		add := func(s, o kg.ID, sc float64) {
+			if err := st.Add(kg.Triple{S: s, P: 8, O: o, Score: sc}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Lower raw score first (earlier global index), spread over many
+		// subjects so shards separate the colliding pair somewhere in the
+		// ladder. Objects differ between the r and r′ rows — otherwise they
+		// would be duplicate (s,p,o) keys and per-shard dedup would hide the
+		// collision. The max triple pins the normalisation constant.
+		for s := kg.ID(0); s < 8; s++ {
+			add(s, 11, r2)
+		}
+		for s := kg.ID(0); s < 8; s++ {
+			add(s, 12, r)
+		}
+		add(0, 13, max)
+		st.Freeze()
+		return st
+	}
+	st := build()
+	q := kg.NewQuery(kg.NewPattern(kg.Var("x"), kg.Var("p"), kg.Var("y")))
+	vs := kg.NewVarSet(q)
+	pat := kg.NewPattern(kg.Var("x"), kg.Const(kg.ID(8)), kg.Var("y"))
+	want := observe(NewListScan(st, vs, pat, 1, 0, nil))
+	for _, n := range []int{2, 3, 7, 16} {
+		ss := kg.NewShardedStoreFrom(st, n)
+		got := observe(NewShardedListScan(ss, vs, pat, 1, 0, nil))
+		compareObservations(t, fmt.Sprintf("collapse shards=%d", n), got, want)
+	}
+}
+
+func nextAfterDown(x float64) float64 {
+	return math.Nextafter(x, 0)
+}
+
+// TestShardedListScanReset pins Resettable behaviour: a reset merged scan
+// replays the identical sequence, allocation-free in steady state.
+func TestShardedListScanReset(t *testing.T) {
+	st := randomOpStore(t, 44, 300)
+	ss := kg.NewShardedStoreFrom(st, 4)
+	q := kg.NewQuery(kg.NewPattern(kg.Var("x"), kg.Var("p"), kg.Var("y")))
+	vs := kg.NewVarSet(q)
+	pat := kg.NewPattern(kg.Var("free_subj"), kg.Const(kg.ID(9)), kg.Var("y"))
+	s := NewShardedListScan(ss, vs, pat, 1, 0, nil)
+	first := observe(s)
+	s.Reset()
+	second := observe(s)
+	compareObservations(t, "replay", second, first)
+	if len(first.entries) == 0 {
+		t.Fatal("pattern matched nothing; test is vacuous")
+	}
+}
+
+// TestShardedListScanSteadyAllocs extends the zero-alloc guarantee to the
+// sharded scan: after the first drain sizes sub-scan arenas and the merge
+// heap, reset+drain cycles allocate nothing.
+func TestShardedListScanSteadyAllocs(t *testing.T) {
+	st := randomOpStore(t, 9, 400)
+	ss := kg.NewShardedStoreFrom(st, 4)
+	q := kg.NewQuery(kg.NewPattern(kg.Var("x"), kg.Var("p"), kg.Var("y")))
+	vs := kg.NewVarSet(q)
+	pat := kg.NewPattern(kg.Var("x"), kg.Const(kg.ID(8)), kg.Var("y"))
+	s := NewShardedListScan(ss, vs, pat, 1, 0, nil)
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		s.Reset()
+		for {
+			if _, ok := s.Next(); !ok {
+				return
+			}
+		}
+	}); allocs != 0 {
+		t.Fatalf("steady-state sharded scan: %v allocs per drain, want 0", allocs)
+	}
+}
+
+// TestPrefetchObservationallyIdentical pins the property the parallel
+// executor relies on: a prefetched stream exposes the same entries, bounds
+// and top score as consuming the inner stream directly.
+func TestPrefetchObservationallyIdentical(t *testing.T) {
+	st := randomOpStore(t, 123, 300)
+	q := kg.NewQuery(kg.NewPattern(kg.Var("x"), kg.Var("p"), kg.Var("y")))
+	vs := kg.NewVarSet(q)
+	for pi, pat := range scanPatterns() {
+		want := observe(NewListScan(st, vs, pat, 1, 0, nil))
+		stop := make(chan struct{})
+		got := observe(NewPrefetch(NewListScan(st, vs, pat, 1, 0, nil), 8, stop))
+		close(stop)
+		compareObservations(t, fmt.Sprintf("pattern %d", pi), got, want)
+	}
+}
+
+// TestPrefetchStopReleasesProducer checks the early-termination path: after
+// stop closes mid-stream, the consumer sees end-of-stream instead of
+// blocking and the producer goroutine exits (the -race build would flag a
+// leaked send otherwise).
+func TestPrefetchStopReleasesProducer(t *testing.T) {
+	st := randomOpStore(t, 5, 500)
+	q := kg.NewQuery(kg.NewPattern(kg.Var("x"), kg.Var("p"), kg.Var("y")))
+	vs := kg.NewVarSet(q)
+	pat := kg.NewPattern(kg.Var("x"), kg.Const(kg.ID(8)), kg.Var("y"))
+	stop := make(chan struct{})
+	p := NewPrefetch(NewListScan(st, vs, pat, 1, 0, nil), 2, stop)
+	if _, ok := p.Next(); !ok {
+		t.Fatal("expected at least one entry")
+	}
+	close(stop)
+	// Drain whatever was buffered before the stop landed; the stream must
+	// terminate rather than hang.
+	for i := 0; i < 1000; i++ {
+		if _, ok := p.Next(); !ok {
+			return
+		}
+	}
+	t.Fatal("prefetch did not terminate after stop")
+}

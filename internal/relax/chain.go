@@ -86,7 +86,7 @@ func ApplyChain(r Rule, p kg.Pattern) []kg.Pattern {
 // normalised scores; duplicate projections keep the maximum. The result is
 // sorted by score descending — the "sorted answer list" shape the operators
 // expect.
-func ChainMatches(st *kg.Store, chain []kg.Pattern, vs *kg.VarSet) []kg.Answer {
+func ChainMatches(st kg.Graph, chain []kg.Pattern, vs *kg.VarSet) []kg.Answer {
 	sub := kg.NewQuery(chain...)
 	subVS := kg.NewVarSet(sub)
 	raw := st.Evaluate(sub)

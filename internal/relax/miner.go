@@ -24,7 +24,7 @@ type CooccurrenceMiner struct {
 }
 
 // Mine computes the rule set from the store's co-occurrence structure.
-func (m CooccurrenceMiner) Mine(st *kg.Store) (*RuleSet, error) {
+func (m CooccurrenceMiner) Mine(st kg.Graph) (*RuleSet, error) {
 	// subjects per term, and term sets per subject.
 	termSubjects := make(map[kg.ID]map[kg.ID]bool)
 	subjectTerms := make(map[kg.ID][]kg.ID)
@@ -127,7 +127,7 @@ type TypeHierarchy struct {
 
 // Mine computes the rule set implied by the taxonomy for every type that
 // appears as an object of TypePred in the store.
-func (h TypeHierarchy) Mine(st *kg.Store) (*RuleSet, error) {
+func (h TypeHierarchy) Mine(st kg.Graph) (*RuleSet, error) {
 	pw := h.ParentWeight
 	if pw == 0 {
 		pw = 0.7

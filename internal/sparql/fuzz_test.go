@@ -1,0 +1,58 @@
+package sparql
+
+import (
+	"reflect"
+	"testing"
+
+	"specqp/internal/kg"
+)
+
+// FuzzParseSPARQL fuzzes the parser with two properties:
+//
+//  1. Parse never panics, whatever the input;
+//  2. accepted queries round-trip — Parse(Render(q)) reproduces q exactly —
+//     for every query whose constants the grammar can carry (CanRender; the
+//     grammar has no escapes, so a constant containing '>' and both quote
+//     characters is unrepresentable).
+func FuzzParseSPARQL(f *testing.F) {
+	seeds := []string{
+		"SELECT ?s WHERE { ?s 'rdf:type' <singer> }",
+		"SELECT ?s ?o WHERE { ?s <collaboratesWith> ?o . ?s 'rdf:type' <singer> } LIMIT 5",
+		"SELECT * WHERE { ?x ?p ?y . ?y ?p ?z }",
+		"SELECT ?x WHERE { ?x \"has tag\" bare_token }",
+		"select ?s where { ?s a <b> . } limit 10",
+		"SELECT ?s WHERE { ?s <p> '' }",
+		"SELECT ?s WHERE { ?s <p> 'a>b' }",
+		"SELECT",
+		"SELECT ?s WHERE {",
+		"SELECT ?s WHERE { ?s }",
+		"SELECT ?s WHERE { ?s <p> <o> } LIMIT x",
+		"{}?.*<>''\"\"",
+		"SELECT ?s WHERE { ?s <p> <o> } trailing",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		dict := kg.NewDict()
+		pq, err := Parse(src, dict)
+		if err != nil {
+			return
+		}
+		if len(pq.Query.Patterns) == 0 {
+			t.Fatalf("accepted query %q has no patterns", src)
+		}
+		if !CanRender(pq.Query, dict) {
+			return
+		}
+		rendered := Render(pq.Query, dict)
+		pq2, err := Parse(rendered, dict)
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %q rendered as %q: %v", src, rendered, err)
+		}
+		if !reflect.DeepEqual(pq.Query, pq2.Query) {
+			t.Fatalf("round trip changed the query: %q → %q:\n  first  %#v\n  second %#v",
+				src, rendered, pq.Query, pq2.Query)
+		}
+	})
+}

@@ -264,6 +264,10 @@ func (p *parser) parsePattern() (kg.Pattern, error) {
 // Render renders a query back to SPARQL text (single line), decoding
 // constants with dict. It is the inverse of Parse for queries produced by
 // this package: Parse(Render(q)) reproduces q up to term interning.
+// Constants render as IRIs unless they contain '>', in which case a quote
+// delimiter not occurring in the term is chosen; CanRender reports the rare
+// terms (containing '>' and both quote characters) that no delimiter of the
+// grammar can carry.
 func Render(q kg.Query, dict *kg.Dict) string {
 	var b strings.Builder
 	b.WriteString("SELECT")
@@ -282,12 +286,50 @@ func Render(q kg.Query, dict *kg.Dict) string {
 				b.WriteByte('?')
 				b.WriteString(t.Name)
 			} else {
-				b.WriteByte('<')
-				b.WriteString(dict.Decode(t.ID))
-				b.WriteByte('>')
+				writeConst(&b, dict.Decode(t.ID))
 			}
 		}
 	}
 	b.WriteString(" }")
 	return b.String()
+}
+
+// writeConst renders one constant with the first delimiter that can carry it.
+func writeConst(b *strings.Builder, term string) {
+	switch {
+	case !strings.ContainsRune(term, '>'):
+		b.WriteByte('<')
+		b.WriteString(term)
+		b.WriteByte('>')
+	case !strings.ContainsRune(term, '\''):
+		b.WriteByte('\'')
+		b.WriteString(term)
+		b.WriteByte('\'')
+	default:
+		// CanRender guards the remaining case; emit with '"' regardless so
+		// Render stays total.
+		b.WriteByte('"')
+		b.WriteString(term)
+		b.WriteByte('"')
+	}
+}
+
+// CanRender reports whether every constant of q survives a Render→Parse
+// round trip. The grammar has no escape sequences, so a term containing
+// '>' and both quote characters cannot be carried by any delimiter.
+func CanRender(q kg.Query, dict *kg.Dict) bool {
+	for _, p := range q.Patterns {
+		for _, t := range []kg.Term{p.S, p.P, p.O} {
+			if t.IsVar {
+				continue
+			}
+			term := dict.Decode(t.ID)
+			if strings.ContainsRune(term, '>') &&
+				strings.ContainsRune(term, '\'') &&
+				strings.ContainsRune(term, '"') {
+				return false
+			}
+		}
+	}
+	return true
 }

@@ -10,7 +10,7 @@ import (
 // metadata) and exposes query-level distribution estimation. It is safe for
 // concurrent use after construction.
 type Catalog struct {
-	store *kg.Store
+	store kg.Graph
 	// Buckets selects the histogram resolution: 2 reproduces the paper's
 	// model; larger values enable the multi-bucket ablation.
 	buckets int
@@ -37,7 +37,7 @@ type Counter interface {
 
 // ExactCounter computes exact join cardinalities with the store's evaluator
 // — the configuration the paper evaluates.
-type ExactCounter struct{ Store *kg.Store }
+type ExactCounter struct{ Store kg.Graph }
 
 // QueryCount implements Counter.
 func (c ExactCounter) QueryCount(q kg.Query) int { return c.Store.Count(q) }
@@ -46,7 +46,7 @@ func (c ExactCounter) QueryCount(q kg.Query) int { return c.Store.Count(q) }
 // independence/containment assumption: the product of pattern cardinalities
 // divided, per shared variable occurrence, by the number of distinct values
 // that variable can take in the joined patterns' relevant position.
-type EstimatedCounter struct{ Store *kg.Store }
+type EstimatedCounter struct{ Store kg.Graph }
 
 // QueryCount implements Counter.
 func (c EstimatedCounter) QueryCount(q kg.Query) int {
@@ -113,7 +113,7 @@ func (c EstimatedCounter) distinctValues(p kg.Pattern, v string) int {
 // NewCatalog builds a catalog over st using bucket resolution buckets
 // (use 2 for the paper's model) and the given cardinality counter (nil means
 // exact counting, as in the paper).
-func NewCatalog(st *kg.Store, buckets int, counter Counter) *Catalog {
+func NewCatalog(st kg.Graph, buckets int, counter Counter) *Catalog {
 	if buckets < 2 {
 		buckets = 2
 	}
@@ -151,7 +151,7 @@ func queryKey(q kg.Query) string {
 }
 
 // Store returns the underlying triple store.
-func (c *Catalog) Store() *kg.Store { return c.store }
+func (c *Catalog) Store() kg.Graph { return c.store }
 
 // Buckets returns the histogram resolution.
 func (c *Catalog) Buckets() int { return c.buckets }

@@ -24,6 +24,7 @@ package specqp
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"specqp/internal/exec"
 	"specqp/internal/kg"
@@ -38,6 +39,11 @@ import (
 type (
 	// Store is the scored triple store.
 	Store = kg.Store
+	// ShardedStore is a Store hash-partitioned into independently-frozen
+	// segments, serving queries with per-shard merged scans.
+	ShardedStore = kg.ShardedStore
+	// Graph is the read interface implemented by Store and ShardedStore.
+	Graph = kg.Graph
 	// Dict is the term dictionary.
 	Dict = kg.Dict
 	// ID is a dictionary-encoded term.
@@ -71,6 +77,18 @@ func Const(id ID) Term { return kg.Const(id) }
 // NewStore returns an empty triple store with a fresh dictionary.
 func NewStore() *Store { return kg.NewStore(nil) }
 
+// NewShardedStore returns an empty sharded store with the given number of
+// segments and a fresh dictionary (see Options.Shards for when to shard);
+// negative counts resolve to one segment per CPU, like Options.Shards.
+// Populate it with Add/AddSPO and hand it to NewEngineOver to query without
+// ever materialising a flat copy of the triples.
+func NewShardedStore(shards int) *ShardedStore {
+	if shards < 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	return kg.NewShardedStore(nil, shards)
+}
+
 // NewRuleSet returns an empty relaxation rule set.
 func NewRuleSet() *RuleSet { return relax.NewRuleSet() }
 
@@ -84,7 +102,7 @@ func NewQuery(ps ...Pattern) Query { return kg.NewQuery(ps...) }
 // patterns from subject/term co-occurrence: term T1 relaxes to T2 with
 // weight #subjects(T1∧T2)/#subjects(T1). maxRules caps rules per term
 // (0 = unlimited); minWeight drops weaker rules.
-func MineCooccurrence(st *Store, pred ID, maxRules int, minWeight float64) (*RuleSet, error) {
+func MineCooccurrence(st Graph, pred ID, maxRules int, minWeight float64) (*RuleSet, error) {
 	m := relax.CooccurrenceMiner{Pred: pred, MaxRules: maxRules, MinWeight: minWeight}
 	return m.Mine(st)
 }
@@ -96,7 +114,7 @@ type TypeHierarchy = relax.TypeHierarchy
 // MineTypeHierarchy mines XKG-style relaxation rules for 〈?s type T〉 patterns
 // from a type taxonomy: siblings, parents and grandparents of each type used
 // in the store become relaxation targets.
-func MineTypeHierarchy(st *Store, h TypeHierarchy) (*RuleSet, error) {
+func MineTypeHierarchy(st Graph, h TypeHierarchy) (*RuleSet, error) {
 	return h.Mine(st)
 }
 
@@ -144,13 +162,35 @@ type Options struct {
 	// PlanCacheSize is the capacity of the LRU plan cache QueryBatch uses
 	// for ModeSpecQP, keyed by query shape (0 = planner.DefaultPlanCacheSize).
 	PlanCacheSize int
+	// Shards selects the storage layout the engine queries. 0 or 1 keeps
+	// today's flat layout. A value > 1 repartitions the store into that many
+	// subject-hashed segments (frozen in parallel) and turns on parallel
+	// query execution: per-pattern scans merge per-shard sorted views, and
+	// independent join legs are built and prefetched concurrently. Negative
+	// values select runtime.GOMAXPROCS(0) segments — the usual opt-in for
+	// multi-core machines (ShardsAuto). Answers are bit-identical across
+	// shard counts; Result.MemoryObjects may be higher in sharded mode
+	// because prefetched-but-unconsumed entries still count.
+	//
+	// Memory note: the engine copies the store's triples into the segments
+	// and keeps the passed Store alive for Store()/Dict(), so during the
+	// engine's lifetime the triple payload exists twice — plus the flat
+	// posting arenas if the store was already frozen. For memory-critical
+	// giant stores, pass an unfrozen Store (its postings are then never
+	// built) and drop external references to it after engine construction.
+	Shards int
 }
+
+// ShardsAuto is the Options.Shards sentinel selecting one shard per
+// available CPU (runtime.GOMAXPROCS(0)).
+const ShardsAuto = -1
 
 // Engine bundles a store, a rule set, the statistics catalog, the
 // speculative planner and the executors behind one façade. It is safe for
 // concurrent queries once the store is frozen.
 type Engine struct {
 	store   *Store
+	graph   kg.Graph
 	rules   *RuleSet
 	catalog *stats.Catalog
 	planner *planner.Planner
@@ -165,41 +205,91 @@ func NewEngine(st *Store, rules *RuleSet) *Engine {
 	return NewEngineWith(st, rules, Options{})
 }
 
-// NewEngineWith builds an engine with explicit options.
+// NewEngineWith builds an engine with explicit options. With Options.Shards
+// beyond 1 the store's triples are repartitioned into subject-hashed
+// segments (frozen in parallel; st itself is left as passed) and every
+// query runs through the parallel sharded read path.
 func NewEngineWith(st *Store, rules *RuleSet, opts Options) *Engine {
-	if !st.Frozen() {
-		st.Freeze()
+	shards := opts.Shards
+	if shards < 0 {
+		shards = runtime.GOMAXPROCS(0)
 	}
+	var graph kg.Graph
+	if shards > 1 {
+		graph = kg.NewShardedStoreFrom(st, shards)
+	} else {
+		if !st.Frozen() {
+			st.Freeze()
+		}
+		graph = st
+	}
+	return newEngineOver(graph, st, rules, opts)
+}
+
+// NewEngineOver builds an engine directly over an existing Graph — a Store
+// or a caller-built ShardedStore — without copying or repartitioning it
+// (Options.Shards is ignored; the graph's own layout decides the execution
+// mode). This is the memory-lean path for sharded engines: populate a
+// specqp.NewShardedStore yourself and no flat copy of the triples ever
+// exists. Engine.Store returns nil unless g is a *Store.
+func NewEngineOver(g Graph, rules *RuleSet, opts Options) *Engine {
+	if !g.Frozen() {
+		switch s := g.(type) {
+		case *Store:
+			s.Freeze()
+		case *ShardedStore:
+			s.Freeze()
+		}
+	}
+	st, _ := g.(*Store)
+	return newEngineOver(g, st, rules, opts)
+}
+
+// newEngineOver wires catalog, planner, caches and executor over graph.
+// store may be nil (engines built over a non-*Store graph).
+func newEngineOver(graph kg.Graph, store *Store, rules *RuleSet, opts Options) *Engine {
 	buckets := opts.HistogramBuckets
 	if buckets == 0 {
 		buckets = 2
 	}
 	var counter stats.Counter
 	if opts.EstimatedSelectivity {
-		counter = stats.EstimatedCounter{Store: st}
+		counter = stats.EstimatedCounter{Store: graph}
 	}
-	cat := stats.NewCatalog(st, buckets, counter)
+	cat := stats.NewCatalog(graph, buckets, counter)
 	pl := planner.New(cat, rules)
+	ex := exec.New(graph, rules)
+	if ss, ok := graph.(*ShardedStore); ok && ss.NumShards() > 1 {
+		ex.Parallel = true
+	}
 	return &Engine{
-		store:   st,
+		store:   store,
+		graph:   graph,
 		rules:   rules,
 		catalog: cat,
 		planner: pl,
 		plans:   planner.NewPlanCache(pl, opts.PlanCacheSize),
-		exec:    exec.New(st, rules),
+		exec:    ex,
 		opts:    opts,
 	}
 }
 
-// Store returns the engine's triple store.
+// Store returns the engine's triple store as passed to NewEngine. With
+// Options.Shards beyond 1 the engine queries a sharded copy instead — see
+// Graph. Engines built with NewEngineOver on a non-*Store graph return nil.
 func (e *Engine) Store() *Store { return e.store }
+
+// Graph returns the store layout the engine actually queries: the Store
+// itself, or the ShardedStore built from it when Options.Shards asked for
+// partitioning.
+func (e *Engine) Graph() Graph { return e.graph }
 
 // Rules returns the engine's rule set.
 func (e *Engine) Rules() *RuleSet { return e.rules }
 
 // ParseSPARQL parses a SPARQL-subset query against the engine's dictionary.
 func (e *Engine) ParseSPARQL(src string) (Query, error) {
-	pq, err := sparql.Parse(src, e.store.Dict())
+	pq, err := sparql.Parse(src, e.graph.Dict())
 	if err != nil {
 		return Query{}, err
 	}
@@ -213,7 +303,7 @@ type PatternStats = stats.PatternStats
 // PatternStats computes the two-bucket statistics of a pattern's normalised
 // scores — the four values the paper precomputes per triple pattern.
 func (e *Engine) PatternStats(p Pattern) (PatternStats, error) {
-	return stats.FitTwoBucket(e.store.NormalizedScores(p))
+	return stats.FitTwoBucket(e.graph.NormalizedScores(p))
 }
 
 // DefaultK is the top-k used by QuerySPARQL when the query has no LIMIT.
@@ -222,7 +312,7 @@ const DefaultK = 10
 // QuerySPARQL parses and executes a SPARQL-subset query in one call. The
 // query's LIMIT clause selects k (DefaultK when absent).
 func (e *Engine) QuerySPARQL(src string, mode Mode) (Result, error) {
-	pq, err := sparql.Parse(src, e.store.Dict())
+	pq, err := sparql.Parse(src, e.graph.Dict())
 	if err != nil {
 		return Result{}, err
 	}
@@ -290,7 +380,7 @@ func (e *Engine) DecodeAnswer(q Query, a Answer) map[string]string {
 	out := make(map[string]string, vs.Len())
 	for i := 0; i < vs.Len(); i++ {
 		if a.Binding[i] != kg.NoID {
-			out[vs.Name(i)] = e.store.Dict().Decode(a.Binding[i])
+			out[vs.Name(i)] = e.graph.Dict().Decode(a.Binding[i])
 		}
 	}
 	return out
