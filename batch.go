@@ -79,5 +79,5 @@ func (e *Engine) queryOne(ctx context.Context, q Query, k int, mode Mode) (Resul
 	if mode != ModeSpecQP {
 		return e.QueryContext(ctx, q, k, mode)
 	}
-	return e.exec.SpecQPContext(ctx, e.plans, q, k)
+	return e.exec.SpecQPContext(ctx, e.livePlans(), q, k)
 }

@@ -543,3 +543,178 @@ func BenchmarkPrecisionAgainstTruth(b *testing.B) {
 	b.ReportMetric(prec/float64(n), "precision")
 	b.ReportMetric(float64(exact)/float64(n), "exact-match-rate")
 }
+
+// ---------------------------------------------------------------------------
+// Live ingest: the PR 4 scenario benchmarks behind BENCH_4.json.
+
+// benchIngestTriples extracts a dataset's triples as a replayable sequence.
+func benchIngestTriples(b *testing.B, st *Store, n int) []Triple {
+	b.Helper()
+	if st.Len() < n {
+		b.Fatalf("dataset has %d triples, need %d", st.Len(), n)
+	}
+	out := make([]Triple, n)
+	for i := range out {
+		out[i] = st.Triple(int32(i))
+	}
+	return out
+}
+
+// BenchmarkLiveIngest times the growing-knowledge-graph scenario the paper's
+// workload implies: a base store is built once, then a stream of new triples
+// arrives in batches with one probe query per batch.
+//
+//	rebuild — the pre-live-ingest behaviour: every batch pays a full store
+//	          rebuild + freeze before it can be queried;
+//	live    — Engine.Insert into the mutable heads with automatic
+//	          merge-on-threshold compaction.
+//
+// Answers are bit-identical between the two (TestLiveInterleavedOracle);
+// this measures what the mutable head buys in wall-clock per scenario.
+func BenchmarkLiveIngest(b *testing.B) {
+	xkg, _ := benchDatasets(b)
+	const baseN, streamN, batch = 8000, 1000, 100
+	triples := benchIngestTriples(b, xkg.Store, baseN+streamN)
+	probe := xkg.Queries[0].Query
+	dict := xkg.Store.Dict()
+
+	b.Run("rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for pos := baseN; pos <= baseN+streamN; pos += batch {
+				st := kg.NewStore(dict)
+				for _, tr := range triples[:pos] {
+					if err := st.Add(tr); err != nil {
+						b.Fatal(err)
+					}
+				}
+				st.Freeze()
+				eng := NewEngineOver(st, xkg.Rules, Options{})
+				if _, err := eng.Query(probe, 10, ModeSpecQP); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	for _, shards := range shardedBenchCounts() {
+		b.Run(fmt.Sprintf("live/shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ss := kg.NewShardedStore(dict, shards)
+				for _, tr := range triples[:baseN] {
+					if err := ss.Add(tr); err != nil {
+						b.Fatal(err)
+					}
+				}
+				eng := NewEngineOver(ss, xkg.Rules, Options{})
+				if _, err := eng.Query(probe, 10, ModeSpecQP); err != nil {
+					b.Fatal(err)
+				}
+				for pos := baseN; pos < baseN+streamN; pos += batch {
+					for _, tr := range triples[pos : pos+batch] {
+						if err := eng.Insert(tr); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if _, err := eng.Query(probe, 10, ModeSpecQP); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompact isolates the merge itself: compacting a 1024-triple head
+// into a frozen base versus re-freezing the whole store from scratch — the
+// work a rebuild-per-batch design pays at the same point.
+func BenchmarkCompact(b *testing.B) {
+	xkg, _ := benchDatasets(b)
+	const baseN, headN = 8000, 1024
+	triples := benchIngestTriples(b, xkg.Store, baseN+headN)
+	dict := xkg.Store.Dict()
+
+	b.Run("compact-head", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			st := kg.NewStore(dict)
+			for _, tr := range triples[:baseN] {
+				if err := st.Add(tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st.Freeze()
+			st.SetHeadLimit(-1)
+			for _, tr := range triples[baseN:] {
+				if err := st.Insert(tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			st.Compact()
+		}
+	})
+	b.Run("full-refreeze", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			st := kg.NewStore(dict)
+			for _, tr := range triples {
+				if err := st.Add(tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			st.Freeze()
+		}
+	})
+	// On a sharded store the merge is segment-local: compacting the shard
+	// that absorbed the head costs ~1/N of the flat rebuild, and the other
+	// shards' snapshots are untouched.
+	for _, shards := range shardedBenchCounts()[1:] {
+		b.Run(fmt.Sprintf("compact-one-shard/shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ss := kg.NewShardedStore(dict, shards)
+				for _, tr := range triples[:baseN] {
+					if err := ss.Add(tr); err != nil {
+						b.Fatal(err)
+					}
+				}
+				ss.Freeze()
+				ss.SetHeadLimit(-1)
+				for _, tr := range triples[baseN:] {
+					if err := ss.Insert(tr); err != nil {
+						b.Fatal(err)
+					}
+				}
+				target := 0
+				for s := 0; s < shards; s++ {
+					if ss.Shard(s).HeadLen() > ss.Shard(target).HeadLen() {
+						target = s
+					}
+				}
+				b.StartTimer()
+				ss.CompactShard(target)
+			}
+		})
+	}
+}
+
+// BenchmarkShardedCount measures the shard-parallel exact counter (the
+// planner's join-cardinality source) against the flat sequential walk on the
+// same queries. The parallel fast path engages on duplicate-free stores;
+// XKG's generator emits unique triples, so this is the live path.
+func BenchmarkShardedCount(b *testing.B) {
+	xkg, _ := benchDatasets(b)
+	b.Run("flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			xkg.Store.Count(xkg.Queries[i%len(xkg.Queries)].Query)
+		}
+	})
+	for _, shards := range shardedBenchCounts()[1:] {
+		ss := kg.NewShardedStoreFrom(xkg.Store, shards)
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ss.Count(xkg.Queries[i%len(xkg.Queries)].Query)
+			}
+		})
+	}
+}

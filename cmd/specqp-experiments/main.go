@@ -50,6 +50,7 @@ func main() {
 		runs    = flag.Int("runs", 1, "measurement runs per query; 5 reproduces the paper's warm-cache protocol (average of the last 3)")
 		batch   = flag.Int("batch", 0, "also time the workload through Engine.QueryBatch with this many workers vs sequential Engine.Query (0 = skip)")
 		shards  = flag.Int("shards", 1, "store segments for the batch/sharding comparisons (1 = flat, -1 = one per CPU); >1 also times sharded vs flat sequential execution")
+		ingest  = flag.Int("ingest", 0, "live-ingest comparison: hold out this many triples, stream them back in batches, and time live Insert+query against a full rebuild per batch (0 = skip)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file (go tool pprof)")
 		memProf = flag.String("memprofile", "", "write a heap profile taken at exit to this file (go tool pprof)")
 	)
@@ -58,12 +59,12 @@ func main() {
 	// The experiment body runs inside run() so its profile-flushing defers
 	// execute on every exit path before main's log.Fatal can call os.Exit —
 	// a mid-run error must still leave usable -cpuprofile/-memprofile files.
-	if err := run(*exp, *dataset, *load, *csvDir, *cpuProf, *memProf, *seed, *scale, *buckets, *runs, *batch, *shards); err != nil {
+	if err := run(*exp, *dataset, *load, *csvDir, *cpuProf, *memProf, *seed, *scale, *buckets, *runs, *batch, *shards, *ingest); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(exp, dataset, load, csvDir, cpuProf, memProf string, seed int64, scale float64, buckets, runs, batch, shards int) error {
+func run(exp, dataset, load, csvDir, cpuProf, memProf string, seed int64, scale float64, buckets, runs, batch, shards, ingest int) error {
 	if cpuProf != "" {
 		f, err := os.Create(cpuProf)
 		if err != nil {
@@ -161,6 +162,11 @@ func run(exp, dataset, load, csvDir, cpuProf, memProf string, seed int64, scale 
 		}
 		if batch > 0 {
 			if err := runBatchComparison(ds, batch, shards); err != nil {
+				return err
+			}
+		}
+		if ingest > 0 {
+			if err := runIngestComparison(ds, ingest, shards); err != nil {
 				return err
 			}
 		}
@@ -264,6 +270,129 @@ func runShardedComparison(ds *datagen.Dataset, shards int) error {
 	fmt.Printf("Sharding — %d queries, %d segments (dataset %s):\n", len(ds.Queries), effective, ds.Name)
 	fmt.Printf("  %-12s %-12s %-8s\n", "flat", "sharded", "speedup")
 	fmt.Printf("  %-12v %-12v %.2fx\n", flatT.Round(time.Microsecond), shardT.Round(time.Microsecond), speedup)
+	return nil
+}
+
+// runIngestComparison replays the growing-knowledge-graph scenario: holdout
+// triples are removed from the dataset's store, then streamed back in ten
+// batches with the first few workload queries run after each batch. The
+// rebuild arm pays a full store rebuild + freeze per batch (the only option
+// before live ingest); the live arm uses Engine.Insert with automatic
+// merge-on-threshold compaction. Both arms' final answers are verified
+// identical before the timings are printed.
+func runIngestComparison(ds *datagen.Dataset, holdout, shards int) error {
+	total := ds.Store.Len()
+	if holdout >= total {
+		return fmt.Errorf("-ingest %d: dataset %s has only %d triples", holdout, ds.Name, total)
+	}
+	base := total - holdout
+	batchSize := holdout / 10
+	if batchSize == 0 {
+		batchSize = 1
+	}
+	probes := ds.Queries
+	if len(probes) > 5 {
+		probes = probes[:5]
+	}
+	dict := ds.Store.Dict()
+	triples := make([]kg.Triple, total)
+	for i := range triples {
+		triples[i] = ds.Store.Triple(int32(i))
+	}
+	runProbes := func(eng *specqp.Engine) error {
+		for _, qs := range probes {
+			if _, err := eng.Query(qs.Query, 10, specqp.ModeSpecQP); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	t0 := time.Now()
+	var lastRebuilt *specqp.Engine
+	for pos := base; ; {
+		st := kg.NewStore(dict)
+		for _, tr := range triples[:pos] {
+			if err := st.Add(tr); err != nil {
+				return err
+			}
+		}
+		st.Freeze()
+		lastRebuilt = specqp.NewEngineOver(st, ds.Rules, specqp.Options{})
+		if err := runProbes(lastRebuilt); err != nil {
+			return err
+		}
+		if pos == total {
+			break
+		}
+		if pos += batchSize; pos > total {
+			pos = total
+		}
+	}
+	rebuildT := time.Since(t0)
+
+	t0 = time.Now()
+	effective := shards
+	if effective < 1 {
+		effective = runtime.GOMAXPROCS(0)
+	}
+	ss := kg.NewShardedStore(dict, effective)
+	for _, tr := range triples[:base] {
+		if err := ss.Add(tr); err != nil {
+			return err
+		}
+	}
+	live := specqp.NewEngineOver(ss, ds.Rules, specqp.Options{})
+	if err := runProbes(live); err != nil {
+		return err
+	}
+	for pos := base; pos < total; pos += batchSize {
+		end := pos + batchSize
+		if end > total {
+			end = total
+		}
+		for _, tr := range triples[pos:end] {
+			if err := live.Insert(tr); err != nil {
+				return err
+			}
+		}
+		if err := runProbes(live); err != nil {
+			return err
+		}
+	}
+	liveT := time.Since(t0)
+
+	// The two arms must agree answer-for-answer at the final state.
+	for _, qs := range probes {
+		want, err := lastRebuilt.Query(qs.Query, 10, specqp.ModeSpecQP)
+		if err != nil {
+			return err
+		}
+		got, err := live.Query(qs.Query, 10, specqp.ModeSpecQP)
+		if err != nil {
+			return err
+		}
+		if len(got.Answers) != len(want.Answers) {
+			return fmt.Errorf("ingest verification: %d answers vs %d after rebuild", len(got.Answers), len(want.Answers))
+		}
+		for i := range got.Answers {
+			if got.Answers[i].Score != want.Answers[i].Score ||
+				got.Answers[i].Binding.Compare(want.Answers[i].Binding) != 0 {
+				return fmt.Errorf("ingest verification: answer %d diverged from rebuild", i)
+			}
+		}
+	}
+
+	lg, _ := live.Graph().(specqp.LiveGraph)
+	speedup := 0.0
+	if liveT > 0 {
+		speedup = float64(rebuildT) / float64(liveT)
+	}
+	fmt.Printf("Live ingest — %d base + %d streamed in batches of %d, %d probe queries/batch, %d segments (dataset %s):\n",
+		base, holdout, batchSize, len(probes), effective, ds.Name)
+	fmt.Printf("  %-16s %-16s %-8s %s\n", "rebuild/batch", "live insert", "speedup", "compactions")
+	fmt.Printf("  %-16v %-16v %.2fx    %d (head %d)\n",
+		rebuildT.Round(time.Microsecond), liveT.Round(time.Microsecond), speedup, lg.Compactions(), lg.HeadLen())
 	return nil
 }
 

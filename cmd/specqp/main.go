@@ -62,6 +62,9 @@ func run(args []string, in io.Reader, out, errOut io.Writer) error {
 		estimated   = fs.Bool("estimated-selectivity", false, "use estimated instead of exact join selectivity")
 		shards      = fs.Int("shards", 1, "store segments (1 = flat layout, -1 = one per CPU); answers are identical at every setting")
 		timings     = fs.Bool("timings", true, "print plan/exec timings (disable for diffable output)")
+		ingestPath  = fs.String("ingest", "", "TSV of triples to insert live after the initial load (mutable head + merge-on-threshold; queries then run against the combined store)")
+		headLimit   = fs.Int("head", 0, "per-segment head size triggering automatic compaction during live ingest (0 = default, negative = manual only)")
+		compact     = fs.Bool("compact", false, "compact all pending heads after live ingest, before running queries")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -90,7 +93,24 @@ func run(args []string, in io.Reader, out, errOut io.Writer) error {
 		HistogramBuckets:     *buckets,
 		EstimatedSelectivity: *estimated,
 		Shards:               *shards,
+		HeadLimit:            *headLimit,
 	})
+
+	if *ingestPath != "" {
+		n, err := ingestTriples(eng, *ingestPath)
+		if err != nil {
+			return err
+		}
+		if *compact {
+			eng.Compact()
+		}
+		if live, ok := eng.Graph().(specqp.LiveGraph); ok {
+			fmt.Fprintf(out, "ingested %d triples live (%d in heads, %d compactions)\n",
+				n, live.HeadLen(), live.Compactions())
+		} else {
+			fmt.Fprintf(out, "ingested %d triples live\n", n)
+		}
+	}
 
 	mode, err := parseMode(*modeStr)
 	if err != nil {
@@ -212,6 +232,29 @@ func loadRules(path string, dict *kg.Dict) (*relax.RuleSet, error) {
 	}
 	defer f.Close()
 	return relax.ReadTSV(f, dict)
+}
+
+// ingestTriples streams a triples TSV through Engine.InsertSPO — the live
+// path: every line is queryable the moment the call returns, and segments
+// compact themselves as heads cross the -head limit.
+func ingestTriples(eng *specqp.Engine, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	n := 0
+	err = kg.ForEachTSVTriple(f, func(s, p, o string, score float64) error {
+		if err := eng.InsertSPO(s, p, o, score); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		return n, fmt.Errorf("ingest %s: %v", path, err)
+	}
+	return n, nil
 }
 
 func loadQueries(path string) ([]string, error) {

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"testing"
 )
 
@@ -56,6 +57,69 @@ func TestGoldenCompare(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Fatalf("output diverged from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestIngestCLIMatchesPreloaded pins the -ingest flag end to end: loading
+// half the fixture and live-inserting the rest (across head limits, with and
+// without a final -compact, flat and sharded) must print exactly the ranked
+// answers of preloading the whole fixture — only the load/ingest headers may
+// differ.
+func TestIngestCLIMatchesPreloaded(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "music.triples.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, l := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(l) != "" {
+			lines = append(lines, l)
+		}
+	}
+	if len(lines) < 4 {
+		t.Fatalf("fixture has only %d triples", len(lines))
+	}
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.tsv")
+	stream := filepath.Join(dir, "stream.tsv")
+	half := len(lines) / 2
+	if err := os.WriteFile(base, []byte(strings.Join(lines[:half], "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(stream, []byte(strings.Join(lines[half:], "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the load/ingest headers; everything below them must match.
+	stripHeaders := func(out string) string {
+		var kept []string
+		for _, l := range strings.Split(out, "\n") {
+			if strings.HasPrefix(l, "loaded ") || strings.HasPrefix(l, "ingested ") {
+				continue
+			}
+			kept = append(kept, l)
+		}
+		return memObjects.ReplaceAllString(strings.Join(kept, "\n"), "")
+	}
+	want := stripHeaders(runCLI(t, cliArgs()))
+	ingestArgs := func(extra ...string) []string {
+		args := []string{
+			"-triples", base, "-ingest", stream,
+			"-rules", filepath.Join("testdata", "music.rules.tsv"),
+			"-queries", filepath.Join("testdata", "music.queries.txt"),
+			"-compare", "-k", "3", "-timings=false",
+		}
+		return append(args, extra...)
+	}
+	for _, extra := range [][]string{
+		{"-head", "2"},              // aggressive auto-compaction mid-stream
+		{"-head", "-1"},             // everything stays in the head
+		{"-head", "-1", "-compact"}, // head merged before querying
+		{"-shards", "3", "-head", "2"},
+	} {
+		got := stripHeaders(runCLI(t, ingestArgs(extra...)))
+		if got != want {
+			t.Fatalf("%v diverged from preloaded run.\n--- got ---\n%s\n--- want ---\n%s", extra, got, want)
+		}
 	}
 }
 

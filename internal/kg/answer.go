@@ -202,13 +202,21 @@ func (st *Store) Selectivity(q Query) float64 {
 }
 
 // forCandidates implements matcher: it feeds f every triple of the cheapest
-// candidate posting for sub (a superset of the exact matches).
+// candidate posting for sub (a superset of the exact matches), then every
+// head triple. One snapshot serves the whole enumeration, and the frozen
+// side deliberately uses the frozen-only lists — the merged frozen⊕head
+// list would replay head triples twice, which would double-count
+// derivations in the exact evaluator.
 func (st *Store) forCandidates(sub Pattern, f func(t Triple)) {
-	cand, ok := st.candidates(sub)
+	s := st.state()
+	cand, ok := s.post.candidates(sub)
 	if !ok {
-		cand = st.MatchList(sub)
+		cand = s.post.matchList(sub)
 	}
 	for _, ti := range cand {
-		f(st.triples[ti])
+		f(s.triples[ti])
+	}
+	for _, hi := range s.headSorted {
+		f(s.triples[hi])
 	}
 }

@@ -48,11 +48,15 @@ func (st *Store) WriteBinary(w io.Writer) error {
 	if err := putU32(binaryVersion); err != nil {
 		return err
 	}
+	// Triples are captured before the term table: the dictionary is
+	// append-only, so terms snapshotted afterwards always cover every ID a
+	// concurrently-inserted triple in the captured snapshot references.
+	triples := st.allTriples()
 	terms := st.dict.Strings()
 	if err := putU32(uint32(len(terms))); err != nil {
 		return err
 	}
-	if err := putU64(uint64(len(st.triples))); err != nil {
+	if err := putU64(uint64(len(triples))); err != nil {
 		return err
 	}
 	for _, t := range terms {
@@ -63,7 +67,7 @@ func (st *Store) WriteBinary(w io.Writer) error {
 			return err
 		}
 	}
-	for _, tr := range st.triples {
+	for _, tr := range triples {
 		if err := putU32(uint32(tr.S)); err != nil {
 			return err
 		}

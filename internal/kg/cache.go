@@ -8,12 +8,14 @@ import "sync"
 // store.
 const residualShards = 16
 
-// listCache is a sharded, single-flight cache for residual match lists —
-// the pattern shapes matchedByIndex cannot serve as a plain slice view
-// (S+O-bound intersections and repeated-variable filters). Keys hash to a
-// shard; within a shard the first goroutine to miss computes the list while
-// concurrent misses on the same key block on the entry's ready channel, so
-// every residual list is computed at most once per store lifetime.
+// listCache is a sharded, single-flight cache for computed match lists:
+// residual shapes matchedByIndex cannot serve as a plain slice view
+// (S+O-bound intersections and repeated-variable filters), per-snapshot
+// frozen⊕head merges on a live store, and the sharded store's merged global
+// lists. Keys hash to a shard; within a shard the first goroutine to miss
+// computes the list while concurrent misses on the same key block on the
+// entry's ready channel, so every list is computed at most once per cache
+// lifetime (caches are dropped wholesale when their backing state changes).
 type listCache struct {
 	shards [residualShards]listShard
 }

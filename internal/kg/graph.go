@@ -50,7 +50,38 @@ type Graph interface {
 	PatternString(p Pattern) string
 	// QueryString renders a query with decoded constants.
 	QueryString(q Query) string
+	// Version reports the logical content version: 0 for a store frozen once
+	// and never mutated, incremented by every live Insert. Compaction leaves
+	// it unchanged (the visible triple set is identical). Caches keyed on
+	// patterns or queries must be discarded when it moves.
+	Version() uint64
 }
+
+// LiveGraph is the mutable extension of Graph: stores that accept inserts
+// after Freeze through a per-segment mutable head, merged into the frozen
+// arenas on demand. Implemented by *Store (one head) and *ShardedStore (one
+// head per segment, compacted independently).
+type LiveGraph interface {
+	Graph
+	// Insert appends a triple live; it is immediately visible to readers.
+	Insert(t Triple) error
+	// Compact merges every pending head into its frozen segment. Readers are
+	// never blocked and answers are identical before and after.
+	Compact()
+	// SetHeadLimit sets the per-segment head size at which Insert compacts
+	// automatically (0 = DefaultHeadLimit, negative = manual only).
+	SetHeadLimit(n int)
+	// HeadLen reports the total number of un-compacted head triples.
+	HeadLen() int
+	// Compactions reports how many head merges have been performed.
+	Compactions() uint64
+}
+
+// Compile-time interface checks for the live layer.
+var (
+	_ LiveGraph = (*Store)(nil)
+	_ LiveGraph = (*ShardedStore)(nil)
+)
 
 // matcher is the package-internal contract the shared evaluator needs beyond
 // Graph: candidate enumeration for a (possibly variable-substituted) pattern
@@ -104,6 +135,18 @@ func evalOrder(g Graph, q Query) []int {
 func evaluateWeighted(g matcher, q Query, weights []float64) []Answer {
 	vs := NewVarSet(q)
 	order := evalOrder(g, q)
+	out := collectAnswers(g, q, vs, order, weights, nil)
+	out = DedupMax(out)
+	SortAnswers(out)
+	return out
+}
+
+// collectAnswers runs the backtracking join and returns the raw (un-deduped,
+// unsorted) derivations. level0 overrides candidate enumeration for the
+// first join level only — the seam the shard-parallel evaluator fans out on
+// (each shard enumerates its own level-0 candidates while deeper levels use
+// the full matcher); nil means g's own candidates at every level.
+func collectAnswers(g matcher, q Query, vs *VarSet, order []int, weights []float64, level0 func(Pattern, func(Triple))) []Answer {
 	var out []Answer
 	var rec func(step int, b Binding, score float64)
 	rec = func(step int, b Binding, score float64) {
@@ -118,7 +161,7 @@ func evaluateWeighted(g matcher, q Query, weights []float64) []Answer {
 		if weights != nil && weights[pi] > 0 {
 			w = weights[pi]
 		}
-		g.forCandidates(substPattern(p, vs, b), func(t Triple) {
+		emit := func(t Triple) {
 			nb, ok := bindPattern(vs, p, t, b)
 			if !ok {
 				return
@@ -128,11 +171,15 @@ func evaluateWeighted(g matcher, q Query, weights []float64) []Answer {
 				s = w * t.Score / max
 			}
 			rec(step+1, nb, score+s)
-		})
+		}
+		sub := substPattern(p, vs, b)
+		if step == 0 && level0 != nil {
+			level0(sub, emit)
+		} else {
+			g.forCandidates(sub, emit)
+		}
 	}
 	rec(0, NewBinding(vs.Len()), 0)
-	out = DedupMax(out)
-	SortAnswers(out)
 	return out
 }
 
@@ -142,21 +189,15 @@ func evaluateWeighted(g matcher, q Query, weights []float64) []Answer {
 func countAnswers(g matcher, q Query) int {
 	vs := NewVarSet(q)
 	order := evalOrder(g, q)
-	var seen map[BindingKey]bool
-	var keyer *Keyer
-	if g.HasDuplicates() {
-		seen = make(map[BindingKey]bool)
-		keyer = NewKeyer()
+	if !g.HasDuplicates() {
+		return countDerivations(g, q, vs, order, nil)
 	}
-	n := 0
+	seen := make(map[BindingKey]bool)
+	keyer := NewKeyer()
 	var rec func(step int, b Binding)
 	rec = func(step int, b Binding) {
 		if step == len(order) {
-			if seen != nil {
-				seen[keyer.Key(b)] = true
-			} else {
-				n++
-			}
+			seen[keyer.Key(b)] = true
 			return
 		}
 		p := q.Patterns[order[step]]
@@ -167,9 +208,34 @@ func countAnswers(g matcher, q Query) int {
 		})
 	}
 	rec(0, NewBinding(vs.Len()))
-	if seen != nil {
-		return len(seen)
+	return len(seen)
+}
+
+// countDerivations counts complete derivations without deduplication —
+// exact on duplicate-free stores, where derivations and bindings are in
+// bijection. level0 plays the same shard fan-out role as in collectAnswers.
+func countDerivations(g matcher, q Query, vs *VarSet, order []int, level0 func(Pattern, func(Triple))) int {
+	n := 0
+	var rec func(step int, b Binding)
+	rec = func(step int, b Binding) {
+		if step == len(order) {
+			n++
+			return
+		}
+		p := q.Patterns[order[step]]
+		emit := func(t Triple) {
+			if nb, ok := bindPattern(vs, p, t, b); ok {
+				rec(step+1, nb)
+			}
+		}
+		sub := substPattern(p, vs, b)
+		if step == 0 && level0 != nil {
+			level0(sub, emit)
+		} else {
+			g.forCandidates(sub, emit)
+		}
 	}
+	rec(0, NewBinding(vs.Len()))
 	return n
 }
 

@@ -12,7 +12,7 @@ import (
 // "subject\tpredicate\tobject\tscore" lines.
 func (st *Store) WriteTSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	for _, t := range st.triples {
+	for _, t := range st.allTriples() {
 		_, err := fmt.Fprintf(bw, "%s\t%s\t%s\t%s\n",
 			st.dict.Decode(t.S), st.dict.Decode(t.P), st.dict.Decode(t.O),
 			strconv.FormatFloat(t.Score, 'g', -1, 64))
@@ -23,10 +23,11 @@ func (st *Store) WriteTSV(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadTSV loads triples from tab-separated lines into a fresh store and
-// freezes it. Blank lines and lines starting with '#' are skipped.
-func ReadTSV(r io.Reader) (*Store, error) {
-	st := NewStore(nil)
+// ForEachTSVTriple walks tab-separated "subject\tpredicate\tobject\tscore"
+// lines, calling fn per triple. Blank lines and lines starting with '#' are
+// skipped. It is the single parser behind ReadTSV and the CLI's live-ingest
+// path, so the two cannot drift on format details.
+func ForEachTSVTriple(r io.Reader, fn func(s, p, o string, score float64) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	lineNo := 0
@@ -38,17 +39,24 @@ func ReadTSV(r io.Reader) (*Store, error) {
 		}
 		fields := strings.Split(line, "\t")
 		if len(fields) != 4 {
-			return nil, fmt.Errorf("kg: line %d: want 4 tab-separated fields, got %d", lineNo, len(fields))
+			return fmt.Errorf("kg: line %d: want 4 tab-separated fields, got %d", lineNo, len(fields))
 		}
 		score, err := strconv.ParseFloat(fields[3], 64)
 		if err != nil {
-			return nil, fmt.Errorf("kg: line %d: bad score %q: %v", lineNo, fields[3], err)
+			return fmt.Errorf("kg: line %d: bad score %q: %v", lineNo, fields[3], err)
 		}
-		if err := st.AddSPO(fields[0], fields[1], fields[2], score); err != nil {
-			return nil, fmt.Errorf("kg: line %d: %v", lineNo, err)
+		if err := fn(fields[0], fields[1], fields[2], score); err != nil {
+			return fmt.Errorf("kg: line %d: %v", lineNo, err)
 		}
 	}
-	if err := sc.Err(); err != nil {
+	return sc.Err()
+}
+
+// ReadTSV loads triples from tab-separated lines into a fresh store and
+// freezes it. Blank lines and lines starting with '#' are skipped.
+func ReadTSV(r io.Reader) (*Store, error) {
+	st := NewStore(nil)
+	if err := ForEachTSVTriple(r, st.AddSPO); err != nil {
 		return nil, err
 	}
 	st.Freeze()

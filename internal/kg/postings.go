@@ -4,23 +4,28 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
-// This file builds the store's posting families at Freeze time. All six
-// families — byS, byP, byO, byPO, bySP, bySPO — share one []int32 arena:
-// each family owns a contiguous region, each key a span (offset + length)
-// inside it, laid out with a counting pass so no per-key slice is ever
-// allocated or grown. Every span is sorted by raw score descending (triple
-// index ascending as tiebreak) exactly once, in parallel across spans, so
-// the read path hands out slice views with no locking, filtering or
-// allocation. This is the paper's cost model made literal: the database
-// engine "retrieve[s] the matches for triple patterns in sorted order", and
-// the retrieval itself is free at query time — and with the arena layout the
-// index costs a flat 4 bytes per triple per family, with no slice-header or
-// append-growth overhead on the millions of single-match keys a large graph
-// has.
+// This file builds a segment's posting families. All six families — byS,
+// byP, byO, byPO, bySP, bySPO — share one []int32 arena: each family owns a
+// contiguous region, each key a span (offset + length) inside it, laid out
+// with a counting pass so no per-key slice is ever allocated or grown. Every
+// span is sorted by raw score descending (triple index ascending as tiebreak)
+// exactly once, in parallel across spans, so the read path hands out slice
+// views with no locking, filtering or allocation. This is the paper's cost
+// model made literal: the database engine "retrieve[s] the matches for triple
+// patterns in sorted order", and the retrieval itself is free at query time —
+// and with the arena layout the index costs a flat 4 bytes per triple per
+// family, with no slice-header or append-growth overhead on the millions of
+// single-match keys a large graph has.
+//
+// The families live in a postings value rather than on Store directly because
+// a live store rebuilds them at every head compaction: readers hold the old
+// immutable postings through their storeState snapshot while the merge builds
+// a new one, so a compaction never blocks or tears a concurrent scan.
 
-// Family indexes into Store.arenas.
+// Family indexes into postings.arenas.
 const (
 	famS = iota
 	famP
@@ -39,10 +44,45 @@ type span struct {
 	off, n int32
 }
 
+// postings is one frozen segment's complete index state over a fixed triple
+// prefix. It is immutable once built; Store swaps in a freshly built value at
+// Freeze and at every compaction.
+type postings struct {
+	// triples is the frozen prefix the index covers. Triple indexes in every
+	// arena are positions in this slice; the slice is never mutated (live
+	// inserts append past its length into the snapshot's triples).
+	triples []Triple
+	// arenas is the shared posting storage: one region per family (slices of
+	// a single flat allocation), holding triple indexes addressed by the
+	// spans in the index maps.
+	arenas [famCount][]int32
+	// Secondary indexes from single bound positions to posting spans.
+	byS, byP, byO map[ID]span
+	// Composite indexes for the two most common access paths.
+	byPO map[[2]ID]span // (P,O) bound: 〈?s p o〉
+	bySP map[[2]ID]span // (S,P) bound: 〈s p ?o〉
+	// Full index for fully bound lookups, mapping (S,P,O) to every triple
+	// with those terms — duplicate additions of the same (s,p,o) with
+	// different scores are all retained, score-sorted like every posting.
+	bySPO map[[3]ID]span
+	// hasDuplicates records whether any (s,p,o) key appears more than once in
+	// the frozen prefix; Count only needs binding dedup in that case.
+	hasDuplicates bool
+
+	// residual caches match lists for patterns no posting serves directly.
+	// Residual lists cover only the frozen prefix; the head overlay is merged
+	// outside this cache, so entries stay valid for the postings' lifetime.
+	residual *listCache
+	// residualComputes points at the owning store's counter of residual-list
+	// computations (shared across compactions), for tests asserting the
+	// cache's single-flight guarantee.
+	residualComputes *atomic.Int64
+}
+
 // view returns the arena slice a span describes, capacity-clamped so caller
 // appends can never bleed into the neighbouring posting.
-func (st *Store) view(f int, s span) []int32 {
-	a := st.arenas[f]
+func (po *postings) view(f int, s span) []int32 {
+	a := po.arenas[f]
 	return a[s.off : s.off+s.n : s.off+s.n]
 }
 
@@ -71,48 +111,54 @@ func place[K comparable](m map[K]span, k K, arena []int32, ti int32) {
 	m[k] = s
 }
 
-// buildPostings populates and sorts every posting family. Called by Freeze
-// exactly once, before the store is marked frozen.
-func (st *Store) buildPostings() {
-	n := len(st.triples)
-	st.byS = make(map[ID]span)
-	st.byP = make(map[ID]span)
-	st.byO = make(map[ID]span)
-	st.byPO = make(map[[2]ID]span)
-	st.bySP = make(map[[2]ID]span)
-	st.bySPO = make(map[[3]ID]span, n)
+// buildPostings populates and sorts every posting family over triples.
+// Called by Freeze and by every compaction, always on the mutator goroutine;
+// the result is published to readers through an atomic snapshot swap.
+func buildPostings(triples []Triple, computes *atomic.Int64) *postings {
+	n := len(triples)
+	po := &postings{
+		triples:          triples,
+		byS:              make(map[ID]span),
+		byP:              make(map[ID]span),
+		byO:              make(map[ID]span),
+		byPO:             make(map[[2]ID]span),
+		bySP:             make(map[[2]ID]span),
+		bySPO:            make(map[[3]ID]span, n),
+		residual:         newListCache(),
+		residualComputes: computes,
+	}
 
-	for _, t := range st.triples {
-		bump(st.byS, t.S)
-		bump(st.byP, t.P)
-		bump(st.byO, t.O)
-		bump(st.byPO, [2]ID{t.P, t.O})
-		bump(st.bySP, [2]ID{t.S, t.P})
-		bump(st.bySPO, [3]ID{t.S, t.P, t.O})
+	for _, t := range triples {
+		bump(po.byS, t.S)
+		bump(po.byP, t.P)
+		bump(po.byO, t.O)
+		bump(po.byPO, [2]ID{t.P, t.O})
+		bump(po.bySP, [2]ID{t.S, t.P})
+		bump(po.bySPO, [3]ID{t.S, t.P, t.O})
 	}
 	// Fewer distinct (s,p,o) keys than triples means some key was added more
 	// than once; Count only needs binding dedup in that case.
-	st.hasDuplicates = len(st.bySPO) < n
+	po.hasDuplicates = len(po.bySPO) < n
 
 	backing := make([]int32, famCount*n)
 	for f := 0; f < famCount; f++ {
-		st.arenas[f] = backing[f*n : (f+1)*n : (f+1)*n]
+		po.arenas[f] = backing[f*n : (f+1)*n : (f+1)*n]
 	}
-	assignOffsets(st.byS)
-	assignOffsets(st.byP)
-	assignOffsets(st.byO)
-	assignOffsets(st.byPO)
-	assignOffsets(st.bySP)
-	assignOffsets(st.bySPO)
+	assignOffsets(po.byS)
+	assignOffsets(po.byP)
+	assignOffsets(po.byO)
+	assignOffsets(po.byPO)
+	assignOffsets(po.bySP)
+	assignOffsets(po.bySPO)
 
-	for i, t := range st.triples {
+	for i, t := range triples {
 		ii := int32(i)
-		place(st.byS, t.S, st.arenas[famS], ii)
-		place(st.byP, t.P, st.arenas[famP], ii)
-		place(st.byO, t.O, st.arenas[famO], ii)
-		place(st.byPO, [2]ID{t.P, t.O}, st.arenas[famPO], ii)
-		place(st.bySP, [2]ID{t.S, t.P}, st.arenas[famSP], ii)
-		place(st.bySPO, [3]ID{t.S, t.P, t.O}, st.arenas[famSPO], ii)
+		place(po.byS, t.S, po.arenas[famS], ii)
+		place(po.byP, t.P, po.arenas[famP], ii)
+		place(po.byO, t.O, po.arenas[famO], ii)
+		place(po.byPO, [2]ID{t.P, t.O}, po.arenas[famPO], ii)
+		place(po.bySP, [2]ID{t.S, t.P}, po.arenas[famSP], ii)
+		place(po.bySPO, [3]ID{t.S, t.P, t.O}, po.arenas[famSPO], ii)
 	}
 
 	// Collect every span that actually needs sorting; singletons are
@@ -120,40 +166,41 @@ func (st *Store) buildPostings() {
 	var buckets [][]int32
 	collect := func(f int, s span) {
 		if s.n > 1 {
-			buckets = append(buckets, st.view(f, s))
+			buckets = append(buckets, po.view(f, s))
 		}
 	}
-	for _, s := range st.byS {
+	for _, s := range po.byS {
 		collect(famS, s)
 	}
-	for _, s := range st.byP {
+	for _, s := range po.byP {
 		collect(famP, s)
 	}
-	for _, s := range st.byO {
+	for _, s := range po.byO {
 		collect(famO, s)
 	}
-	for _, s := range st.byPO {
+	for _, s := range po.byPO {
 		collect(famPO, s)
 	}
-	for _, s := range st.bySP {
+	for _, s := range po.bySP {
 		collect(famSP, s)
 	}
-	for _, s := range st.bySPO {
+	for _, s := range po.bySPO {
 		collect(famSPO, s)
 	}
-	st.sortBuckets(buckets)
+	po.sortBuckets(buckets)
+	return po
 }
 
 // sortBuckets score-sorts the buckets with a worker pool. Buckets are
 // disjoint arena regions, so workers never touch the same memory.
-func (st *Store) sortBuckets(buckets [][]int32) {
+func (po *postings) sortBuckets(buckets [][]int32) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(buckets) {
 		workers = len(buckets)
 	}
 	if workers <= 1 {
 		for _, b := range buckets {
-			st.sortByScore(b)
+			po.sortByScore(b)
 		}
 		return
 	}
@@ -168,7 +215,7 @@ func (st *Store) sortBuckets(buckets [][]int32) {
 		go func() {
 			defer wg.Done()
 			for b := range jobs {
-				st.sortByScore(b)
+				po.sortByScore(b)
 			}
 		}()
 	}
@@ -177,9 +224,9 @@ func (st *Store) sortBuckets(buckets [][]int32) {
 
 // sortByScore orders triple indexes by raw score descending, index ascending
 // on ties — the canonical match-list order everywhere in the store.
-func (st *Store) sortByScore(l []int32) {
+func (po *postings) sortByScore(l []int32) {
 	sort.Slice(l, func(a, b int) bool {
-		ta, tb := st.triples[l[a]], st.triples[l[b]]
+		ta, tb := po.triples[l[a]], po.triples[l[b]]
 		if ta.Score != tb.Score {
 			return ta.Score > tb.Score
 		}
@@ -187,39 +234,73 @@ func (st *Store) sortByScore(l []int32) {
 	})
 }
 
-// matchedByIndex returns the Freeze-sorted posting that *is* the match list
+// matchList returns the frozen prefix's match list for p: a Freeze-sorted
+// arena view for indexed shapes, the single-flight residual cache otherwise.
+func (po *postings) matchList(p Pattern) []int32 {
+	if l, ok := po.matchedByIndex(p); ok {
+		return l
+	}
+	return po.residual.get(p.Key(), func() []int32 { return po.computeMatches(p) })
+}
+
+// computeMatches filters the smallest candidate posting down to the exact
+// match list. Candidate postings are score-sorted at build time and filtering
+// preserves order, so only the full-scan fallback — which walks triples in
+// insertion order — sorts its result.
+func (po *postings) computeMatches(p Pattern) []int32 {
+	po.residualComputes.Add(1)
+	var out []int32
+	cand, indexed := po.candidates(p)
+	if !indexed {
+		for i := range po.triples {
+			if p.Matches(po.triples[i]) {
+				out = append(out, int32(i))
+			}
+		}
+		po.sortByScore(out)
+		return out
+	}
+	for _, i := range cand {
+		if p.Matches(po.triples[i]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// matchedByIndex returns the pre-sorted posting that *is* the match list
 // of p: for these shapes the bound positions pin down the matches completely,
 // so the arena span needs no filtering, sorting, locking or allocation.
 // ok is false for residual shapes — S+O bound (requires an intersection),
 // repeated-variable patterns (require a consistency filter), and full scans
 // (sorted lazily on first use, since most workloads never run one) — which
 // go through the sharded residual cache instead.
-func (st *Store) matchedByIndex(p Pattern) ([]int32, bool) {
+func (po *postings) matchedByIndex(p Pattern) ([]int32, bool) {
 	sb, pb, ob := !p.S.IsVar, !p.P.IsVar, !p.O.IsVar
 	switch {
 	case sb && pb && ob:
-		return st.view(famSPO, st.bySPO[[3]ID{p.S.ID, p.P.ID, p.O.ID}]), true
+		return po.view(famSPO, po.bySPO[[3]ID{p.S.ID, p.P.ID, p.O.ID}]), true
 	case pb && ob:
-		return st.view(famPO, st.byPO[[2]ID{p.P.ID, p.O.ID}]), true
+		return po.view(famPO, po.byPO[[2]ID{p.P.ID, p.O.ID}]), true
 	case sb && pb:
-		return st.view(famSP, st.bySP[[2]ID{p.S.ID, p.P.ID}]), true
+		return po.view(famSP, po.bySP[[2]ID{p.S.ID, p.P.ID}]), true
 	case sb && ob:
 		return nil, false
 	case sb:
 		if p.P.Name == p.O.Name {
 			return nil, false
 		}
-		return st.view(famS, st.byS[p.S.ID]), true
+		return po.view(famS, po.byS[p.S.ID]), true
 	case ob:
 		if p.S.Name == p.P.Name {
 			return nil, false
 		}
-		return st.view(famO, st.byO[p.O.ID]), true
+		return po.view(famO, po.byO[p.O.ID]), true
 	case pb:
 		if p.S.Name == p.O.Name {
 			return nil, false
 		}
-		return st.view(famP, st.byP[p.P.ID]), true
+		return po.view(famP, po.byP[p.P.ID]), true
 	default:
 		return nil, false
 	}
@@ -227,29 +308,29 @@ func (st *Store) matchedByIndex(p Pattern) ([]int32, bool) {
 
 // candidates returns a sorted superset of the matches for p's bound
 // positions: the smallest applicable posting, or (nil, false) to signal a
-// full scan. Because every posting is score-sorted at Freeze, any
+// full scan. Because every posting is score-sorted at build time, any
 // order-preserving filter over a candidate list yields a correctly sorted
 // match list.
-func (st *Store) candidates(p Pattern) ([]int32, bool) {
+func (po *postings) candidates(p Pattern) ([]int32, bool) {
 	sb, pb, ob := !p.S.IsVar, !p.P.IsVar, !p.O.IsVar
 	switch {
 	case sb && pb && ob, pb && ob, sb && pb:
 		// At most one variable position: matchedByIndex resolves these
 		// shapes exactly, so share its lookup instead of repeating it.
-		return st.matchedByIndex(p)
+		return po.matchedByIndex(p)
 	case sb && ob:
 		// Intersect the two single-position postings, scanning the smaller.
-		a, fa := st.byS[p.S.ID], famS
-		if b := st.byO[p.O.ID]; b.n < a.n {
+		a, fa := po.byS[p.S.ID], famS
+		if b := po.byO[p.O.ID]; b.n < a.n {
 			a, fa = b, famO
 		}
-		return st.view(fa, a), true
+		return po.view(fa, a), true
 	case sb:
-		return st.view(famS, st.byS[p.S.ID]), true
+		return po.view(famS, po.byS[p.S.ID]), true
 	case ob:
-		return st.view(famO, st.byO[p.O.ID]), true
+		return po.view(famO, po.byO[p.O.ID]), true
 	case pb:
-		return st.view(famP, st.byP[p.P.ID]), true
+		return po.view(famP, po.byP[p.P.ID]), true
 	default:
 		return nil, false
 	}

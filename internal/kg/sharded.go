@@ -4,12 +4,18 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // ShardedStore is a Graph over N hash-partitioned segments: every triple is
 // routed to a shard by its subject ID, each shard is an independent *Store
 // sharing one dictionary, and Freeze freezes all shards in parallel (each
 // shard's posting sorts additionally fan out over their own worker pool).
+// After Freeze the store stays live: Insert routes new triples into the
+// owning shard's mutable head, and each shard compacts its own head into its
+// frozen arena independently — compacting one shard never touches, or blocks
+// queries on, any other shard, because readers work exclusively off
+// immutable per-shard snapshots and an immutable directory snapshot.
 //
 // Partitioning by subject has two load-bearing consequences:
 //
@@ -23,9 +29,10 @@ import (
 // Global triple indexes are insertion-ordered across the whole sharded store
 // (a per-triple directory maps them to shard-local indexes, and each shard
 // keeps the inverse table). Because a shard's local order is the global
-// insertion order restricted to that shard, per-shard score-sorted postings
-// interleave into exactly the unsharded match-list order — the property that
-// makes sharded execution bit-identical to the flat layout.
+// insertion order restricted to that shard — live inserts append to shard
+// and directory in lockstep — per-shard score-sorted postings interleave
+// into exactly the unsharded match-list order — the property that makes
+// sharded execution bit-identical to the flat layout.
 //
 // Memory overhead versus a flat Store is 12 bytes per triple (directory plus
 // inverse table); the per-shard posting arenas sum to the flat layout's size.
@@ -34,16 +41,44 @@ type ShardedStore struct {
 	shards []*Store
 	frozen bool
 
-	// Directory: global index → owning shard and shard-local index.
+	// mu serialises mutators (Insert, Compact-all bookkeeping). Readers
+	// never take it.
+	mu sync.Mutex
+	// Mutator-side directory: global index → owning shard and shard-local
+	// index, plus the inverse table global[s][l] = global index of shard s's
+	// triple l. Readers use the dir snapshot below once frozen.
 	locShard []int32
 	locIdx   []int32
-	// Inverse table: global[s][l] is the global index of shard s's triple l.
-	global [][]int32
+	global   [][]int32
+
+	// dir is the immutable directory snapshot readers use after Freeze;
+	// republished on every live insert.
+	dir atomic.Pointer[shardedDir]
+	// version counts live inserts (see Graph.Version).
+	version atomic.Uint64
 
 	// merged caches materialised global match lists for the generic
-	// Graph.MatchList path (cold paths: statistics, oracles). The hot query
+	// Graph.MatchList path (cold paths: statistics, oracles), keyed by the
+	// content version so live inserts invalidate it wholesale. The hot query
 	// path never materialises — ShardedListScan merges per-shard views.
-	merged *listCache
+	merged atomic.Pointer[versionedLists]
+}
+
+// shardedDir is one immutable directory snapshot: the global→shard mapping
+// and its inverse at a single content version. Backing arrays are shared
+// with newer snapshots (appends only ever write beyond every published
+// snapshot's length).
+type shardedDir struct {
+	locShard []int32
+	locIdx   []int32
+	global   [][]int32
+}
+
+// versionedLists pairs a merged-list cache with the content version it was
+// built for.
+type versionedLists struct {
+	version uint64
+	cache   *listCache
 }
 
 // NewShardedStore returns an empty sharded store with n segments using the
@@ -59,7 +94,6 @@ func NewShardedStore(dict *Dict, n int) *ShardedStore {
 		dict:   dict,
 		shards: make([]*Store, n),
 		global: make([][]int32, n),
-		merged: newListCache(),
 	}
 	for i := range ss.shards {
 		ss.shards[i] = NewStore(dict)
@@ -72,7 +106,7 @@ func NewShardedStore(dict *Dict, n int) *ShardedStore {
 // untouched — in particular it is not frozen if it was not already.
 func NewShardedStoreFrom(st *Store, n int) *ShardedStore {
 	ss := NewShardedStore(st.dict, n)
-	for _, t := range st.triples {
+	for _, t := range st.allTriples() {
 		if err := ss.Add(t); err != nil {
 			// st accepted the triple, so the shard must too.
 			panic(fmt.Sprintf("kg: resharding valid triple failed: %v", err))
@@ -93,23 +127,57 @@ func (ss *ShardedStore) shardFor(s ID) int {
 func (ss *ShardedStore) NumShards() int { return len(ss.shards) }
 
 // Shard returns segment i. The segment is a plain Store; after Freeze it
-// serves zero-alloc shard-local match-list views.
+// serves zero-alloc shard-local match-list views (plus its own head overlay
+// while un-compacted inserts are pending).
 func (ss *ShardedStore) Shard(i int) *Store { return ss.shards[i] }
 
 // GlobalIndexes returns the table mapping shard s's local triple indexes to
-// global indexes. The result must not be mutated.
-func (ss *ShardedStore) GlobalIndexes(s int) []int32 { return ss.global[s] }
+// global indexes, as of the current directory snapshot. The result must not
+// be mutated. Under a concurrent insert the owning shard can be momentarily
+// ahead of the directory; callers treat local indexes beyond the table as
+// not-yet-inserted.
+func (ss *ShardedStore) GlobalIndexes(s int) []int32 {
+	if d := ss.dir.Load(); d != nil {
+		return d.global[s]
+	}
+	return ss.global[s]
+}
 
 // Dict returns the shared term dictionary.
 func (ss *ShardedStore) Dict() *Dict { return ss.dict }
 
-// Len reports the total number of triples across all shards.
-func (ss *ShardedStore) Len() int { return len(ss.locShard) }
+// Len reports the total number of triples across all shards. On a live
+// store it is monotone non-decreasing under concurrent inserts.
+func (ss *ShardedStore) Len() int {
+	if d := ss.dir.Load(); d != nil {
+		return len(d.locShard)
+	}
+	return len(ss.locShard)
+}
 
 // Frozen reports whether Freeze has been called.
 func (ss *ShardedStore) Frozen() bool { return ss.frozen }
 
-// Add routes a scored triple to its subject's shard.
+// appendDir records a triple routed to shard si at shard-local index li.
+func (ss *ShardedStore) appendDir(si, li int) {
+	ss.locShard = append(ss.locShard, int32(si))
+	ss.locIdx = append(ss.locIdx, int32(li))
+	ss.global[si] = append(ss.global[si], int32(len(ss.locShard)-1))
+}
+
+// publishDir snapshots the mutator-side directory for readers. The outer
+// global slice is copied (its inner headers change length per insert); the
+// int32 backing arrays are shared, which is safe because appends only write
+// beyond every published length and the pointer store is an atomic release.
+func (ss *ShardedStore) publishDir() {
+	ss.dir.Store(&shardedDir{
+		locShard: ss.locShard,
+		locIdx:   ss.locIdx,
+		global:   append([][]int32(nil), ss.global...),
+	})
+}
+
+// Add routes a scored triple to its subject's shard (before Freeze).
 func (ss *ShardedStore) Add(t Triple) error {
 	if ss.frozen {
 		return ErrFrozen
@@ -119,9 +187,7 @@ func (ss *ShardedStore) Add(t Triple) error {
 	if err := sh.Add(t); err != nil {
 		return err
 	}
-	ss.locShard = append(ss.locShard, int32(si))
-	ss.locIdx = append(ss.locIdx, int32(sh.Len()-1))
-	ss.global[si] = append(ss.global[si], int32(len(ss.locShard)-1))
+	ss.appendDir(si, sh.Len()-1)
 	return nil
 }
 
@@ -135,9 +201,55 @@ func (ss *ShardedStore) AddSPO(s, p, o string, score float64) error {
 	})
 }
 
-// Freeze freezes every shard concurrently. Add must not be called
-// afterwards. Like Store.Freeze it is idempotent but must be called from a
-// single goroutine; read from as many as you like afterwards.
+// Insert appends a scored triple live: the triple lands in its subject
+// shard's mutable head (possibly triggering that shard's automatic
+// compaction) and the directory snapshot is republished. The shard is
+// always updated before the directory, so every directory entry has its
+// triple present; safe for concurrent use with readers and other inserters.
+// Before Freeze it behaves like Add.
+//
+// An automatic compaction runs after the directory lock is released, and
+// the posting rebuild itself runs outside the shard lock too (triples
+// inserted meanwhile are folded back into the head at publish): neither
+// readers nor writers — of this shard or any other — wait for a merge.
+func (ss *ShardedStore) Insert(t Triple) error {
+	ss.mu.Lock()
+	if !ss.frozen {
+		err := ss.Add(t)
+		ss.mu.Unlock()
+		return err
+	}
+	si := ss.shardFor(t.S)
+	sh := ss.shards[si]
+	need, err := sh.insert(t)
+	if err != nil {
+		ss.mu.Unlock()
+		return err
+	}
+	ss.appendDir(si, sh.Len()-1)
+	ss.publishDir()
+	ss.version.Add(1)
+	ss.mu.Unlock()
+	if need {
+		sh.compactIfNeeded()
+	}
+	return nil
+}
+
+// InsertSPO encodes the three terms and inserts the triple live.
+func (ss *ShardedStore) InsertSPO(s, p, o string, score float64) error {
+	return ss.Insert(Triple{
+		S:     ss.dict.Encode(s),
+		P:     ss.dict.Encode(p),
+		O:     ss.dict.Encode(o),
+		Score: score,
+	})
+}
+
+// Freeze freezes every shard concurrently and publishes the read-side
+// directory snapshot. Add must not be called afterwards (Insert may). Like
+// Store.Freeze it is idempotent but must be called from a single goroutine;
+// read from as many as you like afterwards.
 func (ss *ShardedStore) Freeze() {
 	if ss.frozen {
 		return
@@ -151,11 +263,63 @@ func (ss *ShardedStore) Freeze() {
 		}(sh)
 	}
 	wg.Wait()
+	ss.publishDir()
 	ss.frozen = true
 }
 
+// Compact merges every shard's pending head into its frozen arena, in
+// parallel across shards. Readers are never blocked; answers are identical
+// before and after.
+func (ss *ShardedStore) Compact() {
+	var wg sync.WaitGroup
+	for _, sh := range ss.shards {
+		wg.Add(1)
+		go func(sh *Store) {
+			defer wg.Done()
+			sh.Compact()
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// CompactShard merges shard i's head only. Other shards' snapshots are left
+// physically untouched, so the merge cost is proportional to one segment and
+// queries on other shards proceed completely undisturbed.
+func (ss *ShardedStore) CompactShard(i int) { ss.shards[i].Compact() }
+
+// SetHeadLimit sets every shard's automatic-compaction threshold (the limit
+// applies per segment, not to the aggregate head size).
+func (ss *ShardedStore) SetHeadLimit(n int) {
+	for _, sh := range ss.shards {
+		sh.SetHeadLimit(n)
+	}
+}
+
+// HeadLen reports the total number of un-compacted head triples across all
+// shards.
+func (ss *ShardedStore) HeadLen() int {
+	n := 0
+	for _, sh := range ss.shards {
+		n += sh.HeadLen()
+	}
+	return n
+}
+
+// Compactions reports the total number of head merges across all shards.
+func (ss *ShardedStore) Compactions() uint64 {
+	var n uint64
+	for _, sh := range ss.shards {
+		n += sh.Compactions()
+	}
+	return n
+}
+
+// Version reports the logical content version (see Graph.Version).
+func (ss *ShardedStore) Version() uint64 { return ss.version.Load() }
+
 // HasDuplicates reports whether any shard holds duplicate (s,p,o) keys.
-// Identical keys share a subject and therefore a shard, so this is exact.
+// Identical keys share a subject and therefore a shard, so this is exact —
+// head triples included.
 func (ss *ShardedStore) HasDuplicates() bool {
 	for _, sh := range ss.shards {
 		if sh.HasDuplicates() {
@@ -165,8 +329,12 @@ func (ss *ShardedStore) HasDuplicates() bool {
 	return false
 }
 
-// Triple returns the triple at global index i.
+// Triple returns the triple at global index i. The shard is always at least
+// as new as the directory snapshot, so every directory entry resolves.
 func (ss *ShardedStore) Triple(i int32) Triple {
+	if d := ss.dir.Load(); d != nil {
+		return ss.shards[d.locShard[i]].Triple(d.locIdx[i])
+	}
 	return ss.shards[ss.locShard[i]].Triple(ss.locIdx[i])
 }
 
@@ -180,9 +348,9 @@ func (ss *ShardedStore) subjectShard(p Pattern) (*Store, bool) {
 }
 
 // Cardinality returns the number of triples matching p — the aggregate over
-// all shards, which is what the planner's cost model must see. A bound
-// subject pins the single owning shard; every other shape sums per-shard
-// cardinalities without materialising a merged list.
+// all shards (heads included), which is what the planner's cost model must
+// see. A bound subject pins the single owning shard; every other shape sums
+// per-shard cardinalities without materialising a merged list.
 func (ss *ShardedStore) Cardinality(p Pattern) int {
 	if sh, ok := ss.subjectShard(p); ok {
 		return sh.Cardinality(p)
@@ -196,7 +364,7 @@ func (ss *ShardedStore) Cardinality(p Pattern) int {
 
 // MaxScore returns the global maximum raw score among matches of p — the
 // Definition 5 normalisation constant. Per-shard lists are score-sorted, so
-// this is one head peek per shard.
+// this is one head peek (plus a head-overlay probe) per shard.
 func (ss *ShardedStore) MaxScore(p Pattern) float64 {
 	if sh, ok := ss.subjectShard(p); ok {
 		return sh.MaxScore(p)
@@ -212,24 +380,45 @@ func (ss *ShardedStore) MaxScore(p Pattern) float64 {
 
 // MatchList returns the global indexes of triples matching p in canonical
 // order (score descending, global index ascending on ties). The merged list
-// is materialised once per pattern key behind a single-flight cache; the hot
-// query path (ShardedListScan) never calls this — it merges the per-shard
-// zero-alloc views directly.
+// is materialised once per pattern key behind a single-flight cache keyed by
+// the content version (live inserts start a fresh cache); the hot query path
+// (ShardedListScan) never calls this — it merges the per-shard views.
 func (ss *ShardedStore) MatchList(p Pattern) []int32 {
 	if !ss.frozen {
 		panic("kg: MatchList before Freeze")
 	}
-	return ss.merged.get(p.Key(), func() []int32 { return ss.mergeMatches(p) })
+	v := ss.version.Load()
+	vl := ss.merged.Load()
+	if vl == nil || vl.version < v {
+		// Advance only: a reader carrying a stale version load must not
+		// evict a fresher cache another reader installed. A reader that
+		// loses the race may fill a cache labelled newer than its own
+		// version read; entries are computed from the live directory either
+		// way, and sequential flows (the exactness contract) see one
+		// version at a time.
+		fresh := &versionedLists{version: v, cache: newListCache()}
+		if ss.merged.CompareAndSwap(vl, fresh) {
+			vl = fresh
+		} else {
+			vl = ss.merged.Load()
+		}
+	}
+	return vl.cache.get(p.Key(), func() []int32 { return ss.mergeMatches(p) })
 }
 
 // mergeMatches translates every shard's match list to global indexes and
-// restores canonical global order.
+// restores canonical global order. Shard-local indexes not yet covered by
+// the directory snapshot (a concurrent insert between the two loads) are
+// treated as not yet inserted.
 func (ss *ShardedStore) mergeMatches(p Pattern) []int32 {
+	d := ss.dir.Load()
 	var out []int32
 	for si, sh := range ss.shards {
-		glob := ss.global[si]
+		glob := d.global[si]
 		for _, li := range sh.MatchList(p) {
-			out = append(out, glob[li])
+			if int(li) < len(glob) {
+				out = append(out, glob[li])
+			}
 		}
 	}
 	sort.Slice(out, func(a, b int) bool {
@@ -262,20 +451,88 @@ func (ss *ShardedStore) forCandidates(sub Pattern, f func(t Triple)) {
 	}
 }
 
+// fanoutLevel0 reports whether the evaluator's first join level can be
+// fanned out across shards for q under order: more than one shard, at least
+// one pattern, and a level-0 pattern whose candidates are not pinned to a
+// single shard by a bound subject.
+func (ss *ShardedStore) fanoutLevel0(q Query, order []int) bool {
+	if len(ss.shards) == 1 || len(order) == 0 {
+		return false
+	}
+	_, pinned := ss.subjectShard(q.Patterns[order[0]])
+	return !pinned
+}
+
 // Evaluate computes the complete answer set of q (Definition 6 scoring),
-// identical to the flat store's evaluator over the same triples.
+// identical to the flat store's evaluator over the same triples. On a
+// multi-segment store the first join level fans out across shards: each
+// shard enumerates its own level-0 candidates on its own goroutine while
+// deeper levels probe the whole store, and the per-shard derivations are
+// concatenated, deduplicated and sorted exactly like the sequential walk —
+// level-0 candidate sets are disjoint across shards, so the derivation
+// multiset is identical and DedupMax/SortAnswers normalise the order.
 func (ss *ShardedStore) Evaluate(q Query) []Answer {
-	return evaluateWeighted(ss, q, nil)
+	return ss.evaluateWeightedParallel(q, nil)
 }
 
 // EvaluateWeighted is Evaluate with per-pattern weight multipliers.
 func (ss *ShardedStore) EvaluateWeighted(q Query, weights []float64) []Answer {
-	return evaluateWeighted(ss, q, weights)
+	return ss.evaluateWeightedParallel(q, weights)
 }
 
-// Count returns the exact number of distinct answers to q.
+func (ss *ShardedStore) evaluateWeightedParallel(q Query, weights []float64) []Answer {
+	vs := NewVarSet(q)
+	order := evalOrder(ss, q)
+	if !ss.fanoutLevel0(q, order) {
+		out := collectAnswers(ss, q, vs, order, weights, nil)
+		out = DedupMax(out)
+		SortAnswers(out)
+		return out
+	}
+	outs := make([][]Answer, len(ss.shards))
+	var wg sync.WaitGroup
+	for si := range ss.shards {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			outs[si] = collectAnswers(ss, q, vs, order, weights, ss.shards[si].forCandidates)
+		}(si)
+	}
+	wg.Wait()
+	var out []Answer
+	for _, o := range outs {
+		out = append(out, o...)
+	}
+	out = DedupMax(out)
+	SortAnswers(out)
+	return out
+}
+
+// Count returns the exact number of distinct answers to q. Duplicate-free
+// stores count derivations with the same per-shard level-0 fan-out as
+// Evaluate; duplicate-bearing stores need one global binding-dedup set and
+// fall back to the sequential walk.
 func (ss *ShardedStore) Count(q Query) int {
-	return countAnswers(ss, q)
+	vs := NewVarSet(q)
+	order := evalOrder(ss, q)
+	if ss.HasDuplicates() || !ss.fanoutLevel0(q, order) {
+		return countAnswers(ss, q)
+	}
+	counts := make([]int, len(ss.shards))
+	var wg sync.WaitGroup
+	for si := range ss.shards {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			counts[si] = countDerivations(ss, q, vs, order, ss.shards[si].forCandidates)
+		}(si)
+	}
+	wg.Wait()
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return n
 }
 
 // Selectivity returns the exact join selectivity φ of q.

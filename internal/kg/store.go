@@ -4,51 +4,92 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
+	"sync"
 	"sync/atomic"
 )
 
 // Store is an in-memory scored triple store. Triples are added with Add and
 // the store must be frozen with Freeze before querying. After Freeze the
-// store is safe for concurrent readers.
+// store is safe for concurrent readers — and, since the live-ingest layer,
+// for concurrent writers through Insert: new triples land in a small mutable
+// head overlay on top of the frozen segment, and Compact (or crossing the
+// head-size limit) counting-sorts the head into the frozen posting arenas.
 //
 // Freeze builds every posting family pre-sorted by raw score descending
 // (triple index as tiebreak), mirroring the paper's setup where a database
 // engine "retrieve[s] the matches for triple patterns in sorted order". For
 // any pattern whose bound positions resolve to a single posting — fully
 // bound, (P,O), (S,P), or a single bound position without repeated variables
-// — MatchList is a lock-free, allocation-free slice view of that posting.
-// Only residual shapes (S+O-bound intersections, repeated-variable filters,
-// full scans) are computed lazily, behind a sharded single-flight cache.
+// — MatchList is a lock-free, allocation-free slice view of that posting
+// whenever the head is empty. Only residual shapes (S+O-bound intersections,
+// repeated-variable filters, full scans) are computed lazily, behind a
+// sharded single-flight cache; a non-empty head adds a two-source merge of
+// the frozen view with the head's sorted overlay.
+//
+// Readers never lock: all queryable state lives in an immutable storeState
+// snapshot behind an atomic pointer. Insert and Compact build a new snapshot
+// under the store's mutex and publish it with a single atomic store, so a
+// concurrent reader sees either the whole old state or the whole new state —
+// never a torn mixture.
 type Store struct {
-	dict    *Dict
+	dict *Dict
+	// triples is the pre-freeze staging area; after Freeze the snapshot's
+	// triples slice is authoritative (see allTriples).
 	triples []Triple
 	frozen  bool
 
-	// arenas is the shared posting storage built at Freeze: one region per
-	// family below (slices of a single flat allocation), holding triple
-	// indexes addressed by the spans in the index maps. This replaces a
-	// slice header and growth slack per distinct key; per-family spans keep
-	// int32 offsets sufficient for any store whose triple indexes fit int32.
-	arenas [famCount][]int32
-	// Secondary indexes from single bound positions to posting spans.
-	byS, byP, byO map[ID]span
-	// Composite indexes for the two most common access paths.
-	byPO map[[2]ID]span // (P,O) bound: 〈?s p o〉
-	bySP map[[2]ID]span // (S,P) bound: 〈s p ?o〉
-	// Full index for fully bound lookups, mapping (S,P,O) to every triple
-	// with those terms — duplicate additions of the same (s,p,o) with
-	// different scores are all retained, score-sorted like every posting.
-	bySPO map[[3]ID]span
-	// hasDuplicates records at Freeze whether any (s,p,o) key was added more
-	// than once; Count only needs binding dedup in that case.
-	hasDuplicates bool
+	// live is the current read snapshot; nil until Freeze.
+	live atomic.Pointer[storeState]
+	// mu serialises mutators (Insert, Compact, SetHeadLimit) after Freeze.
+	mu sync.Mutex
+	// headLimit is the head size at which Insert triggers an automatic
+	// compaction: 0 selects DefaultHeadLimit, negative disables automatic
+	// compaction entirely (Compact must be called explicitly).
+	headLimit int
 
-	// residual caches match lists for patterns no posting serves directly.
-	residual *listCache
-	// residualComputes counts residual-list computations, for tests
-	// asserting the cache's single-flight guarantee.
+	// compacting gates automatic compactions to one in flight (explicit
+	// Compact calls always run).
+	compacting atomic.Bool
+	// version counts content changes: 0 for a store frozen once and never
+	// mutated, +1 per successful Insert. Compaction leaves it unchanged —
+	// the visible triple set is identical before and after a merge.
+	version atomic.Uint64
+	// compactions counts head merges (explicit and automatic).
+	compactions atomic.Uint64
+	// residualComputes counts residual-list computations across the store's
+	// lifetime, for tests asserting the cache's single-flight guarantee.
 	residualComputes atomic.Int64
 }
+
+// storeState is one immutable read snapshot of a live store: the frozen
+// posting segment plus the mutable head's sorted overlay. Every reader loads
+// exactly one storeState per call, so Insert/Compact swaps are atomic from
+// the reader's point of view.
+type storeState struct {
+	// triples holds the frozen prefix (triples[:len(post.triples)]) followed
+	// by the head (triples[len(post.triples):]). Triple indexes are stable
+	// across inserts and compactions; backing arrays are shared between
+	// snapshots but slots are written only before the covering snapshot is
+	// published.
+	triples []Triple
+	// post indexes the frozen prefix.
+	post *postings
+	// headSorted lists head triple indexes in canonical match order — raw
+	// score descending, index ascending on ties — the tiny sorted overlay
+	// merged on top of frozen views.
+	headSorted []int32
+	// headDup records whether any head triple repeats an (s,p,o) key already
+	// present in the frozen prefix or earlier in the head.
+	headDup bool
+	// merged lazily caches frozen⊕head merged match lists for this snapshot
+	// (nil until the first merged lookup; dropped wholesale when the next
+	// Insert or Compact publishes a new snapshot).
+	merged atomic.Pointer[listCache]
+}
+
+// frozenLen reports how many leading triples the frozen postings cover.
+func (s *storeState) frozenLen() int { return len(s.post.triples) }
 
 // NewStore returns an empty store using the given dictionary (or a fresh one
 // if dict is nil).
@@ -56,36 +97,53 @@ func NewStore(dict *Dict) *Store {
 	if dict == nil {
 		dict = NewDict()
 	}
-	// The posting maps are built by Freeze (buildPostings), sized from the
-	// triple count; an unfrozen store has no readable indexes.
-	return &Store{
-		dict:     dict,
-		residual: newListCache(),
-	}
+	// The posting families are built by Freeze (buildPostings), sized from
+	// the triple count; an unfrozen store has no readable indexes.
+	return &Store{dict: dict}
 }
 
 // Dict returns the store's term dictionary.
 func (st *Store) Dict() *Dict { return st.dict }
 
-// Len reports the number of triples in the store.
-func (st *Store) Len() int { return len(st.triples) }
+// allTriples returns the store's full triple sequence: the snapshot's slice
+// once frozen (which grows with live inserts), the staging slice before.
+func (st *Store) allTriples() []Triple {
+	if s := st.live.Load(); s != nil {
+		return s.triples
+	}
+	return st.triples
+}
 
-// ErrFrozen is returned by mutating calls after Freeze.
+// Len reports the number of triples in the store. On a live store it is
+// monotone non-decreasing under concurrent inserts.
+func (st *Store) Len() int { return len(st.allTriples()) }
+
+// ErrFrozen is returned by Add after Freeze; use Insert for live ingest.
 var ErrFrozen = errors.New("kg: store is frozen")
 
-// Add appends a scored triple. Scores must be finite and non-negative
-// (NaN or ±Inf would poison the score-sorted posting order and Definition 5
-// normalisation, and could not round-trip through the binary snapshot
-// format); zero-scored triples are legal but never contribute to top-k under
-// the paper's model. Duplicate (s,p,o) triples with different scores are all
-// retained and all appear in match lists; answer-level semantics collapse
-// them via DedupMax (Definition 8 keeps the maximum-score derivation).
+// validScore rejects scores that would poison the score-sorted posting order
+// and Definition 5 normalisation (and could not round-trip through the
+// binary snapshot format).
+func validScore(score float64) error {
+	if score < 0 || math.IsNaN(score) || math.IsInf(score, 0) {
+		return fmt.Errorf("kg: invalid triple score %v", score)
+	}
+	return nil
+}
+
+// Add appends a scored triple to an unfrozen store. Scores must be finite
+// and non-negative; zero-scored triples are legal but never contribute to
+// top-k under the paper's model. Duplicate (s,p,o) triples with different
+// scores are all retained and all appear in match lists; answer-level
+// semantics collapse them via DedupMax (Definition 8 keeps the maximum-score
+// derivation). After Freeze, Add returns ErrFrozen — live ingest goes
+// through Insert instead.
 func (st *Store) Add(t Triple) error {
 	if st.frozen {
 		return ErrFrozen
 	}
-	if t.Score < 0 || math.IsNaN(t.Score) || math.IsInf(t.Score, 0) {
-		return fmt.Errorf("kg: invalid triple score %v", t.Score)
+	if err := validScore(t.Score); err != nil {
+		return err
 	}
 	st.triples = append(st.triples, t)
 	return nil
@@ -102,82 +160,348 @@ func (st *Store) AddSPO(s, p, o string, score float64) error {
 }
 
 // Freeze builds the score-sorted secondary indexes, parallelising the
-// per-bucket sorts across a worker pool. Add must not be called afterwards.
-// Freeze is idempotent but not itself safe for concurrent use; freeze from
-// one goroutine, then read from as many as you like.
+// per-bucket sorts across a worker pool. Add must not be called afterwards;
+// Insert may be. Freeze is idempotent but not itself safe for concurrent
+// use; freeze from one goroutine, then read — and Insert — from as many as
+// you like.
 func (st *Store) Freeze() {
 	if st.frozen {
 		return
 	}
-	st.buildPostings()
+	st.live.Store(&storeState{
+		triples: st.triples,
+		post:    buildPostings(st.triples, &st.residualComputes),
+	})
 	st.frozen = true
 }
 
 // Frozen reports whether Freeze has been called.
 func (st *Store) Frozen() bool { return st.frozen }
 
-// HasDuplicates reports whether any (s,p,o) key was added more than once
-// (with the same or different scores). Determined at Freeze. Operators use
-// this to skip binding deduplication when a match list provably cannot
-// repeat a binding.
-func (st *Store) HasDuplicates() bool { return st.hasDuplicates }
+// DefaultHeadLimit is the head size at which Insert triggers an automatic
+// compaction when SetHeadLimit was never called. It keeps the per-query
+// head-merge overhead bounded while amortising the posting rebuild over
+// enough inserts to stay cheap.
+const DefaultHeadLimit = 1024
 
-// Triple returns the triple at index i (as stored; indexes are stable).
-func (st *Store) Triple(i int32) Triple { return st.triples[i] }
+// SetHeadLimit sets the head size at which Insert automatically compacts:
+// 0 restores DefaultHeadLimit, a negative value disables automatic
+// compaction (explicit Compact only). Safe to call concurrently with
+// Insert; it does not itself trigger a compaction.
+func (st *Store) SetHeadLimit(n int) {
+	st.mu.Lock()
+	st.headLimit = n
+	st.mu.Unlock()
+}
+
+// effectiveHeadLimit resolves the configured limit; caller holds mu.
+func (st *Store) effectiveHeadLimit() int {
+	if st.headLimit == 0 {
+		return DefaultHeadLimit
+	}
+	return st.headLimit
+}
+
+// HeadLen reports the number of triples currently in the mutable head (0 on
+// an unfrozen or freshly compacted store).
+func (st *Store) HeadLen() int {
+	if s := st.live.Load(); s != nil {
+		return len(s.headSorted)
+	}
+	return 0
+}
+
+// Version reports the store's logical content version: 0 until the first
+// live Insert, +1 per insert. Compaction does not move it — the visible
+// triple set is unchanged — so version-keyed caches survive merges.
+func (st *Store) Version() uint64 { return st.version.Load() }
+
+// Compactions reports how many head merges the store has performed.
+func (st *Store) Compactions() uint64 { return st.compactions.Load() }
+
+// Insert appends a scored triple to a live (frozen) store: the triple lands
+// in the mutable head overlay, immediately visible to every subsequent read,
+// and is merged into the frozen posting arenas when the head crosses the
+// configured limit or Compact is called. Insert is safe for concurrent use
+// with readers and other inserters. Before Freeze it behaves like Add.
+func (st *Store) Insert(t Triple) error {
+	need, err := st.insert(t)
+	if err == nil && need {
+		st.compactIfNeeded()
+	}
+	return err
+}
+
+// insert publishes the head-extended snapshot and reports whether the head
+// crossed the automatic-compaction limit. The merge itself is left to the
+// caller so ShardedStore can run it outside its directory lock — a shard
+// compacting must not stall inserts routed to other shards.
+func (st *Store) insert(t Triple) (needCompact bool, err error) {
+	if err := validScore(t.Score); err != nil {
+		return false, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.frozen {
+		st.triples = append(st.triples, t)
+		return false, nil
+	}
+	s := st.live.Load()
+	idx := int32(len(s.triples))
+	// Appending may share the backing array with older snapshots; that is
+	// safe because the new slot lies beyond every published snapshot's
+	// length and the publish below is an atomic release.
+	triples := append(s.triples, t)
+
+	// Insert the new index into the head overlay at its canonical position:
+	// after every head triple with a strictly greater score (equal scores
+	// order by index, and the new index is the largest so far).
+	pos := sort.Search(len(s.headSorted), func(i int) bool {
+		return s.triples[s.headSorted[i]].Score < t.Score
+	})
+	head := make([]int32, 0, len(s.headSorted)+1)
+	head = append(head, s.headSorted[:pos]...)
+	head = append(head, idx)
+	head = append(head, s.headSorted[pos:]...)
+
+	dup := s.headDup
+	if !dup {
+		if s.post.bySPO[[3]ID{t.S, t.P, t.O}].n > 0 {
+			dup = true
+		} else {
+			for _, hi := range s.headSorted {
+				h := s.triples[hi]
+				if h.S == t.S && h.P == t.P && h.O == t.O {
+					dup = true
+					break
+				}
+			}
+		}
+	}
+
+	ns := &storeState{triples: triples, post: s.post, headSorted: head, headDup: dup}
+	st.live.Store(ns)
+	st.version.Add(1)
+	limit := st.effectiveHeadLimit()
+	return limit > 0 && len(head) >= limit, nil
+}
+
+// compactIfNeeded re-checks the head against the limit and merges if it
+// still qualifies (a concurrent Compact may have emptied it since the
+// triggering insert returned). The compacting flag bounds automatic merges
+// to one in flight: under a sustained insert burst every insert past the
+// limit would otherwise kick off its own redundant rebuild.
+func (st *Store) compactIfNeeded() {
+	if !st.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	defer st.compacting.Store(false)
+	st.mu.Lock()
+	if !st.frozen {
+		st.mu.Unlock()
+		return
+	}
+	s := st.live.Load()
+	limit := st.effectiveHeadLimit()
+	if limit <= 0 || len(s.headSorted) < limit {
+		st.mu.Unlock()
+		return
+	}
+	st.mu.Unlock()
+	st.compactFrom(s)
+}
+
+// InsertSPO encodes the three terms and inserts the triple live.
+func (st *Store) InsertSPO(s, p, o string, score float64) error {
+	return st.Insert(Triple{
+		S:     st.dict.Encode(s),
+		P:     st.dict.Encode(p),
+		O:     st.dict.Encode(o),
+		Score: score,
+	})
+}
+
+// Compact merges the mutable head into the frozen segment: the full triple
+// sequence is re-laid into the counting-sort posting arenas (reusing the
+// parallel per-bucket sort worker pool), and a fresh all-frozen snapshot is
+// published. Neither readers nor writers are blocked for the rebuild — the
+// expensive posting build runs outside the mutex against an immutable
+// snapshot, and triples inserted meanwhile are folded back in as the new
+// head at publish time. The visible triple set is unchanged throughout, so
+// answers before and after a compaction are bit-identical. No-op on an
+// unfrozen store or an empty head.
+func (st *Store) Compact() {
+	st.mu.Lock()
+	if !st.frozen {
+		st.mu.Unlock()
+		return
+	}
+	s := st.live.Load()
+	if len(s.headSorted) == 0 {
+		st.mu.Unlock()
+		return
+	}
+	st.mu.Unlock()
+	st.compactFrom(s)
+}
+
+// compactFrom rebuilds the postings over snapshot s's full triple sequence
+// off-lock, then publishes under the mutex: any triples inserted during the
+// rebuild stay in the (now smaller) head of the published state, and a
+// concurrent compaction that already covered at least this prefix wins.
+func (st *Store) compactFrom(s *storeState) {
+	post := buildPostings(s.triples, &st.residualComputes)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cur := st.live.Load()
+	if len(cur.post.triples) >= len(post.triples) {
+		return
+	}
+	ns := &storeState{triples: cur.triples, post: post}
+	// cur's head is in canonical order; dropping the entries the new
+	// postings absorbed preserves it.
+	for _, hi := range cur.headSorted {
+		if int(hi) >= len(post.triples) {
+			ns.headSorted = append(ns.headSorted, hi)
+		}
+	}
+	ns.headDup = headDupFor(ns)
+	st.live.Store(ns)
+	st.compactions.Add(1)
+}
+
+// headDupFor recomputes the head-duplicate flag exactly for a snapshot: a
+// head triple repeating a frozen (s,p,o) key or another head triple's key.
+// Quadratic in the head length, which is tiny right after a compaction.
+func headDupFor(s *storeState) bool {
+	for i, hi := range s.headSorted {
+		t := s.triples[hi]
+		if s.post.bySPO[[3]ID{t.S, t.P, t.O}].n > 0 {
+			return true
+		}
+		for _, hj := range s.headSorted[:i] {
+			h := s.triples[hj]
+			if h.S == t.S && h.P == t.P && h.O == t.O {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasDuplicates reports whether any (s,p,o) key was added more than once
+// (with the same or different scores), in the frozen segment or the head.
+// Operators use this to skip binding deduplication when a match list
+// provably cannot repeat a binding.
+func (st *Store) HasDuplicates() bool {
+	if s := st.live.Load(); s != nil {
+		return s.post.hasDuplicates || s.headDup
+	}
+	return false
+}
+
+// Triple returns the triple at index i (as stored; indexes are stable across
+// inserts and compactions).
+func (st *Store) Triple(i int32) Triple { return st.allTriples()[i] }
+
+// state returns the current read snapshot, panicking before Freeze.
+func (st *Store) state() *storeState {
+	s := st.live.Load()
+	if s == nil {
+		panic("kg: read before Freeze")
+	}
+	return s
+}
 
 // MatchList returns the indexes of triples matching p, sorted by raw score
 // descending (ties broken by triple index for determinism). For indexed
-// shapes this is a zero-allocation, lock-free view of a posting built at
-// Freeze; residual shapes are computed once and cached. The result must not
-// be mutated by callers.
+// shapes with an empty head this is a zero-allocation, lock-free view of a
+// posting; residual shapes are computed once per segment generation and
+// cached; a non-empty head produces a merged list cached per snapshot. The
+// result must not be mutated by callers.
 func (st *Store) MatchList(p Pattern) []int32 {
-	if !st.frozen {
-		panic("kg: MatchList before Freeze")
-	}
-	if l, ok := st.matchedByIndex(p); ok {
-		return l
-	}
-	return st.residual.get(p.Key(), func() []int32 { return st.computeMatches(p) })
+	return st.state().matchList(p)
 }
 
-// computeMatches filters the smallest candidate posting down to the exact
-// match list. Candidate postings are score-sorted at Freeze and filtering
-// preserves order, so only the full-scan fallback — which walks triples in
-// insertion order — sorts its result.
-func (st *Store) computeMatches(p Pattern) []int32 {
-	st.residualComputes.Add(1)
-	var out []int32
-	cand, indexed := st.candidates(p)
-	if !indexed {
-		for i := range st.triples {
-			if p.Matches(st.triples[i]) {
-				out = append(out, int32(i))
-			}
-		}
-		st.sortByScore(out)
-		return out
+func (s *storeState) matchList(p Pattern) []int32 {
+	if len(s.headSorted) == 0 {
+		return s.post.matchList(p)
 	}
-	for _, i := range cand {
-		if p.Matches(st.triples[i]) {
-			out = append(out, i)
+	c := s.merged.Load()
+	if c == nil {
+		c = newListCache()
+		if !s.merged.CompareAndSwap(nil, c) {
+			c = s.merged.Load()
 		}
 	}
+	return c.get(p.Key(), func() []int32 { return s.computeMerged(p) })
+}
+
+// computeMerged two-way merges the frozen match list with the head's matches
+// in canonical order. Head indexes all exceed frozen indexes, so on equal
+// scores the index tiebreak keeps every frozen entry ahead of every head
+// entry, and each source's internal order is already canonical.
+func (s *storeState) computeMerged(p Pattern) []int32 {
+	frozen := s.post.matchList(p)
+	var head []int32
+	for _, hi := range s.headSorted {
+		if p.Matches(s.triples[hi]) {
+			head = append(head, hi)
+		}
+	}
+	if len(head) == 0 {
+		return frozen
+	}
+	out := make([]int32, 0, len(frozen)+len(head))
+	i, j := 0, 0
+	for i < len(frozen) && j < len(head) {
+		a, b := frozen[i], head[j]
+		ta, tb := s.triples[a], s.triples[b]
+		if ta.Score > tb.Score || (ta.Score == tb.Score && a < b) {
+			out = append(out, a)
+			i++
+		} else {
+			out = append(out, b)
+			j++
+		}
+	}
+	out = append(out, frozen[i:]...)
+	out = append(out, head[j:]...)
 	return out
 }
 
-// Cardinality returns the number of triples matching p.
-func (st *Store) Cardinality(p Pattern) int { return len(st.MatchList(p)) }
+// Cardinality returns the number of triples matching p, head included,
+// without materialising a merged list.
+func (st *Store) Cardinality(p Pattern) int {
+	s := st.state()
+	n := len(s.post.matchList(p))
+	for _, hi := range s.headSorted {
+		if p.Matches(s.triples[hi]) {
+			n++
+		}
+	}
+	return n
+}
 
 // MaxScore returns the maximum raw score among matches of p, or 0 if there
-// are no matches. Per Definition 5 this is the normalisation constant. Match
-// lists are score-sorted at Freeze, so this is an O(1) head lookup — no list
-// walk, no lock.
+// are no matches. Per Definition 5 this is the normalisation constant. The
+// frozen side is an O(1) head lookup of the score-sorted posting; the head
+// overlay is scanned in score order until its first match.
 func (st *Store) MaxScore(p Pattern) float64 {
-	l := st.MatchList(p)
-	if len(l) == 0 {
-		return 0
+	s := st.state()
+	max := 0.0
+	if l := s.post.matchList(p); len(l) > 0 {
+		max = s.triples[l[0]].Score
 	}
-	return st.triples[l[0]].Score
+	for _, hi := range s.headSorted {
+		if p.Matches(s.triples[hi]) {
+			if sc := s.triples[hi].Score; sc > max {
+				max = sc
+			}
+			break
+		}
+	}
+	return max
 }
 
 // NormalizedScore computes S(t|q) per Definition 5: the triple's raw score

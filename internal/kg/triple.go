@@ -52,19 +52,30 @@ func (p Pattern) Vars() []string {
 
 // Matches reports whether triple t matches the pattern, ignoring variables
 // (variables match anything; repeated variables must bind consistently).
+// It never allocates — the head-overlay filters of a live store call it per
+// head triple per lookup.
 func (p Pattern) Matches(t Triple) bool {
-	bind := map[string]ID{}
-	check := func(term Term, v ID) bool {
-		if !term.IsVar {
-			return term.ID == v
-		}
-		if prev, ok := bind[term.Name]; ok {
-			return prev == v
-		}
-		bind[term.Name] = v
-		return true
+	if !p.S.IsVar && p.S.ID != t.S {
+		return false
 	}
-	return check(p.S, t.S) && check(p.P, t.P) && check(p.O, t.O)
+	if !p.P.IsVar && p.P.ID != t.P {
+		return false
+	}
+	if !p.O.IsVar && p.O.ID != t.O {
+		return false
+	}
+	if p.S.IsVar {
+		if p.P.IsVar && p.S.Name == p.P.Name && t.S != t.P {
+			return false
+		}
+		if p.O.IsVar && p.S.Name == p.O.Name && t.S != t.O {
+			return false
+		}
+	}
+	if p.P.IsVar && p.O.IsVar && p.P.Name == p.O.Name && t.P != t.O {
+		return false
+	}
+	return true
 }
 
 // Key returns a canonical comparable key for the pattern, suitable for use as

@@ -1,6 +1,7 @@
 package operators
 
 import (
+	"fmt"
 	"testing"
 
 	"specqp/internal/kg"
@@ -88,6 +89,58 @@ func TestListScanDedupPathSteadyAllocs(t *testing.T) {
 		}
 	}); allocs != 0 {
 		t.Fatalf("steady-state dedup scan: %v allocs per drain, want 0", allocs)
+	}
+}
+
+// TestLiveStoreScanZeroAllocsWithEmptyHead extends the acceptance guard to
+// the live-ingest layer: a store that has been mutated through Insert and
+// then compacted (empty head attached to the frozen segment) must serve the
+// same zero-allocation scan steady state as a store frozen once — the
+// snapshot indirection and the head-overlay plumbing cost nothing when the
+// head is empty.
+func TestLiveStoreScanZeroAllocsWithEmptyHead(t *testing.T) {
+	st := dupFreeStore(t)
+	// Mutate live with more duplicate-free triples, then compact so the head
+	// is empty again.
+	for i := 0; i < 32; i++ {
+		s := []string{"f1", "f2", "f3", "f4"}[i%4]
+		o := fmt.Sprintf("E%d", i/4)
+		if err := st.InsertSPO(s, "type", o, float64(200-i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Compact()
+	if st.HeadLen() != 0 {
+		t.Fatalf("head holds %d triples after Compact", st.HeadLen())
+	}
+	if st.HasDuplicates() {
+		t.Fatal("live inserts unexpectedly created duplicates")
+	}
+	ty, _ := st.Dict().Lookup("type")
+	pat := kg.NewPattern(kg.Var("s"), kg.Const(ty), kg.Var("o"))
+	if allocs := testing.AllocsPerRun(100, func() {
+		if len(st.MatchList(pat)) == 0 {
+			t.Fatal("empty match list")
+		}
+	}); allocs != 0 {
+		t.Fatalf("compacted-store MatchList: %v allocs, want 0", allocs)
+	}
+	vs := kg.NewVarSet(kg.NewQuery(pat))
+	s := NewListScan(st, vs, pat, 1, 0, nil)
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		s.Reset()
+		for {
+			if _, ok := s.Next(); !ok {
+				return
+			}
+		}
+	}); allocs != 0 {
+		t.Fatalf("steady-state scan over compacted live store: %v allocs per drain, want 0", allocs)
 	}
 }
 

@@ -63,8 +63,15 @@ const (
 // (use 1 for the original pattern, the rule weight for a relaxation). mask is
 // OR-ed into every entry's Relaxed field (0 for originals, 1<<patternIdx for
 // relaxations). vs must be the variable set of the enclosing query.
+//
+// The argument order below is load-bearing on live stores: the match list is
+// loaded before the normalisation constant, and triples are only ever
+// appended, so MaxScore — from the same or a newer snapshot — always covers
+// every raw score in the captured list. Normalised scores therefore never
+// exceed weight even when an insert races the construction.
 func NewListScan(store kg.Graph, vs *kg.VarSet, p kg.Pattern, weight float64, mask uint32, c *Counter) *ListScan {
-	return newListScanOver(store, vs, p, weight, mask, c, store.MatchList(p), store.MaxScore(p))
+	list := store.MatchList(p)
+	return newListScanOver(store, vs, p, weight, mask, c, list, store.MaxScore(p))
 }
 
 // newListScanOver builds a scan over an explicit match list and an explicit

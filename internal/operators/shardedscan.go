@@ -61,18 +61,53 @@ func (h shardHead) heapLess(o shardHead) bool {
 // NewShardedListScan builds the merged scan. Parameters mirror NewListScan.
 func NewShardedListScan(ss *kg.ShardedStore, vs *kg.VarSet, p kg.Pattern, weight float64, mask uint32, c *Counter) *ShardedListScan {
 	s := &ShardedListScan{counter: c}
-	max := ss.MaxScore(p)
+	type shardList struct {
+		sh   *kg.Store
+		glob []int32
+		list []int32
+	}
+	lists := make([]shardList, 0, ss.NumShards())
 	for si := 0; si < ss.NumShards(); si++ {
 		sh := ss.Shard(si)
+		glob := ss.GlobalIndexes(si)
 		list := sh.MatchList(p)
+		// A live insert between the two loads above can leave the shard
+		// momentarily ahead of the directory snapshot; local indexes without
+		// a global mapping yet are treated as not-yet-inserted. Quiescent
+		// stores never take the copy, keeping the frozen path zero-alloc.
+		oob := false
+		for _, li := range list {
+			if int(li) >= len(glob) {
+				oob = true
+				break
+			}
+		}
+		if oob {
+			trimmed := make([]int32, 0, len(list))
+			for _, li := range list {
+				if int(li) < len(glob) {
+					trimmed = append(trimmed, li)
+				}
+			}
+			list = trimmed
+		}
 		if len(list) == 0 {
 			continue
 		}
+		lists = append(lists, shardList{sh: sh, glob: glob, list: list})
+	}
+	// The normalisation constant is loaded AFTER the lists: triples are only
+	// ever appended, so each shard's current maximum covers every raw score
+	// in its (possibly older) captured list — emitted normalised scores can
+	// never exceed the weight even when an insert races the construction.
+	// At quiescence this is exactly the flat scan's global maximum.
+	max := ss.MaxScore(p)
+	for _, sl := range lists {
 		// Sub-scans carry a nil counter: the merge counts post-dedup
 		// emissions, exactly like the unsharded scan.
-		sub := newListScanOver(sh, vs, p, weight, mask, nil, list, max)
+		sub := newListScanOver(sl.sh, vs, p, weight, mask, nil, sl.list, max)
 		s.subs = append(s.subs, sub)
-		s.glob = append(s.glob, ss.GlobalIndexes(si))
+		s.glob = append(s.glob, sl.glob)
 		if sub.top > s.top {
 			s.top = sub.top
 		}

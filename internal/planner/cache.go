@@ -57,6 +57,11 @@ type PlanCache struct {
 	mu    sync.Mutex
 	order *list.List // front = most recently used
 	items map[string]*list.Element
+	// gen counts Clear calls. Plans are computed outside the lock, so a
+	// plan begun before a Clear (against since-stale statistics) must not
+	// be published after it; Plan captures gen before computing and only
+	// stores when it is unchanged.
+	gen uint64
 }
 
 type planItem struct {
@@ -84,6 +89,17 @@ func NewPlanCache(pl *Planner, capacity int) *PlanCache {
 // Planner returns the wrapped planner.
 func (c *PlanCache) Planner() *Planner { return c.pl }
 
+// Clear empties the cache. Engines call it when the store's content version
+// moves under live ingest: cached plans embed cardinality and
+// score-distribution decisions that are stale after an insert.
+func (c *PlanCache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	c.order.Init()
+	clear(c.items)
+}
+
 // Len reports the number of cached plans.
 func (c *PlanCache) Len() int {
 	c.mu.Lock()
@@ -104,6 +120,7 @@ func (c *PlanCache) Plan(q kg.Query, k int) Plan {
 		c.mu.Unlock()
 		return materialise(p, q)
 	}
+	gen := c.gen
 	c.mu.Unlock()
 
 	p := c.pl.Plan(q, k)
@@ -112,9 +129,12 @@ func (c *PlanCache) Plan(q kg.Query, k int) Plan {
 	if el, ok := c.items[key]; ok {
 		// Lost the race to another planner; keep the incumbent.
 		c.order.MoveToFront(el)
-	} else {
+	} else if c.gen == gen {
 		// Store a private copy: the plan about to be returned escapes to
-		// the caller, who is free to mutate it.
+		// the caller, who is free to mutate it. A Clear since the compute
+		// began means the plan embeds stale statistics — return it to the
+		// caller (same outcome as a query started just before the
+		// invalidating insert) but never publish it.
 		c.items[key] = c.order.PushFront(&planItem{key: key, plan: materialise(p, p.Query)})
 		if c.order.Len() > c.capacity {
 			last := c.order.Back()

@@ -18,6 +18,10 @@ type Catalog struct {
 	mu         sync.RWMutex
 	cache      map[kg.PatternKey]cachedStats
 	countCache map[string]int
+	// version is the store content version (kg.Graph.Version) the caches
+	// reflect; live inserts move it, and syncVersion discards everything
+	// computed against older contents.
+	version uint64
 
 	// Counter supplies join cardinalities. The paper uses exact counts
 	// (footnote 3); EstimatedCounter enables the selectivity ablation.
@@ -153,6 +157,35 @@ func queryKey(q kg.Query) string {
 // Store returns the underlying triple store.
 func (c *Catalog) Store() kg.Graph { return c.store }
 
+// syncVersion discards every cached statistic when the store has been
+// mutated since it was computed (live ingest moves Graph.Version on each
+// insert; compactions do not, since contents are unchanged). It returns the
+// version new entries should be tagged against: writers only publish results
+// computed at the still-current version, so a mutation racing a computation
+// can at worst drop a cacheable result, never retain a stale one past the
+// next sync.
+func (c *Catalog) syncVersion() uint64 {
+	v := c.store.Version()
+	c.mu.RLock()
+	cur := c.version
+	c.mu.RUnlock()
+	if cur == v {
+		return v
+	}
+	c.mu.Lock()
+	// Advance only: a goroutine carrying a stale version read (the store
+	// moved between its Version() load and this lock) must not rewind the
+	// catalog, or its tag would re-admit writes computed from pre-mutation
+	// contents.
+	if c.version < v {
+		c.version = v
+		clear(c.cache)
+		clear(c.countCache)
+	}
+	c.mu.Unlock()
+	return v
+}
+
 // Buckets returns the histogram resolution.
 func (c *Catalog) Buckets() int { return c.buckets }
 
@@ -160,6 +193,7 @@ func (c *Catalog) Buckets() int { return c.buckets }
 // normalised scores and the match count. ok is false when the pattern has no
 // (non-zero-scored) matches.
 func (c *Catalog) PatternDist(p kg.Pattern) (PiecewiseConst, int, bool) {
+	v := c.syncVersion()
 	key := p.Key()
 	c.mu.RLock()
 	if cs, hit := c.cache[key]; hit {
@@ -181,7 +215,9 @@ func (c *Catalog) PatternDist(p kg.Pattern) (PiecewiseConst, int, bool) {
 		}
 	}
 	c.mu.Lock()
-	c.cache[key] = cs
+	if c.version == v {
+		c.cache[key] = cs
+	}
 	c.mu.Unlock()
 	return cs.dist, cs.m, cs.ok
 }
@@ -196,6 +232,7 @@ type QueryEstimate struct {
 // QueryCount returns the (exact or estimated, per the configured Counter)
 // number of answers of q, caching results across repeated plans.
 func (c *Catalog) QueryCount(q kg.Query) int {
+	v := c.syncVersion()
 	key := queryKey(q)
 	c.mu.RLock()
 	n, hit := c.countCache[key]
@@ -205,7 +242,9 @@ func (c *Catalog) QueryCount(q kg.Query) int {
 	}
 	n = c.counter.QueryCount(q)
 	c.mu.Lock()
-	c.countCache[key] = n
+	if c.version == v {
+		c.countCache[key] = n
+	}
 	c.mu.Unlock()
 	return n
 }

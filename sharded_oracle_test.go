@@ -25,12 +25,31 @@ var oracleShardCounts = []int{1, 2, 3, 7, 16}
 // object constants, and a batch of 2–3 pattern join queries.
 func randomEngineFixture(t testing.TB, seed int64) (*Store, *RuleSet, []Query) {
 	t.Helper()
+	dict, triples, rules, queries := randomLiveFixture(t, seed)
+	st := kg.NewStore(dict)
+	for _, tr := range triples {
+		if err := st.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Freeze()
+	return st, rules, queries
+}
+
+// randomLiveFixture is randomEngineFixture with the triple sequence exposed
+// as a stream instead of pre-loaded into a store, so live-ingest tests can
+// replay arbitrary prefixes through Insert and rebuild flat oracles at any
+// interleaving point. The rng consumption order matches the original
+// fixture exactly, keeping every seeded test's data stable.
+func randomLiveFixture(t testing.TB, seed int64) (*kg.Dict, []Triple, *RuleSet, []Query) {
+	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	st := NewStore()
-	for st.Dict().Len() < 16 {
-		st.Dict().Encode(fmt.Sprintf("t%d", st.Dict().Len()))
+	dict := kg.NewDict()
+	for dict.Len() < 16 {
+		dict.Encode(fmt.Sprintf("t%d", dict.Len()))
 	}
 	n := 150 + rng.Intn(150)
+	triples := make([]Triple, 0, n+n/4)
 	for i := 0; i < n; i++ {
 		tr := Triple{
 			S:     ID(rng.Intn(8)),
@@ -38,17 +57,12 @@ func randomEngineFixture(t testing.TB, seed int64) (*Store, *RuleSet, []Query) {
 			O:     ID(11 + rng.Intn(5)),
 			Score: float64(1 + rng.Intn(25)), // small range forces score ties
 		}
-		if err := st.Add(tr); err != nil {
-			t.Fatal(err)
-		}
+		triples = append(triples, tr)
 		if rng.Intn(4) == 0 {
 			tr.Score = float64(1 + rng.Intn(25))
-			if err := st.Add(tr); err != nil {
-				t.Fatal(err)
-			}
+			triples = append(triples, tr)
 		}
 	}
-	st.Freeze()
 
 	rules := NewRuleSet()
 	for p := 8; p < 11; p++ {
@@ -90,7 +104,7 @@ func randomEngineFixture(t testing.TB, seed int64) (*Store, *RuleSet, []Query) {
 		}
 		queries = append(queries, NewQuery(ps...))
 	}
-	return st, rules, queries
+	return dict, triples, rules, queries
 }
 
 // sameAnswers asserts two answer lists are bit-identical: same length, same
@@ -255,6 +269,143 @@ func TestNewEngineOverShardedStore(t *testing.T) {
 				t.Fatal(err)
 			}
 			sameAnswers(t, fmt.Sprintf("NewEngineOver query %d mode %v", qi, mode), got.Answers, want.Answers)
+		}
+	}
+}
+
+// TestLiveInterleavedOracle is the live-ingest acceptance test: random
+// interleavings of Insert, per-shard Compact, whole-store Compact and Query
+// against a live sharded engine must be bit-identical — answers, scores,
+// relaxation provenance, Spec-QP plan decisions — to a flat engine rebuilt
+// from scratch over the same triple prefix, at every checkpoint, across the
+// whole shard-count ladder and all three execution modes. Trials rotate the
+// head limit through aggressive auto-compaction (5), manual-only (-1) and
+// the default, so checkpoints land on every head/frozen mixture.
+func TestLiveInterleavedOracle(t *testing.T) {
+	headLimits := []int{5, -1, 0}
+	for trial := int64(0); trial < 3; trial++ {
+		dict, triples, rules, queries := randomLiveFixture(t, 9500+trial)
+		base := len(triples) * 3 / 5
+		headLimit := headLimits[trial%3]
+		for _, shards := range oracleShardCounts {
+			ss := kg.NewShardedStore(dict, shards)
+			for _, tr := range triples[:base] {
+				if err := ss.Add(tr); err != nil {
+					t.Fatal(err)
+				}
+			}
+			eng := NewEngineOver(ss, rules, Options{HeadLimit: headLimit})
+			live, ok := eng.Graph().(LiveGraph)
+			if !ok {
+				t.Fatalf("engine graph %T is not a LiveGraph", eng.Graph())
+			}
+			pos := base
+			check := func() {
+				t.Helper()
+				flat := kg.NewStore(dict)
+				for _, tr := range triples[:pos] {
+					if err := flat.Add(tr); err != nil {
+						t.Fatal(err)
+					}
+				}
+				flat.Freeze()
+				ref := NewEngineWith(flat, rules, Options{Shards: 1})
+				for qi, q := range queries[:3] {
+					for _, mode := range []Mode{ModeSpecQP, ModeTriniT, ModeNaive} {
+						k := 3 + qi + int(trial)
+						want, err := ref.Query(q, k, mode)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := eng.Query(q, k, mode)
+						if err != nil {
+							t.Fatal(err)
+						}
+						label := fmt.Sprintf("trial %d shards=%d pos=%d/%d head=%d query %d mode %v k=%d",
+							trial, shards, pos, len(triples), live.HeadLen(), qi, mode, k)
+						sameAnswers(t, label, got.Answers, want.Answers)
+						if mode == ModeSpecQP && got.Plan.RelaxMask() != want.Plan.RelaxMask() {
+							t.Fatalf("%s: plan relax mask %b, want %b", label, got.Plan.RelaxMask(), want.Plan.RelaxMask())
+						}
+					}
+				}
+			}
+			check() // freeze point, before any live insert
+			// One op schedule per shard count (re-seeded), so every shard
+			// count is checked at identical interleaving points.
+			opRng := rand.New(rand.NewSource(777 + trial))
+			for pos < len(triples) {
+				switch op := opRng.Intn(14); {
+				case op < 10:
+					if err := eng.Insert(triples[pos]); err != nil {
+						t.Fatal(err)
+					}
+					pos++
+				case op == 10:
+					eng.Compact()
+				case op == 11:
+					ss.CompactShard(opRng.Intn(shards))
+				default:
+					check()
+				}
+			}
+			check() // every triple inserted, final state
+			if headLimit == 5 && live.Compactions() == 0 {
+				t.Fatalf("shards=%d: no automatic compaction with head limit 5", shards)
+			}
+			if got, want := eng.Graph().Len(), len(triples); got != want {
+				t.Fatalf("shards=%d: live store has %d triples, streamed %d", shards, got, want)
+			}
+		}
+	}
+}
+
+// TestLiveQueryBatchPlanCacheInvalidation pins the engine-level cache
+// plumbing the oracle relies on: a QueryBatch answer computed before an
+// insert must not be replayed from the plan cache or the statistics catalog
+// after the insert changed the store's contents.
+func TestLiveQueryBatchPlanCacheInvalidation(t *testing.T) {
+	dict, triples, rules, queries := randomLiveFixture(t, 4242)
+	base := len(triples) / 2
+	ss := kg.NewShardedStore(dict, 3)
+	for _, tr := range triples[:base] {
+		if err := ss.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := NewEngineOver(ss, rules, Options{HeadLimit: -1})
+	ctx := context.Background()
+	if _, err := eng.QueryBatch(ctx, queries, 8, ModeSpecQP); err != nil {
+		t.Fatal(err) // warm the plan cache against the pre-insert store
+	}
+	for _, tr := range triples[base:] {
+		if err := eng.Insert(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flat := kg.NewStore(dict)
+	for _, tr := range triples {
+		if err := flat.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flat.Freeze()
+	ref := NewEngineWith(flat, rules, Options{Shards: 1})
+	results, err := eng.QueryBatch(ctx, queries, 8, ModeSpecQP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, r := range results {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", qi, r.Err)
+		}
+		want, err := ref.Query(queries[qi], 8, ModeSpecQP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameAnswers(t, fmt.Sprintf("post-insert batch query %d", qi), r.Result.Answers, want.Answers)
+		if r.Result.Plan.RelaxMask() != want.Plan.RelaxMask() {
+			t.Fatalf("query %d: stale plan relax mask %b, want %b", qi, r.Result.Plan.RelaxMask(), want.Plan.RelaxMask())
 		}
 	}
 }

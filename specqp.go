@@ -25,6 +25,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"specqp/internal/exec"
 	"specqp/internal/kg"
@@ -44,6 +45,10 @@ type (
 	ShardedStore = kg.ShardedStore
 	// Graph is the read interface implemented by Store and ShardedStore.
 	Graph = kg.Graph
+	// LiveGraph is the mutable extension of Graph: post-freeze Insert into
+	// per-segment mutable heads, merged by Compact. Both store layouts
+	// implement it.
+	LiveGraph = kg.LiveGraph
 	// Dict is the term dictionary.
 	Dict = kg.Dict
 	// ID is a dictionary-encoded term.
@@ -179,6 +184,11 @@ type Options struct {
 	// giant stores, pass an unfrozen Store (its postings are then never
 	// built) and drop external references to it after engine construction.
 	Shards int
+	// HeadLimit is the per-segment mutable-head size at which a live
+	// Engine.Insert triggers automatic compaction of that segment:
+	// 0 selects kg.DefaultHeadLimit, a negative value disables automatic
+	// compaction entirely (call Engine.Compact explicitly).
+	HeadLimit int
 }
 
 // ShardsAuto is the Options.Shards sentinel selecting one shard per
@@ -187,7 +197,10 @@ const ShardsAuto = -1
 
 // Engine bundles a store, a rule set, the statistics catalog, the
 // speculative planner and the executors behind one façade. It is safe for
-// concurrent queries once the store is frozen.
+// concurrent queries once the store is frozen — and for concurrent Insert
+// calls interleaved with queries: live inserts land in per-segment mutable
+// heads, the statistics catalog invalidates itself against the store's
+// content version, and the batch plan cache is flushed on version changes.
 type Engine struct {
 	store   *Store
 	graph   kg.Graph
@@ -197,6 +210,9 @@ type Engine struct {
 	plans   *planner.PlanCache
 	exec    *exec.Executor
 	opts    Options
+	// planVersion is the graph content version the batch plan cache was last
+	// validated against (see livePlans).
+	planVersion atomic.Uint64
 }
 
 // NewEngine builds an engine over a frozen store and a rule set with default
@@ -261,6 +277,11 @@ func newEngineOver(graph kg.Graph, store *Store, rules *RuleSet, opts Options) *
 	ex := exec.New(graph, rules)
 	if ss, ok := graph.(*ShardedStore); ok && ss.NumShards() > 1 {
 		ex.Parallel = true
+	}
+	if opts.HeadLimit != 0 {
+		if lg, ok := graph.(kg.LiveGraph); ok {
+			lg.SetHeadLimit(opts.HeadLimit)
+		}
 	}
 	return &Engine{
 		store:   store,
@@ -372,6 +393,57 @@ func (e *Engine) QueryContext(ctx context.Context, q Query, k int, mode Mode) (R
 	default:
 		return Result{}, fmt.Errorf("specqp: unknown mode %v", mode)
 	}
+}
+
+// Insert adds a scored triple to the engine's live store: the triple lands
+// in its segment's mutable head, is immediately visible to every subsequent
+// query, and is merged into the frozen posting arenas when the head crosses
+// Options.HeadLimit or Compact is called. Safe for concurrent use with
+// queries and other Inserts. Note that with Options.Shards beyond 1 the
+// engine queries a sharded copy of the store passed to NewEngineWith — the
+// insert lands there, and Engine.Store() no longer reflects the live
+// contents (Engine.Graph() always does).
+func (e *Engine) Insert(t Triple) error {
+	lg, ok := e.graph.(kg.LiveGraph)
+	if !ok {
+		return fmt.Errorf("specqp: %T does not support live inserts", e.graph)
+	}
+	return lg.Insert(t)
+}
+
+// InsertSPO encodes the three terms against the engine's dictionary and
+// inserts the triple live.
+func (e *Engine) InsertSPO(s, p, o string, score float64) error {
+	d := e.graph.Dict()
+	return e.Insert(Triple{S: d.Encode(s), P: d.Encode(p), O: d.Encode(o), Score: score})
+}
+
+// Compact merges every pending mutable head into its frozen segment
+// (per-shard, in parallel, without blocking concurrent queries). Answers are
+// bit-identical before and after; only the read-path cost changes — frozen
+// segments serve zero-allocation match-list views, heads pay a small merge.
+func (e *Engine) Compact() {
+	if lg, ok := e.graph.(kg.LiveGraph); ok {
+		lg.Compact()
+	}
+}
+
+// livePlans returns the batch plan cache, flushed when the store's content
+// version moved since the last use: cached plans embed cardinalities and
+// score distributions that are stale after a live insert. planVersion only
+// advances (CAS), so a goroutine carrying a stale version read cannot
+// rewind it, and PlanCache's generation guard keeps a plan computed before
+// a Clear from ever being published after it — a query racing an insert may
+// still *execute* such a plan, which is the same outcome as the query
+// having started just before the insert. The sequential ingest-then-query
+// flow the oracle tests pin always sees a freshly cleared cache.
+func (e *Engine) livePlans() *planner.PlanCache {
+	v := e.graph.Version()
+	if cur := e.planVersion.Load(); cur < v {
+		e.plans.Clear()
+		e.planVersion.CompareAndSwap(cur, v)
+	}
+	return e.plans
 }
 
 // DecodeAnswer renders an answer's bindings as variable→term strings.
