@@ -169,6 +169,9 @@ func run(exp, dataset, load, csvDir, cpuProf, memProf string, seed int64, scale 
 			if err := runIngestComparison(ds, ingest, shards); err != nil {
 				return err
 			}
+			if err := runWALComparison(ds, ingest, shards); err != nil {
+				return err
+			}
 		}
 		if csvDir != "" {
 			if err := writeCSVs(csvDir, ds.Name, outs); err != nil {
@@ -273,6 +276,87 @@ func runShardedComparison(ds *datagen.Dataset, shards int) error {
 	return nil
 }
 
+// ingestFixture is the shared scaffolding of the live-ingest comparisons:
+// the dataset's triples captured as a flat sequence, the holdout split, the
+// batch schedule and the probe queries, so every arm replays the identical
+// workload.
+type ingestFixture struct {
+	ds        *datagen.Dataset
+	triples   []kg.Triple
+	base      int
+	total     int
+	batchSize int
+	probes    []datagen.QuerySpec
+}
+
+// newIngestFixture validates the holdout and captures the schedule.
+func newIngestFixture(ds *datagen.Dataset, holdout int) (*ingestFixture, error) {
+	total := ds.Store.Len()
+	if holdout >= total {
+		return nil, fmt.Errorf("-ingest %d: dataset %s has only %d triples", holdout, ds.Name, total)
+	}
+	f := &ingestFixture{ds: ds, total: total, base: total - holdout, batchSize: holdout / 10}
+	if f.batchSize == 0 {
+		f.batchSize = 1
+	}
+	f.probes = ds.Queries
+	if len(f.probes) > 5 {
+		f.probes = f.probes[:5]
+	}
+	f.triples = make([]kg.Triple, total)
+	for i := range f.triples {
+		f.triples[i] = ds.Store.Triple(int32(i))
+	}
+	return f, nil
+}
+
+// runProbes executes the probe queries once.
+func (f *ingestFixture) runProbes(eng *specqp.Engine) error {
+	for _, qs := range f.probes {
+		if _, err := eng.Query(qs.Query, 10, specqp.ModeSpecQP); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// baseStore loads the pre-holdout prefix into a fresh flat store sharing the
+// dataset dictionary.
+func (f *ingestFixture) baseStore() (*kg.Store, error) {
+	st := kg.NewStore(f.ds.Store.Dict())
+	for _, tr := range f.triples[:f.base] {
+		if err := st.Add(tr); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// verifyAgainst asserts eng answers every probe exactly like want — the
+// bit-identical cross-arm check every comparison ends with.
+func (f *ingestFixture) verifyAgainst(label string, eng, want *specqp.Engine) error {
+	for _, qs := range f.probes {
+		w, err := want.Query(qs.Query, 10, specqp.ModeSpecQP)
+		if err != nil {
+			return err
+		}
+		g, err := eng.Query(qs.Query, 10, specqp.ModeSpecQP)
+		if err != nil {
+			return err
+		}
+		if len(g.Answers) != len(w.Answers) {
+			return fmt.Errorf("%s verification: %d answers vs %d", label, len(g.Answers), len(w.Answers))
+		}
+		for i := range g.Answers {
+			if g.Answers[i].Score != w.Answers[i].Score ||
+				g.Answers[i].Binding.Compare(w.Answers[i].Binding) != 0 {
+				return fmt.Errorf("%s verification: answer %d diverged", label, i)
+			}
+		}
+	}
+	return nil
+}
+
 // runIngestComparison replays the growing-knowledge-graph scenario: holdout
 // triples are removed from the dataset's store, then streamed back in ten
 // batches with the first few workload queries run after each batch. The
@@ -281,32 +365,12 @@ func runShardedComparison(ds *datagen.Dataset, shards int) error {
 // merge-on-threshold compaction. Both arms' final answers are verified
 // identical before the timings are printed.
 func runIngestComparison(ds *datagen.Dataset, holdout, shards int) error {
-	total := ds.Store.Len()
-	if holdout >= total {
-		return fmt.Errorf("-ingest %d: dataset %s has only %d triples", holdout, ds.Name, total)
-	}
-	base := total - holdout
-	batchSize := holdout / 10
-	if batchSize == 0 {
-		batchSize = 1
-	}
-	probes := ds.Queries
-	if len(probes) > 5 {
-		probes = probes[:5]
+	f, err := newIngestFixture(ds, holdout)
+	if err != nil {
+		return err
 	}
 	dict := ds.Store.Dict()
-	triples := make([]kg.Triple, total)
-	for i := range triples {
-		triples[i] = ds.Store.Triple(int32(i))
-	}
-	runProbes := func(eng *specqp.Engine) error {
-		for _, qs := range probes {
-			if _, err := eng.Query(qs.Query, 10, specqp.ModeSpecQP); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
+	triples, base, total, batchSize := f.triples, f.base, f.total, f.batchSize
 
 	t0 := time.Now()
 	var lastRebuilt *specqp.Engine
@@ -319,7 +383,7 @@ func runIngestComparison(ds *datagen.Dataset, holdout, shards int) error {
 		}
 		st.Freeze()
 		lastRebuilt = specqp.NewEngineOver(st, ds.Rules, specqp.Options{})
-		if err := runProbes(lastRebuilt); err != nil {
+		if err := f.runProbes(lastRebuilt); err != nil {
 			return err
 		}
 		if pos == total {
@@ -343,7 +407,7 @@ func runIngestComparison(ds *datagen.Dataset, holdout, shards int) error {
 		}
 	}
 	live := specqp.NewEngineOver(ss, ds.Rules, specqp.Options{})
-	if err := runProbes(live); err != nil {
+	if err := f.runProbes(live); err != nil {
 		return err
 	}
 	for pos := base; pos < total; pos += batchSize {
@@ -356,31 +420,15 @@ func runIngestComparison(ds *datagen.Dataset, holdout, shards int) error {
 				return err
 			}
 		}
-		if err := runProbes(live); err != nil {
+		if err := f.runProbes(live); err != nil {
 			return err
 		}
 	}
 	liveT := time.Since(t0)
 
 	// The two arms must agree answer-for-answer at the final state.
-	for _, qs := range probes {
-		want, err := lastRebuilt.Query(qs.Query, 10, specqp.ModeSpecQP)
-		if err != nil {
-			return err
-		}
-		got, err := live.Query(qs.Query, 10, specqp.ModeSpecQP)
-		if err != nil {
-			return err
-		}
-		if len(got.Answers) != len(want.Answers) {
-			return fmt.Errorf("ingest verification: %d answers vs %d after rebuild", len(got.Answers), len(want.Answers))
-		}
-		for i := range got.Answers {
-			if got.Answers[i].Score != want.Answers[i].Score ||
-				got.Answers[i].Binding.Compare(want.Answers[i].Binding) != 0 {
-				return fmt.Errorf("ingest verification: answer %d diverged from rebuild", i)
-			}
-		}
+	if err := f.verifyAgainst("ingest", live, lastRebuilt); err != nil {
+		return err
 	}
 
 	lg, _ := live.Graph().(specqp.LiveGraph)
@@ -389,10 +437,144 @@ func runIngestComparison(ds *datagen.Dataset, holdout, shards int) error {
 		speedup = float64(rebuildT) / float64(liveT)
 	}
 	fmt.Printf("Live ingest — %d base + %d streamed in batches of %d, %d probe queries/batch, %d segments (dataset %s):\n",
-		base, holdout, batchSize, len(probes), effective, ds.Name)
+		base, holdout, batchSize, len(f.probes), effective, ds.Name)
 	fmt.Printf("  %-16s %-16s %-8s %s\n", "rebuild/batch", "live insert", "speedup", "compactions")
 	fmt.Printf("  %-16v %-16v %.2fx    %d (head %d)\n",
 		rebuildT.Round(time.Microsecond), liveT.Round(time.Microsecond), speedup, lg.Compactions(), lg.HeadLen())
+	return nil
+}
+
+// runWALComparison measures what durability costs: the live-ingest schedule
+// of runIngestComparison (stream the holdout back in ten batches, probing
+// after each) runs three times over identical engines — WAL off, WAL with
+// SyncPolicy=interval (the production setting: acks after the buffered
+// write, background fsync), and WAL with SyncPolicy=always (every insert
+// group-commit-fsynced) — plus a recovery timing: reopening the durable
+// directory from scratch. Final answers are verified identical across arms.
+func runWALComparison(ds *datagen.Dataset, holdout, shards int) error {
+	f, err := newIngestFixture(ds, holdout)
+	if err != nil {
+		return err
+	}
+	triples, base, total, batchSize := f.triples, f.base, f.total, f.batchSize
+	effective := shards
+	if effective < 1 {
+		effective = runtime.GOMAXPROCS(0)
+	}
+
+	type arm struct {
+		name    string
+		policy  specqp.SyncPolicy
+		withWAL bool
+	}
+	arms := []arm{
+		{name: "wal-off", withWAL: false},
+		{name: "wal-interval", policy: specqp.SyncInterval, withWAL: true},
+		{name: "wal-always", policy: specqp.SyncAlways, withWAL: true},
+	}
+	times := make([]time.Duration, len(arms))
+	insertTimes := make([]time.Duration, len(arms))
+	engines := make([]*specqp.Engine, len(arms))
+	var walDir string
+	var recoveryT time.Duration
+	var recoveredLen int
+	for ai, a := range arms {
+		st, err := f.baseStore()
+		if err != nil {
+			return err
+		}
+		var eng *specqp.Engine
+		opts := specqp.Options{Shards: effective, SyncPolicy: a.policy}
+		if a.withWAL {
+			dir, err := os.MkdirTemp("", "specqp-wal-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			if eng, err = specqp.OpenDurableWith(dir, st, ds.Rules, opts); err != nil {
+				return err
+			}
+			defer eng.Close()
+			if a.policy == specqp.SyncInterval {
+				walDir = dir
+			}
+		} else {
+			eng = specqp.NewEngineWith(st, ds.Rules, opts)
+		}
+		// Engine construction (and the durable arms' opening checkpoint) is
+		// excluded: the arms compare steady-state ingest throughput.
+		t0 := time.Now()
+		var insertT time.Duration
+		for pos := base; pos < total; pos += batchSize {
+			end := pos + batchSize
+			if end > total {
+				end = total
+			}
+			i0 := time.Now()
+			for _, tr := range triples[pos:end] {
+				if err := eng.Insert(tr); err != nil {
+					return err
+				}
+			}
+			insertT += time.Since(i0)
+			if err := f.runProbes(eng); err != nil {
+				return err
+			}
+		}
+		if a.withWAL {
+			i0 := time.Now()
+			if err := eng.Sync(); err != nil {
+				return err
+			}
+			insertT += time.Since(i0)
+		}
+		times[ai] = time.Since(t0)
+		insertTimes[ai] = insertT
+		engines[ai] = eng
+	}
+
+	// All arms must agree answer-for-answer at the final state.
+	for ai := 1; ai < len(arms); ai++ {
+		if err := f.verifyAgainst("wal "+arms[ai].name, engines[ai], engines[0]); err != nil {
+			return err
+		}
+	}
+
+	// Recovery timing: close the interval arm's engine and reopen the
+	// directory cold (snapshot load + WAL tail replay + freeze).
+	if walDir != "" {
+		for ai, a := range arms {
+			if a.policy == specqp.SyncInterval && a.withWAL {
+				if err := engines[ai].Close(); err != nil {
+					return err
+				}
+			}
+		}
+		t0 := time.Now()
+		reng, err := specqp.OpenDurable(walDir, ds.Rules, specqp.Options{Shards: effective})
+		if err != nil {
+			return err
+		}
+		recoveryT = time.Since(t0)
+		recoveredLen = reng.Graph().Len()
+		if recoveredLen != total {
+			return fmt.Errorf("recovery returned %d triples, want %d", recoveredLen, total)
+		}
+		reng.Close()
+	}
+
+	fmt.Printf("Durability — %d base + %d streamed in batches of %d, %d probe queries/batch, %d segments (dataset %s):\n",
+		base, holdout, batchSize, len(f.probes), effective, ds.Name)
+	fmt.Printf("  %-14s %-14s %-14s %-11s %s\n", "arm", "total", "insert-only", "vs wal-off", "insert-only vs wal-off")
+	for ai, a := range arms {
+		ratio := float64(times[0]) / float64(times[ai])
+		insRatio := float64(insertTimes[0]) / float64(insertTimes[ai])
+		fmt.Printf("  %-14s %-14v %-14v %-11s %.2fx\n",
+			a.name, times[ai].Round(time.Microsecond), insertTimes[ai].Round(time.Microsecond),
+			fmt.Sprintf("%.2fx", ratio), insRatio)
+	}
+	fmt.Printf("  recovery: %d triples in %v (snapshot + WAL tail replay + freeze)\n",
+		recoveredLen, recoveryT.Round(time.Microsecond))
 	return nil
 }
 

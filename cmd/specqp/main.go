@@ -65,6 +65,9 @@ func run(args []string, in io.Reader, out, errOut io.Writer) error {
 		ingestPath  = fs.String("ingest", "", "TSV of triples to insert live after the initial load (mutable head + merge-on-threshold; queries then run against the combined store)")
 		headLimit   = fs.Int("head", 0, "per-segment head size triggering automatic compaction during live ingest (0 = default, negative = manual only)")
 		compact     = fs.Bool("compact", false, "compact all pending heads after live ingest, before running queries")
+		walDir      = fs.String("wal", "", "durable WAL directory: a fresh directory is bootstrapped from -triples (every live insert is then crash-durable); a directory with existing state is recovered — omit -triples in that case")
+		walSync     = fs.String("wal-sync", "always", "WAL fsync policy: always (group commit before each insert acks), interval, or none")
+		savePath    = fs.String("save", "", "after loading (and any -ingest/-compact), persist the store to this binary snapshot file (reload it later via -triples path.bin)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -73,28 +76,68 @@ func run(args []string, in io.Reader, out, errOut io.Writer) error {
 		return errBadFlags
 	}
 
-	if *triplesPath == "" {
-		return fmt.Errorf("-triples is required")
-	}
-	st, err := loadTriples(*triplesPath)
+	syncPolicy, err := specqp.ParseSyncPolicy(*walSync)
 	if err != nil {
 		return err
 	}
-	rules := specqp.NewRuleSet()
-	if *rulesPath != "" {
-		rules, err = loadRules(*rulesPath, st.Dict())
-		if err != nil {
-			return err
-		}
-	}
-	fmt.Fprintf(out, "loaded %d triples, %d relaxation rules\n", st.Len(), rules.Len())
-
-	eng := specqp.NewEngineWith(st, rules, specqp.Options{
+	opts := specqp.Options{
 		HistogramBuckets:     *buckets,
 		EstimatedSelectivity: *estimated,
 		Shards:               *shards,
 		HeadLimit:            *headLimit,
-	})
+		SyncPolicy:           syncPolicy,
+	}
+
+	// The rule set is created empty and populated after the engine exists:
+	// a WAL recovery rebuilds the dictionary from the durable directory, so
+	// rules can only be interned against it once the store is loaded.
+	rules := specqp.NewRuleSet()
+	var eng *specqp.Engine
+	switch {
+	case *walDir != "":
+		recovered, err := specqp.DurableStateExists(*walDir)
+		if err != nil {
+			return err
+		}
+		if recovered {
+			if *triplesPath != "" {
+				return fmt.Errorf("-wal %s already holds durable state; omit -triples (the WAL directory is the store)", *walDir)
+			}
+			eng, err = specqp.OpenDurable(*walDir, rules, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "recovered %d triples from %s\n", eng.Graph().Len(), *walDir)
+		} else {
+			var st *kg.Store
+			if *triplesPath != "" {
+				if st, err = loadTriples(*triplesPath); err != nil {
+					return err
+				}
+			}
+			eng, err = specqp.OpenDurableWith(*walDir, st, rules, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "bootstrapped %s with %d triples (sync=%v)\n", *walDir, eng.Graph().Len(), syncPolicy)
+		}
+		defer eng.Close()
+	default:
+		if *triplesPath == "" {
+			return fmt.Errorf("-triples is required (or -wal with existing durable state)")
+		}
+		st, err := loadTriples(*triplesPath)
+		if err != nil {
+			return err
+		}
+		eng = specqp.NewEngineWith(st, rules, opts)
+	}
+	if *rulesPath != "" {
+		if err := loadRulesInto(rules, *rulesPath, eng.Graph().Dict()); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "loaded %d triples, %d relaxation rules\n", eng.Graph().Len(), rules.Len())
 
 	if *ingestPath != "" {
 		n, err := ingestTriples(eng, *ingestPath)
@@ -102,7 +145,9 @@ func run(args []string, in io.Reader, out, errOut io.Writer) error {
 			return err
 		}
 		if *compact {
-			eng.Compact()
+			if err := eng.Compact(); err != nil {
+				return err
+			}
 		}
 		if live, ok := eng.Graph().(specqp.LiveGraph); ok {
 			fmt.Fprintf(out, "ingested %d triples live (%d in heads, %d compactions)\n",
@@ -110,6 +155,14 @@ func run(args []string, in io.Reader, out, errOut io.Writer) error {
 		} else {
 			fmt.Fprintf(out, "ingested %d triples live\n", n)
 		}
+	}
+
+	if *savePath != "" {
+		n, err := saveSnapshot(eng, *savePath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "saved %d triples to %s\n", n, *savePath)
 	}
 
 	mode, err := parseMode(*modeStr)
@@ -225,13 +278,40 @@ func loadTriples(path string) (*kg.Store, error) {
 	return kg.ReadTSV(f)
 }
 
-func loadRules(path string, dict *kg.Dict) (*relax.RuleSet, error) {
+func loadRulesInto(rules *relax.RuleSet, path string, dict *kg.Dict) error {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer f.Close()
-	return relax.ReadTSV(f, dict)
+	return relax.ReadTSVInto(rules, f, dict)
+}
+
+// saveSnapshot persists the engine's current store — heads included — to a
+// binary snapshot file, atomically (tmp + rename) so an interrupted save
+// never leaves a torn file at the target path.
+func saveSnapshot(eng *specqp.Engine, path string) (int, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	n, err := kg.WriteGraphBinary(f, eng.Graph())
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return n, os.Rename(tmp, path)
 }
 
 // ingestTriples streams a triples TSV through Engine.InsertSPO — the live

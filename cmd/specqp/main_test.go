@@ -140,3 +140,112 @@ func TestShardedCLIMatchesFlat(t *testing.T) {
 		}
 	}
 }
+
+// splitFixture writes the committed triples fixture into a preloaded base
+// half and a streamed half under dir.
+func splitFixture(t *testing.T, dir string) (base, stream string) {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "music.triples.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, l := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(l) != "" {
+			lines = append(lines, l)
+		}
+	}
+	base = filepath.Join(dir, "base.tsv")
+	stream = filepath.Join(dir, "stream.tsv")
+	half := len(lines) / 2
+	if err := os.WriteFile(base, []byte(strings.Join(lines[:half], "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(stream, []byte(strings.Join(lines[half:], "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return base, stream
+}
+
+// stripVarHeaders drops the load/ingest/save/recovery headers and the
+// scheduling-dependent memory-object counts; the ranked answers below must
+// match byte-for-byte.
+func stripVarHeaders(out string) string {
+	var kept []string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "loaded ") || strings.HasPrefix(l, "ingested ") ||
+			strings.HasPrefix(l, "saved ") || strings.HasPrefix(l, "recovered ") ||
+			strings.HasPrefix(l, "bootstrapped ") {
+			continue
+		}
+		kept = append(kept, l)
+	}
+	return memObjects.ReplaceAllString(strings.Join(kept, "\n"), "")
+}
+
+// TestSaveReloadCLIMatches pins -save end to end: ingest half the fixture
+// live, save the combined store to a binary snapshot, reload the snapshot
+// with -triples, and require the ranked answers of the preloaded run.
+func TestSaveReloadCLIMatches(t *testing.T) {
+	dir := t.TempDir()
+	base, stream := splitFixture(t, dir)
+	snap := filepath.Join(dir, "store.bin")
+	want := stripVarHeaders(runCLI(t, cliArgs()))
+
+	// Save with the heads still un-compacted: the snapshot must cover them.
+	got := stripVarHeaders(runCLI(t, []string{
+		"-triples", base, "-ingest", stream, "-head", "-1", "-save", snap,
+		"-rules", filepath.Join("testdata", "music.rules.tsv"),
+		"-queries", filepath.Join("testdata", "music.queries.txt"),
+		"-compare", "-k", "3", "-timings=false",
+	}))
+	if got != want {
+		t.Fatalf("ingest+save run diverged.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	reloaded := stripVarHeaders(runCLI(t, []string{
+		"-triples", snap,
+		"-rules", filepath.Join("testdata", "music.rules.tsv"),
+		"-queries", filepath.Join("testdata", "music.queries.txt"),
+		"-compare", "-k", "3", "-timings=false",
+	}))
+	if reloaded != want {
+		t.Fatalf("snapshot reload diverged.\n--- got ---\n%s\n--- want ---\n%s", reloaded, want)
+	}
+}
+
+// TestWALCLIRecovery pins -wal end to end: bootstrap a durable session from
+// the base fixture, ingest the stream (every insert WAL-logged), exit; a
+// second session recovers from the directory alone and must print exactly
+// the preloaded run's ranked answers. A third session with -triples against
+// the populated directory must be refused.
+func TestWALCLIRecovery(t *testing.T) {
+	dir := t.TempDir()
+	base, stream := splitFixture(t, dir)
+	walDir := filepath.Join(dir, "wal")
+	want := stripVarHeaders(runCLI(t, cliArgs()))
+
+	common := []string{
+		"-rules", filepath.Join("testdata", "music.rules.tsv"),
+		"-queries", filepath.Join("testdata", "music.queries.txt"),
+		"-compare", "-k", "3", "-timings=false",
+	}
+	got := stripVarHeaders(runCLI(t, append([]string{
+		"-triples", base, "-ingest", stream, "-wal", walDir, "-wal-sync", "always",
+	}, common...)))
+	if got != want {
+		t.Fatalf("durable ingest run diverged.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	for _, shards := range []string{"1", "3"} {
+		recovered := stripVarHeaders(runCLI(t, append([]string{
+			"-wal", walDir, "-shards", shards,
+		}, common...)))
+		if recovered != want {
+			t.Fatalf("-shards=%s recovery diverged.\n--- got ---\n%s\n--- want ---\n%s", shards, recovered, want)
+		}
+	}
+	var buf, errBuf bytes.Buffer
+	err := run(append([]string{"-triples", base, "-wal", walDir}, common...), nil, &buf, &errBuf)
+	if err == nil || !strings.Contains(err.Error(), "durable state") {
+		t.Fatalf("bootstrapping over existing durable state: err=%v", err)
+	}
+}

@@ -1,0 +1,417 @@
+package specqp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"specqp/internal/kg"
+	"specqp/internal/wal"
+)
+
+// This file is the durability layer: it threads the internal/wal subsystem
+// through the engine so that every acknowledged Insert survives a crash.
+//
+// The protocol is write-ahead with one serialisation point: an insert (1)
+// validates, (2) under the durable mutex reserves its log position AND
+// applies to the store — so log order and global insertion order are the
+// same order — and (3) outside the mutex waits for the group-commit pipeline
+// to make the record durable per the SyncPolicy. Because every sequence
+// number corresponds to exactly one store triple, a snapshot covering the
+// first n triples covers exactly log positions 1..n-base, which is how
+// checkpoints pin their (snapshot, log offset) pair without quiescing
+// writers: WriteGraphBinary captures a consistent prefix and returns its
+// length, and the manifest commit plus segment truncation follow.
+//
+// Recovery (OpenDurable) loads the manifest's snapshot into a fresh store —
+// flat or sharded per Options.Shards — replays the log tail's records (term
+// strings, not IDs: re-encoding in log order reproduces the insertion order,
+// and subject-hash routing re-derives shard placement under any shard
+// count), freezes once, and resumes with the next sequence number.
+
+// SyncPolicy re-exports the WAL fsync discipline.
+type SyncPolicy = wal.SyncPolicy
+
+// Re-exported sync policies (see wal.SyncPolicy).
+const (
+	// SyncAlways fsyncs (group-committed) before every Insert returns.
+	SyncAlways = wal.SyncAlways
+	// SyncInterval acknowledges after the buffered write and fsyncs in the
+	// background every Options.SyncInterval.
+	SyncInterval = wal.SyncInterval
+	// SyncNone leaves fsync timing to the OS.
+	SyncNone = wal.SyncNone
+)
+
+// ParseSyncPolicy parses "always", "interval" or "none".
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// DefaultCheckpointBytes is the WAL size at which a durable engine
+// checkpoints automatically when Options.CheckpointBytes is zero.
+const DefaultCheckpointBytes = int64(64 << 20)
+
+// The WAL's per-term bound must equal the snapshot format's: a record the
+// log accepts must be loadable from a snapshot and vice versa. This is the
+// compile-time tripwire — it fails to build if either side drifts.
+var _ = [1]struct{}{}[kg.MaxTermLen-wal.MaxTermLen]
+
+// walState is a durable engine's write-ahead machinery.
+type walState struct {
+	// mu serialises "reserve log position + apply to store", making log
+	// order identical to global insertion order. The durability wait —
+	// including the group-committed fsync — happens outside it, so
+	// concurrent inserters batch into shared fsyncs.
+	mu  sync.Mutex
+	fs  wal.FS
+	log *wal.Log
+	// base is the number of store triples predating the WAL (the bootstrap
+	// store); triple count minus base is the log sequence number of the
+	// store's last insert.
+	base            int
+	checkpointBytes int64
+	// cpMu serialises checkpoints; cpBusy gates the auto-trigger to one
+	// in-flight goroutine; cpWG lets Close wait for it. spawnMu fences
+	// checkpoint-goroutine spawning against Close: a spawn either registers
+	// with cpWG before Close's fence (so Close waits for it) or observes
+	// closed afterwards (so it never starts) — without the fence a straggler
+	// could checkpoint a directory whose writer lock Close already released.
+	cpMu    sync.Mutex
+	cpBusy  atomic.Bool
+	cpWG    sync.WaitGroup
+	spawnMu sync.Mutex
+	closed  atomic.Bool
+}
+
+// DurableStateExists reports whether dir holds a recoverable durable store
+// (a WAL manifest). It does not validate the state — OpenDurable does.
+func DurableStateExists(dir string) (bool, error) {
+	_, err := os.Stat(filepath.Join(dir, wal.ManifestName))
+	if err == nil {
+		return true, nil
+	}
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	return false, err
+}
+
+// OpenDurable opens the durable engine rooted at dir (or Options.WALDir when
+// dir is empty): if the directory holds durable state it is recovered —
+// newest snapshot, then the WAL tail replayed in sequence order — and
+// otherwise an empty durable store is initialised. Every Insert on the
+// returned engine is crash-durable per Options.SyncPolicy. Close the engine
+// to release the log.
+func OpenDurable(dir string, rules *RuleSet, opts Options) (*Engine, error) {
+	return OpenDurableWith(dir, nil, rules, opts)
+}
+
+// OpenDurableWith is OpenDurable with a bootstrap store: when dir is fresh,
+// base's triples become the durable starting state (an opening checkpoint
+// persists them, so the directory is self-contained from the first Insert).
+// A non-nil base with existing durable state is an error — recovery will not
+// silently discard either side.
+func OpenDurableWith(dir string, base *Store, rules *RuleSet, opts Options) (*Engine, error) {
+	if dir == "" {
+		dir = opts.WALDir
+	}
+	if dir == "" {
+		return nil, fmt.Errorf("specqp: OpenDurable needs a WAL directory (dir argument or Options.WALDir)")
+	}
+	fsys, err := wal.DirFS(dir)
+	if err != nil {
+		return nil, err
+	}
+	return openDurableFS(fsys, base, rules, opts)
+}
+
+// openDurableFS is OpenDurableWith behind the filesystem seam — the entry
+// point the crash-fault-injection tests drive with an in-memory FS.
+func openDurableFS(fsys wal.FS, base *Store, rules *RuleSet, opts Options) (*Engine, error) {
+	if rules == nil {
+		rules = NewRuleSet()
+	}
+	log, rec, err := wal.Open(fsys, wal.Options{
+		Policy:      opts.SyncPolicy,
+		Interval:    opts.SyncInterval,
+		SegmentSize: opts.WALSegmentSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cpBytes := opts.CheckpointBytes
+	if cpBytes == 0 {
+		cpBytes = DefaultCheckpointBytes
+	}
+	w := &walState{fs: fsys, log: log, checkpointBytes: cpBytes}
+
+	engOpts := opts
+	engOpts.WALDir = "" // consumed here; NewEngineWith rejects it
+	var eng *Engine
+	if rec.HasState {
+		if base != nil {
+			log.Close()
+			return nil, fmt.Errorf("specqp: directory already holds durable state; open it without a base store")
+		}
+		g, err := loadDurableState(fsys, rec, engOpts)
+		if err != nil {
+			log.Close()
+			return nil, err
+		}
+		eng = NewEngineOver(g, rules, engOpts)
+		w.base = g.Len() - int(rec.LastSeq)
+		eng.wal = w
+		// Re-root the directory at a fresh checkpoint before accepting any
+		// append. The replayed tail may have been read from bytes no one
+		// ever fsynced (a kill -9 leaves them in the page cache): without
+		// this, a later power loss could shrink the old segment's valid
+		// prefix and strand every newer segment behind a sequence gap. The
+		// new snapshot covers LastSeq durably, post-recovery segments chain
+		// from SnapshotSeq+1 by construction, and the replay work done here
+		// is never repeated on the next start.
+		if err := eng.Checkpoint(); err != nil {
+			log.Close()
+			return nil, err
+		}
+		return eng, nil
+	}
+
+	if base == nil {
+		base = NewStore()
+	}
+	eng = NewEngineWith(base, rules, engOpts)
+	if _, ok := eng.graph.(kg.LiveGraph); !ok {
+		log.Close()
+		return nil, fmt.Errorf("specqp: %T does not support live inserts", eng.graph)
+	}
+	w.base = eng.graph.Len()
+	eng.wal = w
+	// The opening checkpoint makes the directory self-contained: recovery
+	// never needs the bootstrap source again. Until the manifest lands the
+	// directory holds no state, so a crash here just means a fresh start.
+	if err := eng.Checkpoint(); err != nil {
+		log.Close()
+		return nil, err
+	}
+	return eng, nil
+}
+
+// loadDurableState rebuilds the store a recovery describes: the manifest's
+// snapshot loaded into the layout Options.Shards selects, then the log tail
+// replayed with plain Adds (the store is frozen once, afterwards).
+func loadDurableState(fsys wal.FS, rec *wal.Recovery, opts Options) (kg.Graph, error) {
+	rd, err := fsys.Open(rec.Manifest.Snapshot)
+	if err != nil {
+		return nil, fmt.Errorf("specqp: manifest names snapshot %s: %w", rec.Manifest.Snapshot, err)
+	}
+	defer rd.Close()
+
+	shards := opts.Shards
+	if shards < 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	// stage is the pre-freeze loading surface both layouts share.
+	type stage interface {
+		kg.LiveGraph
+		Add(kg.Triple) error
+		AddSPO(s, p, o string, score float64) error
+		Freeze()
+	}
+	var g stage
+	if shards > 1 {
+		g = kg.NewShardedStore(nil, shards)
+	} else {
+		g = kg.NewStore(nil)
+	}
+	if err := kg.ReadBinaryInto(rd, g.Dict(), g.Add); err != nil {
+		return nil, fmt.Errorf("specqp: loading snapshot %s: %w", rec.Manifest.Snapshot, err)
+	}
+	if g.Len() < int(rec.Manifest.SnapshotSeq) {
+		return nil, fmt.Errorf("specqp: snapshot %s holds %d triples but claims to cover log position %d",
+			rec.Manifest.Snapshot, g.Len(), rec.Manifest.SnapshotSeq)
+	}
+	for _, r := range rec.Records {
+		if r.Kind != wal.KindInsert {
+			return nil, fmt.Errorf("specqp: unsupported WAL record kind %d at seq %d", r.Kind, r.Seq)
+		}
+		if err := g.AddSPO(r.S, r.P, r.O, r.Score); err != nil {
+			return nil, fmt.Errorf("specqp: replaying WAL record %d: %w", r.Seq, err)
+		}
+	}
+	// NewEngineOver freezes; returning unfrozen lets it pick the parallel
+	// freeze path.
+	return g, nil
+}
+
+// insert is the durable Insert path (see the file comment for the protocol).
+func (w *walState) insert(lg kg.LiveGraph, t Triple) error {
+	if err := kg.ValidateScore(t.Score); err != nil {
+		return err
+	}
+	d := lg.Dict()
+	n := kg.ID(d.Len())
+	if t.S >= n || t.P >= n || t.O >= n {
+		return fmt.Errorf("specqp: insert references unknown term ID (dictionary holds %d terms)", n)
+	}
+	rec := wal.Record{Kind: wal.KindInsert, S: d.Decode(t.S), P: d.Decode(t.P), O: d.Decode(t.O), Score: t.Score}
+
+	w.mu.Lock()
+	wait, err := w.log.AppendAsync(rec)
+	if err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	compact, aerr := lg.InsertDeferred(t)
+	w.mu.Unlock()
+	if aerr != nil {
+		// Unreachable: the triple was validated above with the store's own
+		// checks. Reaching this would leave a logged record with no applied
+		// triple — a broken durability invariant worth crashing over.
+		panic(fmt.Sprintf("specqp: validated insert rejected by store after logging: %v", aerr))
+	}
+	werr := wait()
+	if compact != nil {
+		// The merge the insert triggered runs on this goroutine like the
+		// non-durable path, but outside the ordering mutex: other durable
+		// inserts proceed while the posting arenas rebuild.
+		compact()
+	}
+	if werr != nil {
+		return werr
+	}
+	w.maybeCheckpoint(lg)
+	return nil
+}
+
+// maybeCheckpoint starts a background checkpoint once the log outgrows the
+// configured threshold, at most one in flight.
+func (w *walState) maybeCheckpoint(g kg.Graph) {
+	if w.checkpointBytes <= 0 || w.log.Size() < w.checkpointBytes {
+		return
+	}
+	if !w.cpBusy.CompareAndSwap(false, true) {
+		return
+	}
+	w.spawnMu.Lock()
+	if w.closed.Load() {
+		w.spawnMu.Unlock()
+		w.cpBusy.Store(false)
+		return
+	}
+	w.cpWG.Add(1)
+	w.spawnMu.Unlock()
+	go func() {
+		defer w.cpWG.Done()
+		defer w.cpBusy.Store(false)
+		// Errors are not fatal here: the log keeps growing and the next
+		// threshold crossing (or explicit Checkpoint/Compact) retries.
+		_ = w.checkpoint(g)
+	}()
+}
+
+// checkpoint persists the store's current state as a binary snapshot, commits
+// it through the manifest, and truncates the log segments it covers. It
+// refuses closed engines (Close released the exclusive-writer lock — the
+// directory may belong to another process now) and wedged logs (a failed
+// commit means the in-memory store can be ahead of every acked insert;
+// durable state stays at the last consistent prefix).
+func (w *walState) checkpoint(g kg.Graph) error {
+	w.cpMu.Lock()
+	defer w.cpMu.Unlock()
+	if w.closed.Load() {
+		return fmt.Errorf("specqp: checkpoint on closed engine")
+	}
+	if err := w.log.Err(); err != nil {
+		return fmt.Errorf("specqp: checkpoint refused, log is wedged: %w", err)
+	}
+
+	const tmp = "snap.tmp"
+	f, err := w.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	n, err := kg.WriteGraphBinary(f, g)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	seq := uint64(n - w.base)
+	name := wal.SnapshotName(seq)
+	if err := w.fs.Rename(tmp, name); err != nil {
+		return err
+	}
+	if err := wal.WriteManifest(w.fs, wal.Manifest{Snapshot: name, SnapshotSeq: seq}); err != nil {
+		return err
+	}
+	// Anything that fails from here on is garbage collection, not
+	// correctness: the manifest already commits the new snapshot.
+	if err := w.log.TruncateThrough(seq); err != nil {
+		return err
+	}
+	names, err := w.fs.List()
+	if err != nil {
+		return err
+	}
+	for _, old := range names {
+		if wal.IsSnapshotName(old) && old != name {
+			if err := w.fs.Remove(old); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Sync forces every buffered WAL record to durable storage, regardless of
+// the sync policy — the barrier an application calls before acknowledging
+// externally visible state. A no-op on engines without a WAL.
+func (e *Engine) Sync() error {
+	if e.wal == nil {
+		return nil
+	}
+	return e.wal.log.Sync()
+}
+
+// Checkpoint persists the current store state as a binary snapshot in the
+// WAL directory, commits it via the manifest, and truncates every log
+// segment it covers. Concurrent inserts are safe: the snapshot captures a
+// consistent prefix and newer records simply stay in the log. A no-op on
+// engines without a WAL.
+func (e *Engine) Checkpoint() error {
+	if e.wal == nil {
+		return nil
+	}
+	return e.wal.checkpoint(e.graph)
+}
+
+// Close flushes and fsyncs the WAL, waits for any in-flight automatic
+// checkpoint, and releases the log. Queries remain usable; further Inserts
+// fail. Idempotent; a no-op on engines without a WAL.
+func (e *Engine) Close() error {
+	if e.wal == nil {
+		return nil
+	}
+	w := e.wal
+	if !w.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	// The fence: any checkpoint spawn that won the race registered with cpWG
+	// under spawnMu before we acquire it here; any later spawn sees closed.
+	w.spawnMu.Lock()
+	w.spawnMu.Unlock() //nolint:staticcheck // empty critical section IS the fence
+	w.cpWG.Wait()
+	// Drain any in-flight explicit Checkpoint/Compact before the log close
+	// releases the directory lock; later ones fail the closed check above.
+	w.cpMu.Lock()
+	w.cpMu.Unlock() //nolint:staticcheck // empty critical section IS the fence
+	return w.log.Close()
+}

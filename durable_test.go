@@ -1,0 +1,570 @@
+package specqp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"specqp/internal/kg"
+	"specqp/internal/wal"
+)
+
+// This file proves the durability subsystem end to end, against the same
+// bit-identical oracle discipline PRs 3–4 used: at every injected crash
+// point, OpenDurable must recover a store whose triples are exactly the
+// acked insert prefix and whose answers — all three modes, across shard
+// counts — equal a flat engine rebuilt from that prefix. The whole stack
+// (log, snapshots, manifest) runs against wal.MemFS, whose byte-budget
+// fault kills the writer mid-record and whose Crash views keep only synced
+// bytes plus an arbitrary prefix of the unsynced tail.
+
+var durableShardCounts = []int{1, 2, 7}
+
+// buildBaseStore loads the first n fixture triples into a flat store over
+// the fixture dict (the durable bootstrap store).
+func buildBaseStore(t *testing.T, dict *kg.Dict, triples []Triple, n int) *Store {
+	t.Helper()
+	st := kg.NewStore(dict)
+	for _, tr := range triples[:n] {
+		if err := st.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// flatOracle builds the reference engine over exactly the first pos fixture
+// triples.
+func flatOracle(t *testing.T, dict *kg.Dict, triples []Triple, pos int, rules *RuleSet) *Engine {
+	t.Helper()
+	st := buildBaseStore(t, dict, triples, pos)
+	st.Freeze()
+	return NewEngineWith(st, rules, Options{Shards: 1})
+}
+
+// assertOracleEqual checks the engine's answers against the flat oracle for
+// the first three fixture queries under every mode.
+func assertOracleEqual(t *testing.T, label string, eng, oracle *Engine, queries []Query) {
+	t.Helper()
+	for qi, q := range queries[:3] {
+		for _, mode := range []Mode{ModeSpecQP, ModeTriniT, ModeNaive} {
+			want, err := oracle.Query(q, 8, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := eng.Query(q, 8, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameAnswers(t, fmt.Sprintf("%s query %d mode %v", label, qi, mode), got.Answers, want.Answers)
+		}
+	}
+}
+
+// assertTriplePrefix checks the recovered store holds exactly the first pos
+// fixture triples, comparing decoded terms (recovered dictionaries reproduce
+// IDs for snapshot terms, but the contract is string-level identity).
+func assertTriplePrefix(t *testing.T, label string, g Graph, dict *kg.Dict, triples []Triple, pos int) {
+	t.Helper()
+	if g.Len() != pos {
+		t.Fatalf("%s: recovered %d triples, want %d", label, g.Len(), pos)
+	}
+	rd := g.Dict()
+	for i := 0; i < pos; i++ {
+		got, want := g.Triple(int32(i)), triples[i]
+		if rd.Decode(got.S) != dict.Decode(want.S) || rd.Decode(got.P) != dict.Decode(want.P) ||
+			rd.Decode(got.O) != dict.Decode(want.O) || got.Score != want.Score {
+			t.Fatalf("%s: triple %d = %v, want %v", label, i, got, want)
+		}
+	}
+}
+
+// TestDurableCloseReopen is the clean-shutdown contract: ingest through the
+// WAL, close, reopen from the directory alone — at the same or a different
+// shard count — and get a bit-identical engine that can keep ingesting.
+func TestDurableCloseReopen(t *testing.T) {
+	for trial := int64(0); trial < 2; trial++ {
+		dict, triples, rules, queries := randomLiveFixture(t, 6100+trial)
+		base := len(triples) * 3 / 5
+		for _, shards := range durableShardCounts {
+			fs := wal.NewMemFS()
+			eng, err := openDurableFS(fs, buildBaseStore(t, dict, triples, base), rules,
+				Options{Shards: shards, SyncPolicy: SyncAlways, WALSegmentSize: 1 << 12})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mid := base + (len(triples)-base)/2
+			for _, tr := range triples[base:mid] {
+				if err := eng.Insert(tr); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := eng.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Insert(triples[mid]); err == nil {
+				t.Fatal("insert after Close succeeded")
+			}
+
+			// Recover at a rotated shard count: replay re-routes by subject
+			// hash, so the layout is free to change between runs.
+			reShards := durableShardCounts[(trial+1)%int64(len(durableShardCounts))]
+			reng, err := openDurableFS(fs, nil, rules, Options{Shards: reShards, SyncPolicy: SyncAlways})
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("trial %d shards=%d→%d", trial, shards, reShards)
+			assertTriplePrefix(t, label, reng.Graph(), dict, triples, mid)
+			assertOracleEqual(t, label, reng, flatOracle(t, dict, triples, mid, rules), queries)
+
+			// Resume ingesting on the recovered engine and re-verify at the
+			// final state.
+			for _, tr := range triples[mid:] {
+				if err := reng.Insert(tr); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := reng.Close(); err != nil {
+				t.Fatal(err)
+			}
+			final, err := openDurableFS(fs, nil, rules, Options{Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			label += " resumed"
+			assertTriplePrefix(t, label, final.Graph(), dict, triples, len(triples))
+			assertOracleEqual(t, label, final, flatOracle(t, dict, triples, len(triples), rules), queries)
+			final.Close()
+		}
+	}
+}
+
+// TestDurableCrashFaultInjection is the flagship harness: randomized byte
+// budgets kill the writer at arbitrary offsets — mid-record, mid-fsync
+// window, mid-checkpoint — while a schedule of inserts, compactions and
+// checkpoints runs; recovery must always yield the flat oracle of exactly
+// some acked-consistent prefix, and under SyncAlways the prefix must cover
+// every insert that returned nil.
+func TestDurableCrashFaultInjection(t *testing.T) {
+	policies := []SyncPolicy{SyncAlways, SyncNone}
+	trial := int64(0)
+	for _, policy := range policies {
+		for _, shards := range durableShardCounts {
+			for rep := 0; rep < 4; rep++ {
+				trial++
+				rng := rand.New(rand.NewSource(4400 + trial))
+				dict, triples, rules, queries := randomLiveFixture(t, 8800+trial)
+				base := len(triples) / 2
+				fs := wal.NewMemFS()
+				eng, err := openDurableFS(fs, buildBaseStore(t, dict, triples, base), rules, Options{
+					Shards:          shards,
+					SyncPolicy:      policy,
+					WALSegmentSize:  1 << 10, // force rotation under the schedule
+					CheckpointBytes: -1,      // checkpoints fire from the schedule, deterministically
+					HeadLimit:       16,      // force head merges under the schedule
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Arm the kill: the opening checkpoint is durable, everything
+				// after may die at any byte.
+				fs.SetBudget(int64(rng.Intn(6000)))
+
+				acked := 0
+				for pos := base; pos < len(triples); pos++ {
+					switch rng.Intn(12) {
+					case 0:
+						_ = eng.Checkpoint() // may die mid-snapshot; recovery must not care
+					case 1:
+						_ = eng.Compact() // head merge + checkpoint
+					}
+					if err := eng.Insert(triples[pos]); err != nil {
+						break
+					}
+					acked++
+				}
+
+				crashed := fs.Crash(func(_ string, pending int) int { return rng.Intn(pending + 1) })
+				reShards := durableShardCounts[rng.Intn(len(durableShardCounts))]
+				reng, err := openDurableFS(crashed, nil, rules, Options{Shards: reShards})
+				if err != nil {
+					t.Fatalf("trial %d (policy=%v shards=%d→%d): recovery failed: %v",
+						trial, policy, shards, reShards, err)
+				}
+				label := fmt.Sprintf("trial %d policy=%v shards=%d→%d acked=%d", trial, policy, shards, reShards, acked)
+				recovered := reng.Graph().Len() - base
+				if recovered < 0 || base+recovered > len(triples) {
+					t.Fatalf("%s: recovered length %d out of range", label, reng.Graph().Len())
+				}
+				if policy == SyncAlways && recovered < acked {
+					t.Fatalf("%s: lost acked inserts — recovered %d of %d", label, recovered, acked)
+				}
+				assertTriplePrefix(t, label, reng.Graph(), dict, triples, base+recovered)
+				assertOracleEqual(t, label, reng, flatOracle(t, dict, triples, base+recovered, rules), queries)
+				reng.Close()
+			}
+		}
+	}
+}
+
+// TestDurableSyncBarrier pins Engine.Sync's contract under SyncNone: inserts
+// acknowledged before a successful Sync survive a crash that drops every
+// unsynced byte; inserts after it may not, but never out of order.
+func TestDurableSyncBarrier(t *testing.T) {
+	dict, triples, rules, queries := randomLiveFixture(t, 1357)
+	base := len(triples) / 2
+	fs := wal.NewMemFS()
+	eng, err := openDurableFS(fs, buildBaseStore(t, dict, triples, base), rules,
+		Options{SyncPolicy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := base + (len(triples)-base)/2
+	for _, tr := range triples[base:mid] {
+		if err := eng.Insert(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range triples[mid:] {
+		if err := eng.Insert(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Harshest crash: only synced bytes survive.
+	reng, err := openDurableFS(fs.Crash(wal.SyncedOnly), nil, rules, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := reng.Graph().Len()
+	if got < mid {
+		t.Fatalf("synced prefix lost: recovered %d triples, synced through %d", got, mid)
+	}
+	assertTriplePrefix(t, "sync barrier", reng.Graph(), dict, triples, got)
+	assertOracleEqual(t, "sync barrier", reng, flatOracle(t, dict, triples, got, rules), queries)
+	reng.Close()
+	eng.Close()
+}
+
+// TestDurableIntervalPolicy exercises the background fsyncer: an interval
+// engine's inserts become durable without explicit Syncs, within a few
+// periods.
+func TestDurableIntervalPolicy(t *testing.T) {
+	dict, triples, rules, _ := randomLiveFixture(t, 2468)
+	base := len(triples) / 2
+	fs := wal.NewMemFS()
+	eng, err := openDurableFS(fs, buildBaseStore(t, dict, triples, base), rules,
+		Options{SyncPolicy: SyncInterval, SyncInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range triples[base:] {
+		if err := eng.Insert(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		reng, err := openDurableFS(fs.Crash(wal.SyncedOnly), nil, rules, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := reng.Graph().Len()
+		reng.Close()
+		if n == len(triples) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background fsync never covered the tail: %d of %d durable", n, len(triples))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableCheckpointTruncatesLog pins the checkpoint contract: after
+// Compact, the snapshot covers everything, obsolete segments are deleted,
+// and recovery replays nothing.
+func TestDurableCheckpointTruncatesLog(t *testing.T) {
+	dict, triples, rules, queries := randomLiveFixture(t, 97)
+	base := len(triples) / 2
+	fs := wal.NewMemFS()
+	eng, err := openDurableFS(fs, buildBaseStore(t, dict, triples, base), rules,
+		Options{SyncPolicy: SyncAlways, WALSegmentSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range triples[base:] {
+		if err := eng.Insert(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.wal.log.SegmentCount(); got > 1 {
+		t.Fatalf("checkpoint left %d log segments", got)
+	}
+	names, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := 0
+	for _, n := range names {
+		if wal.IsSnapshotName(n) {
+			snaps++
+		}
+	}
+	if snaps != 1 {
+		t.Fatalf("checkpoint left %d snapshots: %v", snaps, names)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash view keeping nothing unsynced: the checkpoint must be complete.
+	reng, err := openDurableFS(fs.Crash(wal.SyncedOnly), nil, rules, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTriplePrefix(t, "post-checkpoint", reng.Graph(), dict, triples, len(triples))
+	assertOracleEqual(t, "post-checkpoint", reng, flatOracle(t, dict, triples, len(triples), rules), queries)
+	reng.Close()
+}
+
+// TestDurableStateGuards pins the API misuse errors: re-bootstrapping over
+// existing state is rejected, and NewEngineWith refuses Options.WALDir.
+func TestDurableStateGuards(t *testing.T) {
+	dict, triples, rules, _ := randomLiveFixture(t, 31)
+	fs := wal.NewMemFS()
+	eng, err := openDurableFS(fs, buildBaseStore(t, dict, triples, 20), rules, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	if _, err := openDurableFS(fs, buildBaseStore(t, dict, triples, 5), rules, Options{}); err == nil {
+		t.Fatal("bootstrap over existing durable state succeeded")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("NewEngineWith accepted Options.WALDir")
+			}
+		}()
+		NewEngineWith(kg.NewStore(nil), rules, Options{WALDir: "somewhere"})
+	}()
+	// A non-durable engine's durable surface is inert, not an error.
+	plain := NewEngineWith(buildBaseStore(t, dict, triples, 20), rules, Options{})
+	if err := plain.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableInsertHammer races concurrent durable inserters against
+// Engine.Sync, explicit checkpoints and queries (run with -race in CI), then
+// proves the recovered store is bit-identical to the live store's final
+// state — insertion order included, since the WAL serialises it.
+func TestDurableInsertHammer(t *testing.T) {
+	dict, triples, rules, queries := randomLiveFixture(t, 5150)
+	base := len(triples) / 3
+	fs := wal.NewMemFS()
+	eng, err := openDurableFS(fs, buildBaseStore(t, dict, triples, base), rules, Options{
+		Shards:          3,
+		SyncPolicy:      SyncAlways,
+		WALSegmentSize:  1 << 11,
+		CheckpointBytes: 1 << 13, // let the automatic threshold fire too
+		HeadLimit:       32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest := triples[base:]
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(rest); i += workers {
+				if err := eng.Insert(rest[i]); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := eng.Sync(); err != nil {
+				t.Errorf("sync: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if err := eng.Checkpoint(); err != nil {
+				t.Errorf("checkpoint: %v", err)
+				return
+			}
+		}
+	}()
+	for qi := 0; qi < 10; qi++ {
+		if _, err := eng.Query(queries[qi%len(queries)], 5, ModeSpecQP); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if eng.Graph().Len() != len(triples) {
+		t.Fatalf("live store has %d triples, want %d", eng.Graph().Len(), len(triples))
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reng, err := openDurableFS(fs, nil, rules, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reng.Close()
+	// The concurrent insert order is whatever the WAL serialised; the
+	// recovered store must reproduce it triple for triple.
+	g, rg := eng.Graph(), reng.Graph()
+	if rg.Len() != g.Len() {
+		t.Fatalf("recovered %d triples, live had %d", rg.Len(), g.Len())
+	}
+	ld, rd := g.Dict(), rg.Dict()
+	for i := 0; i < g.Len(); i++ {
+		a, b := g.Triple(int32(i)), rg.Triple(int32(i))
+		if ld.Decode(a.S) != rd.Decode(b.S) || ld.Decode(a.P) != rd.Decode(b.P) ||
+			ld.Decode(a.O) != rd.Decode(b.O) || a.Score != b.Score {
+			t.Fatalf("triple %d diverged after recovery: %v vs %v", i, a, b)
+		}
+	}
+	for qi, q := range queries[:3] {
+		for _, mode := range []Mode{ModeSpecQP, ModeTriniT, ModeNaive} {
+			want, err := eng.Query(q, 8, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := reng.Query(q, 8, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameAnswers(t, fmt.Sprintf("hammer recovery query %d mode %v", qi, mode), got.Answers, want.Answers)
+		}
+	}
+}
+
+// TestRecoveryRecheckpointsReplayedTail pins the double-crash contract: a
+// recovery may replay log bytes nobody ever fsynced (a kill -9 leaves them
+// in the page cache), so it must re-root the directory at a fresh covering
+// checkpoint before accepting appends. Modelled by recovering from an
+// everything-written crash view, then deleting every log segment (the
+// power loss that would have eaten the unsynced bytes) and recovering
+// again: the replayed tail must survive via the recovery checkpoint.
+func TestRecoveryRecheckpointsReplayedTail(t *testing.T) {
+	dict, triples, rules, queries := randomLiveFixture(t, 8642)
+	base := len(triples) / 2
+	fs := wal.NewMemFS()
+	eng, err := openDurableFS(fs, buildBaseStore(t, dict, triples, base), rules,
+		Options{SyncPolicy: SyncNone}) // nothing fsynced: the page-cache model
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range triples[base:] {
+		if err := eng.Insert(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// kill -9: all written bytes survive in the page cache, none are durable.
+	view := fs.Crash(wal.EverythingWritten)
+	reng, err := openDurableFS(view, nil, rules, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reng.Graph().Len() != len(triples) {
+		t.Fatalf("first recovery got %d triples, want %d", reng.Graph().Len(), len(triples))
+	}
+	if err := reng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The deferred power loss: the old segments' bytes were never fsynced by
+	// anyone pre-recovery, so they may vanish entirely.
+	names, err := view.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if strings.HasPrefix(n, "wal-") {
+			if err := view.Remove(n); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	final, err := openDurableFS(view, nil, rules, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer final.Close()
+	assertTriplePrefix(t, "post-double-crash", final.Graph(), dict, triples, len(triples))
+	assertOracleEqual(t, "post-double-crash", final, flatOracle(t, dict, triples, len(triples), rules), queries)
+}
+
+// TestCheckpointRefusedAfterCloseAndWedge pins the two checkpoint guards: a
+// closed engine (the directory lock is released — another process may own
+// it) and a wedged log (the in-memory store can be ahead of acked state)
+// must both refuse to touch the manifest.
+func TestCheckpointRefusedAfterCloseAndWedge(t *testing.T) {
+	dict, triples, rules, _ := randomLiveFixture(t, 271)
+	fs := wal.NewMemFS()
+	eng, err := openDurableFS(fs, buildBaseStore(t, dict, triples, 30), rules, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Checkpoint(); err == nil {
+		t.Fatal("checkpoint on closed engine succeeded")
+	}
+	if err := eng.Compact(); err == nil {
+		t.Fatal("compact-checkpoint on closed engine succeeded")
+	}
+
+	// Wedge path: arm the fault, fail an insert, then demand Checkpoint
+	// refuse to persist the indeterminate state.
+	fs2 := wal.NewMemFS()
+	eng2, err := openDurableFS(fs2, buildBaseStore(t, dict, triples, 30), rules, Options{SyncPolicy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2.SetBudget(10)
+	var insertErr error
+	for _, tr := range triples[30:40] {
+		if insertErr = eng2.Insert(tr); insertErr != nil {
+			break
+		}
+	}
+	if insertErr == nil {
+		t.Fatal("budget fault never fired")
+	}
+	if err := eng2.Checkpoint(); err == nil {
+		t.Fatal("checkpoint on wedged engine succeeded")
+	}
+}

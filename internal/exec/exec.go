@@ -66,29 +66,30 @@ type leg struct {
 
 // buildLeg constructs the pipeline for pattern index i of the plan: a plain
 // sorted scan for join-group patterns, an Incremental Merge over the original
-// scan plus one weighted scan per relaxation rule for singletons.
-func (ex *Executor) buildLeg(q kg.Query, vs *kg.VarSet, i int, single bool, c *operators.Counter) leg {
+// scan plus one weighted scan per relaxation rule for singletons. g is the
+// pinned snapshot shared by every leg of the tree.
+func (ex *Executor) buildLeg(g kg.Graph, q kg.Query, vs *kg.VarSet, i int, single bool, c *operators.Counter) leg {
 	pat := q.Patterns[i]
 	if !single {
 		return leg{
-			stream: operators.NewPatternScan(ex.Store, vs, pat, 1, 0, c),
+			stream: operators.NewPatternScan(g, vs, pat, 1, 0, c),
 			vars:   operators.PatternBoundVars(vs, pat),
-			card:   ex.Store.Cardinality(pat),
+			card:   g.Cardinality(pat),
 		}
 	}
 	mask := uint32(1) << uint(i)
-	inputs := []operators.Stream{operators.NewPatternScan(ex.Store, vs, pat, 1, 0, c)}
-	card := ex.Store.Cardinality(pat)
+	inputs := []operators.Stream{operators.NewPatternScan(g, vs, pat, 1, 0, c)}
+	card := g.Cardinality(pat)
 	for _, r := range ex.Rules.For(pat) {
 		if r.IsChain() {
-			matches := relax.ChainMatches(ex.Store, relax.ApplyChain(r, pat), vs)
+			matches := relax.ChainMatches(g, relax.ApplyChain(r, pat), vs)
 			inputs = append(inputs, operators.NewAnswerScan(matches, r.Weight, mask, c))
 			card += len(matches)
 			continue
 		}
 		rp := relax.Apply(r, pat)
-		inputs = append(inputs, operators.NewPatternScan(ex.Store, vs, rp, r.Weight, mask, c))
-		card += ex.Store.Cardinality(rp)
+		inputs = append(inputs, operators.NewPatternScan(g, vs, rp, r.Weight, mask, c))
+		card += g.Cardinality(rp)
 	}
 	return leg{
 		stream: operators.NewIncrementalMerge(inputs, c),
@@ -108,9 +109,15 @@ func (ex *Executor) buildStream(p planner.Plan, c *operators.Counter) (operators
 	q := p.Query
 	vs := kg.NewVarSet(q)
 
+	// One pinned snapshot serves the entire operator tree: every scan,
+	// cardinality probe and normalisation constant — across all legs, even
+	// when legs are built concurrently — reads the same content version, so
+	// a query racing live inserts answers for exactly one store state.
+	g := ex.Store.Pin()
+
 	legs := make([]leg, len(p.JoinGroup)+len(p.Singletons))
 	build := func(slot int, patIdx int, single bool) {
-		legs[slot] = ex.buildLeg(q, vs, patIdx, single, c)
+		legs[slot] = ex.buildLeg(g, q, vs, patIdx, single, c)
 	}
 	if ex.Parallel && len(legs) > 1 {
 		var wg sync.WaitGroup
@@ -218,6 +225,9 @@ func (ex *Executor) SpecQP(pl PlanSource, q kg.Query, k int) Result {
 func (ex *Executor) Naive(q kg.Query, k, limit int) Result {
 	start := time.Now()
 	origVS := kg.NewVarSet(q)
+	// One pin per Naive call: every relaxed query evaluates against the same
+	// content version.
+	g := ex.Store.Pin()
 	var all []kg.Answer
 	var objects int64
 	for _, rq := range ex.Rules.Enumerate(q, limit) {
@@ -227,7 +237,7 @@ func (ex *Executor) Naive(q kg.Query, k, limit int) Result {
 				mask |= 1 << uint(i)
 			}
 		}
-		answers := ex.Store.EvaluateWeighted(rq.Query, rq.PatternWeights)
+		answers := g.EvaluateWeighted(rq.Query, rq.PatternWeights)
 		objects += int64(len(answers))
 		// Chain relaxations introduce existential variables; project every
 		// answer onto the original query's variable set so answers from

@@ -180,9 +180,11 @@ func bindPattern(vs *VarSet, p Pattern, t Triple, b Binding) (Binding, bool) {
 // (sum of per-pattern normalised scores). It is used by the naive baseline,
 // by exact cardinality computation, and by tests as ground truth. Patterns
 // are evaluated smallest-cardinality first with index-backed candidate
-// selection.
+// selection. The whole evaluation runs against one pinned snapshot, so the
+// answers correspond to a single content version even under concurrent
+// inserts.
 func (st *Store) Evaluate(q Query) []Answer {
-	return evaluateWeighted(st, q, nil)
+	return evaluateWeighted(st.pin(), q, nil)
 }
 
 // Count returns the exact number of answers to q (join cardinality). It is
@@ -191,14 +193,14 @@ func (st *Store) Evaluate(q Query) []Answer {
 // the postings since the store keeps every addition — contribute multiple
 // derivations but one answer, matching Evaluate's DedupMax semantics.
 func (st *Store) Count(q Query) int {
-	return countAnswers(st, q)
+	return countAnswers(st.pin(), q)
 }
 
 // Selectivity returns the exact join selectivity φ of q: the answer count
 // divided by the product of per-pattern cardinalities. Returns 0 when any
-// pattern is empty.
+// pattern is empty. Count and the cardinalities read one pinned snapshot.
 func (st *Store) Selectivity(q Query) float64 {
-	return selectivity(st, q)
+	return selectivity(st.pin(), q)
 }
 
 // forCandidates implements matcher: it feeds f every triple of the cheapest
@@ -208,7 +210,12 @@ func (st *Store) Selectivity(q Query) float64 {
 // list would replay head triples twice, which would double-count
 // derivations in the exact evaluator.
 func (st *Store) forCandidates(sub Pattern, f func(t Triple)) {
-	s := st.state()
+	st.state().forCandidates(sub, f)
+}
+
+// forCandidates is the snapshot-level candidate enumeration behind both the
+// live store's matcher and the pinned views.
+func (s *storeState) forCandidates(sub Pattern, f func(t Triple)) {
 	cand, ok := s.post.candidates(sub)
 	if !ok {
 		cand = s.post.matchList(sub)

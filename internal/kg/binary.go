@@ -27,11 +27,30 @@ var binaryMagic = [8]byte{'S', 'P', 'E', 'C', 'Q', 'P', 'K', 'G'}
 
 const binaryVersion = 1
 
+// MaxTermLen is the per-term byte bound every persistence surface enforces
+// (binary snapshots here, WAL records in internal/wal — a compile-time check
+// in the durability layer keeps the two in lockstep): a term length beyond
+// it is treated as corruption, never allocated.
+const MaxTermLen = 1 << 24
+
 // WriteBinary serialises the store in the binary snapshot format.
 func (st *Store) WriteBinary(w io.Writer) error {
+	_, err := WriteGraphBinary(w, st)
+	return err
+}
+
+// WriteGraphBinary serialises any Graph — flat or sharded, quiescent or live —
+// in the binary snapshot format, writing triples in global insertion order so
+// a reload into any layout (ReadBinary, ReadBinarySharded) reproduces the
+// store's answers bit-for-bit. On a live store it captures a consistent
+// prefix: the triple count is loaded first and the term table afterwards, so
+// the append-only dictionary always covers every ID the captured triples
+// reference even under concurrent InsertSPO. It returns the number of triples
+// captured — the durability layer derives the snapshot's log position from it.
+func WriteGraphBinary(w io.Writer, g Graph) (int, error) {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.Write(binaryMagic[:]); err != nil {
-		return err
+		return 0, err
 	}
 	var u32 [4]byte
 	var u64 [8]byte
@@ -46,53 +65,88 @@ func (st *Store) WriteBinary(w io.Writer) error {
 		return err
 	}
 	if err := putU32(binaryVersion); err != nil {
-		return err
+		return 0, err
 	}
-	// Triples are captured before the term table: the dictionary is
+	// The triple count is captured before the term table: the dictionary is
 	// append-only, so terms snapshotted afterwards always cover every ID a
-	// concurrently-inserted triple in the captured snapshot references.
-	triples := st.allTriples()
-	terms := st.dict.Strings()
-	if err := putU32(uint32(len(terms))); err != nil {
-		return err
+	// concurrently-inserted triple in the captured prefix references.
+	n := g.Len()
+	triple := g.Triple
+	if st, ok := g.(*Store); ok {
+		// The flat store serves the capture as one slice view instead of an
+		// atomic snapshot load per triple.
+		all := st.allTriples()[:n]
+		triple = func(i int32) Triple { return all[i] }
 	}
-	if err := putU64(uint64(len(triples))); err != nil {
-		return err
+	terms := g.Dict().Strings()
+	if err := putU32(uint32(len(terms))); err != nil {
+		return 0, err
+	}
+	if err := putU64(uint64(n)); err != nil {
+		return 0, err
 	}
 	for _, t := range terms {
 		if err := putU32(uint32(len(t))); err != nil {
-			return err
+			return 0, err
 		}
 		if _, err := bw.WriteString(t); err != nil {
-			return err
+			return 0, err
 		}
 	}
-	for _, tr := range triples {
+	for i := 0; i < n; i++ {
+		tr := triple(int32(i))
 		if err := putU32(uint32(tr.S)); err != nil {
-			return err
+			return 0, err
 		}
 		if err := putU32(uint32(tr.P)); err != nil {
-			return err
+			return 0, err
 		}
 		if err := putU32(uint32(tr.O)); err != nil {
-			return err
+			return 0, err
 		}
 		if err := putU64(math.Float64bits(tr.Score)); err != nil {
-			return err
+			return 0, err
 		}
 	}
-	return bw.Flush()
+	return n, bw.Flush()
 }
 
 // ReadBinary loads a binary snapshot into a fresh, frozen store.
 func ReadBinary(r io.Reader) (*Store, error) {
+	st := NewStore(nil)
+	if err := ReadBinaryInto(r, st.dict, st.Add); err != nil {
+		return nil, err
+	}
+	st.Freeze()
+	return st, nil
+}
+
+// ReadBinarySharded loads a binary snapshot into a fresh, frozen sharded
+// store with n segments. Triples are routed by subject in insertion order, so
+// answers are bit-identical to ReadBinary's flat layout at every shard count.
+func ReadBinarySharded(r io.Reader, n int) (*ShardedStore, error) {
+	ss := NewShardedStore(nil, n)
+	if err := ReadBinaryInto(r, ss.dict, ss.Add); err != nil {
+		return nil, err
+	}
+	ss.Freeze()
+	return ss, nil
+}
+
+// ReadBinaryInto parses a binary snapshot, interning every term into dict (in
+// snapshot order, so IDs are reproduced exactly) and calling add with every
+// triple in insertion order. dict must be fresh (no interned terms): the
+// snapshot's dense term table fixes the IDs, and a pre-populated dictionary
+// would shift them. The durability layer uses this to load a snapshot into an
+// unfrozen store and replay the WAL tail with plain Adds before one Freeze.
+func ReadBinaryInto(r io.Reader, dict *Dict, add func(Triple) error) error {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("kg: reading snapshot magic: %v", err)
+		return fmt.Errorf("kg: reading snapshot magic: %v", err)
 	}
 	if magic != binaryMagic {
-		return nil, fmt.Errorf("kg: not a specqp snapshot (magic %q)", magic[:])
+		return fmt.Errorf("kg: not a specqp snapshot (magic %q)", magic[:])
 	}
 	var buf [8]byte
 	getU32 := func() (uint32, error) {
@@ -109,21 +163,23 @@ func ReadBinary(r io.Reader) (*Store, error) {
 	}
 	version, err := getU32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if version != binaryVersion {
-		return nil, fmt.Errorf("kg: unsupported snapshot version %d", version)
+		return fmt.Errorf("kg: unsupported snapshot version %d", version)
 	}
 	nTerms, err := getU32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	nTriples, err := getU64()
 	if err != nil {
-		return nil, err
+		return err
 	}
 
-	st := NewStore(nil)
+	if dict.Len() != 0 {
+		return fmt.Errorf("kg: snapshot load needs a fresh dictionary (%d terms already interned)", dict.Len())
+	}
 	// Counts are attacker-controlled: never allocate proportionally to a
 	// claimed length before the bytes actually arrive. Terms are read in
 	// bounded steps directly into termBuf's tail — append's geometric growth
@@ -137,10 +193,10 @@ func ReadBinary(r io.Reader) (*Store, error) {
 	for i := uint32(0); i < nTerms; i++ {
 		l, err := getU32()
 		if err != nil {
-			return nil, fmt.Errorf("kg: term %d length: %v", i, err)
+			return fmt.Errorf("kg: term %d length: %v", i, err)
 		}
-		if l > 1<<24 {
-			return nil, fmt.Errorf("kg: term %d implausibly long (%d bytes)", i, l)
+		if l > MaxTermLen {
+			return fmt.Errorf("kg: term %d implausibly long (%d bytes)", i, l)
 		}
 		termBuf = termBuf[:0]
 		for read := uint32(0); read < l; {
@@ -151,42 +207,41 @@ func ReadBinary(r io.Reader) (*Store, error) {
 			start := len(termBuf)
 			termBuf = append(termBuf, zeroChunk[:n]...)
 			if _, err := io.ReadFull(br, termBuf[start:]); err != nil {
-				return nil, fmt.Errorf("kg: term %d bytes: %v", i, err)
+				return fmt.Errorf("kg: term %d bytes: %v", i, err)
 			}
 			read += n
 		}
-		if got := st.dict.Encode(string(termBuf)); got != ID(i) {
-			return nil, fmt.Errorf("kg: snapshot contains duplicate term %q", termBuf)
+		if got := dict.Encode(string(termBuf)); got != ID(i) {
+			return fmt.Errorf("kg: snapshot contains duplicate term %q", termBuf)
 		}
 	}
 	for i := uint64(0); i < nTriples; i++ {
 		s, err := getU32()
 		if err != nil {
-			return nil, fmt.Errorf("kg: triple %d: %v", i, err)
+			return fmt.Errorf("kg: triple %d: %v", i, err)
 		}
 		p, err := getU32()
 		if err != nil {
-			return nil, fmt.Errorf("kg: triple %d: %v", i, err)
+			return fmt.Errorf("kg: triple %d: %v", i, err)
 		}
 		o, err := getU32()
 		if err != nil {
-			return nil, fmt.Errorf("kg: triple %d: %v", i, err)
+			return fmt.Errorf("kg: triple %d: %v", i, err)
 		}
 		bits, err := getU64()
 		if err != nil {
-			return nil, fmt.Errorf("kg: triple %d: %v", i, err)
+			return fmt.Errorf("kg: triple %d: %v", i, err)
 		}
 		if s >= nTerms || p >= nTerms || o >= nTerms {
-			return nil, fmt.Errorf("kg: triple %d references unknown term", i)
+			return fmt.Errorf("kg: triple %d references unknown term", i)
 		}
 		score := math.Float64frombits(bits)
 		if score < 0 || math.IsNaN(score) || math.IsInf(score, 0) {
-			return nil, fmt.Errorf("kg: triple %d has invalid score %v", i, score)
+			return fmt.Errorf("kg: triple %d has invalid score %v", i, score)
 		}
-		if err := st.Add(Triple{S: ID(s), P: ID(p), O: ID(o), Score: score}); err != nil {
-			return nil, err
+		if err := add(Triple{S: ID(s), P: ID(p), O: ID(o), Score: score}); err != nil {
+			return err
 		}
 	}
-	st.Freeze()
-	return st, nil
+	return nil
 }

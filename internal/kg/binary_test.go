@@ -2,6 +2,7 @@ package kg
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -112,6 +113,86 @@ func TestBinaryPreservesSemantics(t *testing.T) {
 	for i := range a1 {
 		if a1[i].Score != a2[i].Score {
 			t.Fatalf("rank %d: %v vs %v", i, a1[i].Score, a2[i].Score)
+		}
+	}
+}
+
+// TestBinaryRoundTripLiveHeads pins the snapshot format over live stores:
+// a store with a non-empty mutable head — flat or sharded, at several shard
+// counts — must serialise its full triple sequence in global insertion order
+// and reload (into either layout) with identical triples and identical
+// answers. Before the durability work the live path was only ever persisted
+// frozen; checkpoints snapshot mid-ingest, so heads must round-trip too.
+func TestBinaryRoundTripLiveHeads(t *testing.T) {
+	st, triples := pinFixture(t, 314, 140, 80)
+	if st.HeadLen() == 0 {
+		t.Fatal("fixture head is empty; the test would not cover the live path")
+	}
+	q := NewQuery(
+		NewPattern(Var("x"), Const(ID(5)), Var("y")),
+		NewPattern(Var("x"), Const(ID(6)), Var("z")),
+	)
+	wantAnswers := st.Evaluate(q)
+
+	writers := map[string]Graph{"flat": st}
+	for _, shards := range []int{1, 2, 7} {
+		ss := NewShardedStore(st.Dict(), shards)
+		ss.SetHeadLimit(-1)
+		for _, tr := range triples[:80] {
+			if err := ss.Add(tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ss.Freeze()
+		for _, tr := range triples[80:] {
+			if err := ss.Insert(tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ss.HeadLen() == 0 {
+			t.Fatalf("sharded fixture (%d shards) head is empty", shards)
+		}
+		writers[fmt.Sprintf("sharded-%d", shards)] = ss
+	}
+
+	for wname, g := range writers {
+		var buf bytes.Buffer
+		n, err := WriteGraphBinary(&buf, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(triples) {
+			t.Fatalf("%s: captured %d triples, want %d", wname, n, len(triples))
+		}
+		raw := buf.Bytes()
+		readers := map[string]func() (Graph, error){
+			"flat":      func() (Graph, error) { return ReadBinary(bytes.NewReader(raw)) },
+			"sharded-2": func() (Graph, error) { return ReadBinarySharded(bytes.NewReader(raw), 2) },
+			"sharded-7": func() (Graph, error) { return ReadBinarySharded(bytes.NewReader(raw), 7) },
+		}
+		for rname, read := range readers {
+			got, err := read()
+			if err != nil {
+				t.Fatalf("%s→%s: %v", wname, rname, err)
+			}
+			if got.Len() != len(triples) {
+				t.Fatalf("%s→%s: %d triples, want %d", wname, rname, got.Len(), len(triples))
+			}
+			for i := range triples {
+				if got.Triple(int32(i)) != triples[i] {
+					t.Fatalf("%s→%s: triple %d = %v, want %v", wname, rname, i, got.Triple(int32(i)), triples[i])
+				}
+			}
+			gotAnswers := got.Evaluate(q)
+			if len(gotAnswers) != len(wantAnswers) {
+				t.Fatalf("%s→%s: %d answers, want %d", wname, rname, len(gotAnswers), len(wantAnswers))
+			}
+			for i := range gotAnswers {
+				if gotAnswers[i].Score != wantAnswers[i].Score ||
+					gotAnswers[i].Binding.Compare(wantAnswers[i].Binding) != 0 {
+					t.Fatalf("%s→%s: answer %d = %v, want %v", wname, rname, i, gotAnswers[i], wantAnswers[i])
+				}
+			}
 		}
 	}
 }

@@ -55,6 +55,32 @@ type Graph interface {
 	// it unchanged (the visible triple set is identical). Caches keyed on
 	// patterns or queries must be discarded when it moves.
 	Version() uint64
+	// Pin returns an immutable read view of the store's current contents: an
+	// exact insertion-order prefix frozen at the moment of the call. Every
+	// read through the pinned view — match lists, cardinalities,
+	// normalisation constants, candidate enumeration — reflects that one
+	// content version regardless of concurrent Inserts, so an operator tree
+	// (or Evaluate call) built over a pin has full snapshot isolation.
+	// Pinning an already pinned view returns the view itself. Must not be
+	// called before Freeze.
+	Pin() Graph
+}
+
+// ShardedGraph is the per-segment read interface of a hash-partitioned
+// store, implemented by *ShardedStore and by its pinned views. The merged
+// scan operator uses it to run one sub-scan per segment against shard-local
+// match-list views and interleave them into exact global order.
+type ShardedGraph interface {
+	Graph
+	// NumShards reports the number of segments.
+	NumShards() int
+	// ShardView returns segment i as a Graph over shard-local triple
+	// indexes.
+	ShardView(i int) Graph
+	// GlobalIndexes returns the table mapping shard i's local triple indexes
+	// to global indexes. The result must not be mutated; local indexes at or
+	// beyond its length are not (yet) part of this view.
+	GlobalIndexes(i int) []int32
 }
 
 // LiveGraph is the mutable extension of Graph: stores that accept inserts
@@ -65,6 +91,10 @@ type LiveGraph interface {
 	Graph
 	// Insert appends a triple live; it is immediately visible to readers.
 	Insert(t Triple) error
+	// InsertDeferred is Insert with any triggered automatic compaction
+	// handed back to the caller instead of run inline (nil when none is
+	// due). The durability layer's write-ordering mutex relies on it.
+	InsertDeferred(t Triple) (compact func(), err error)
 	// Compact merges every pending head into its frozen segment. Readers are
 	// never blocked and answers are identical before and after.
 	Compact()
@@ -79,8 +109,9 @@ type LiveGraph interface {
 
 // Compile-time interface checks for the live layer.
 var (
-	_ LiveGraph = (*Store)(nil)
-	_ LiveGraph = (*ShardedStore)(nil)
+	_ LiveGraph    = (*Store)(nil)
+	_ LiveGraph    = (*ShardedStore)(nil)
+	_ ShardedGraph = (*ShardedStore)(nil)
 )
 
 // matcher is the package-internal contract the shared evaluator needs beyond

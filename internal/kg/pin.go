@@ -1,0 +1,463 @@
+package kg
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements snapshot pinning: Graph.Pin captures an immutable
+// read view of a live store so that an entire operator tree — or one
+// Evaluate/Count call — reads exactly one content version even while
+// concurrent Inserts land. Before pinning, each operator (and each recursion
+// step of the exact evaluator) loaded its own snapshot, so a query racing an
+// ingest could combine match lists from different versions: every list was
+// internally consistent, but the joined answer corresponded to no single
+// store state. A pinned view gives full snapshot isolation — mid-mutation
+// answers are bit-identical to a quiescent store holding exactly the pinned
+// insert prefix.
+//
+// For the flat store a pin is one atomic storeState load. For the sharded
+// store the directory snapshot is captured first and the per-shard states
+// after it: shard states are always at least as new as the directory (Insert
+// updates the shard before the directory), so every directory entry
+// resolves, and shard-local triples beyond the directory's coverage — later
+// inserts, or a concurrent compaction that already absorbed them — are
+// clamped out. The pinned triple set is therefore exactly the global
+// insertion-order prefix the directory snapshot describes.
+
+// pinnedStore is an immutable view of one segment: a captured storeState
+// plus a visibility limit. Local indexes at or beyond limit belong to
+// inserts after the pin (or to a directory not yet covering them) and are
+// invisible. A flat-store pin always has limit == len(s.triples), keeping
+// every read a straight delegation to the captured snapshot.
+type pinnedStore struct {
+	dict  *Dict
+	s     *storeState
+	limit int32
+	// version is the owning store's content version at pin time (see
+	// Graph.Version); constant for the pin's lifetime.
+	version uint64
+	// dup records HasDuplicates at pin time. It may over-approximate for a
+	// clamped shard view (a duplicate beyond the limit still counts), which
+	// only costs operators an unnecessary dedup map — never correctness.
+	dup bool
+}
+
+var _ matcher = (*pinnedStore)(nil)
+
+// unclamped reports whether the captured snapshot holds no triples beyond
+// the visibility limit, making every delegation exact.
+func (ps *pinnedStore) unclamped() bool { return int(ps.limit) >= len(ps.s.triples) }
+
+// Dict implements Graph.
+func (ps *pinnedStore) Dict() *Dict { return ps.dict }
+
+// Len implements Graph: the pinned triple count, constant for the pin's
+// lifetime.
+func (ps *pinnedStore) Len() int { return int(ps.limit) }
+
+// Frozen implements Graph; a pin exists only after Freeze.
+func (ps *pinnedStore) Frozen() bool { return true }
+
+// Version implements Graph.
+func (ps *pinnedStore) Version() uint64 { return ps.version }
+
+// Pin implements Graph: a pinned view is already immutable.
+func (ps *pinnedStore) Pin() Graph { return ps }
+
+// Triple implements Graph.
+func (ps *pinnedStore) Triple(i int32) Triple { return ps.s.triples[i] }
+
+// HasDuplicates implements Graph (see the dup field for the clamped-view
+// over-approximation).
+func (ps *pinnedStore) HasDuplicates() bool { return ps.dup }
+
+// MatchList implements Graph. The unclamped path returns the snapshot's own
+// (cached) list; a clamped view copies only when an invisible index actually
+// appears in it.
+func (ps *pinnedStore) MatchList(p Pattern) []int32 {
+	l := ps.s.matchList(p)
+	if ps.unclamped() {
+		return l
+	}
+	trim := -1
+	for i, ti := range l {
+		if ti >= ps.limit {
+			trim = i
+			break
+		}
+	}
+	if trim < 0 {
+		return l
+	}
+	out := make([]int32, 0, len(l)-1)
+	out = append(out, l[:trim]...)
+	for _, ti := range l[trim+1:] {
+		if ti < ps.limit {
+			out = append(out, ti)
+		}
+	}
+	return out
+}
+
+// Cardinality implements Graph, counting only visible triples.
+func (ps *pinnedStore) Cardinality(p Pattern) int {
+	if ps.unclamped() {
+		return ps.s.cardinality(p)
+	}
+	n := 0
+	for _, ti := range ps.s.post.matchList(p) {
+		if ti < ps.limit {
+			n++
+		}
+	}
+	for _, hi := range ps.s.headSorted {
+		if hi < ps.limit && p.Matches(ps.s.triples[hi]) {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxScore implements Graph: the Definition 5 normalisation constant over
+// visible matches. Both sources are score-sorted, so the first visible match
+// of each bounds it.
+func (ps *pinnedStore) MaxScore(p Pattern) float64 {
+	if ps.unclamped() {
+		return ps.s.maxScore(p)
+	}
+	max := 0.0
+	for _, ti := range ps.s.post.matchList(p) {
+		if ti < ps.limit {
+			max = ps.s.triples[ti].Score
+			break
+		}
+	}
+	for _, hi := range ps.s.headSorted {
+		if hi < ps.limit && p.Matches(ps.s.triples[hi]) {
+			if sc := ps.s.triples[hi].Score; sc > max {
+				max = sc
+			}
+			break
+		}
+	}
+	return max
+}
+
+// NormalizedScores implements Graph.
+func (ps *pinnedStore) NormalizedScores(p Pattern) []float64 {
+	return normalizedScores(ps, p)
+}
+
+// forCandidates implements matcher over the visible prefix.
+func (ps *pinnedStore) forCandidates(sub Pattern, f func(t Triple)) {
+	if ps.unclamped() {
+		ps.s.forCandidates(sub, f)
+		return
+	}
+	cand, ok := ps.s.post.candidates(sub)
+	if !ok {
+		cand = ps.s.post.matchList(sub)
+	}
+	for _, ti := range cand {
+		if ti < ps.limit {
+			f(ps.s.triples[ti])
+		}
+	}
+	for _, hi := range ps.s.headSorted {
+		if hi < ps.limit {
+			f(ps.s.triples[hi])
+		}
+	}
+}
+
+// Evaluate implements Graph over the pinned prefix.
+func (ps *pinnedStore) Evaluate(q Query) []Answer {
+	return evaluateWeighted(ps, q, nil)
+}
+
+// EvaluateWeighted implements Graph.
+func (ps *pinnedStore) EvaluateWeighted(q Query, weights []float64) []Answer {
+	return evaluateWeighted(ps, q, weights)
+}
+
+// Count implements Graph.
+func (ps *pinnedStore) Count(q Query) int { return countAnswers(ps, q) }
+
+// Selectivity implements Graph.
+func (ps *pinnedStore) Selectivity(q Query) float64 { return selectivity(ps, q) }
+
+// PatternString implements Graph.
+func (ps *pinnedStore) PatternString(p Pattern) string { return patternString(ps.dict, p) }
+
+// QueryString implements Graph.
+func (ps *pinnedStore) QueryString(q Query) string { return queryString(ps.dict, q) }
+
+// pin captures the store's current snapshot as an immutable view.
+func (st *Store) pin() *pinnedStore {
+	s := st.state()
+	return &pinnedStore{
+		dict:    st.dict,
+		s:       s,
+		limit:   int32(len(s.triples)),
+		version: st.version.Load(),
+		dup:     s.post.hasDuplicates || s.headDup,
+	}
+}
+
+// Pin implements Graph (see the file comment for the isolation contract).
+func (st *Store) Pin() Graph { return st.pin() }
+
+// pinnedSharded is an immutable view of a sharded store: one directory
+// snapshot plus one clamped pinnedStore per shard, together describing
+// exactly the global insertion-order prefix the directory covers.
+type pinnedSharded struct {
+	ss      *ShardedStore
+	dir     *shardedDir
+	shards  []*pinnedStore
+	version uint64
+	// merged lazily caches materialised global match lists for this pin
+	// (cold paths — single-segment scans, oracles; the hot query path merges
+	// per-shard views through ShardedListScan and never fills it).
+	merged atomic.Pointer[listCache]
+}
+
+var _ matcher = (*pinnedSharded)(nil)
+var _ ShardedGraph = (*pinnedSharded)(nil)
+
+// pin captures the current directory snapshot and per-shard states. Shard
+// states are loaded after the directory, so they cover every directory entry;
+// the per-shard limits clamp everything newer out.
+func (ss *ShardedStore) pin() *pinnedSharded {
+	d := ss.dir.Load()
+	if d == nil {
+		panic("kg: Pin before Freeze")
+	}
+	v := ss.version.Load()
+	shards := make([]*pinnedStore, len(ss.shards))
+	for i, sh := range ss.shards {
+		s := sh.state()
+		shards[i] = &pinnedStore{
+			dict:    ss.dict,
+			s:       s,
+			limit:   int32(len(d.global[i])),
+			version: v,
+			dup:     s.post.hasDuplicates || s.headDup,
+		}
+	}
+	return &pinnedSharded{ss: ss, dir: d, shards: shards, version: v}
+}
+
+// Pin implements Graph (see the file comment for the isolation contract).
+func (ss *ShardedStore) Pin() Graph { return ss.pin() }
+
+// Dict implements Graph.
+func (ps *pinnedSharded) Dict() *Dict { return ps.ss.dict }
+
+// Len implements Graph: the pinned global triple count.
+func (ps *pinnedSharded) Len() int { return len(ps.dir.locShard) }
+
+// Frozen implements Graph.
+func (ps *pinnedSharded) Frozen() bool { return true }
+
+// Version implements Graph.
+func (ps *pinnedSharded) Version() uint64 { return ps.version }
+
+// Pin implements Graph.
+func (ps *pinnedSharded) Pin() Graph { return ps }
+
+// NumShards implements ShardedGraph.
+func (ps *pinnedSharded) NumShards() int { return len(ps.shards) }
+
+// ShardView implements ShardedGraph: shard i's clamped pinned view.
+func (ps *pinnedSharded) ShardView(i int) Graph { return ps.shards[i] }
+
+// GlobalIndexes implements ShardedGraph. The table's length equals the
+// shard view's visibility limit, so every visible local index maps.
+func (ps *pinnedSharded) GlobalIndexes(i int) []int32 { return ps.dir.global[i] }
+
+// Triple implements Graph: every pinned directory entry resolves in its
+// shard's captured state.
+func (ps *pinnedSharded) Triple(i int32) Triple {
+	return ps.shards[ps.dir.locShard[i]].s.triples[ps.dir.locIdx[i]]
+}
+
+// HasDuplicates implements Graph.
+func (ps *pinnedSharded) HasDuplicates() bool {
+	for _, sh := range ps.shards {
+		if sh.dup {
+			return true
+		}
+	}
+	return false
+}
+
+// subjectShard returns the single shard able to match p when p's subject is
+// bound, and ok=false otherwise.
+func (ps *pinnedSharded) subjectShard(p Pattern) (*pinnedStore, bool) {
+	if p.S.IsVar {
+		return nil, false
+	}
+	return ps.shards[ps.ss.shardFor(p.S.ID)], true
+}
+
+// Cardinality implements Graph over the pinned prefix.
+func (ps *pinnedSharded) Cardinality(p Pattern) int {
+	if sh, ok := ps.subjectShard(p); ok {
+		return sh.Cardinality(p)
+	}
+	n := 0
+	for _, sh := range ps.shards {
+		n += sh.Cardinality(p)
+	}
+	return n
+}
+
+// MaxScore implements Graph over the pinned prefix.
+func (ps *pinnedSharded) MaxScore(p Pattern) float64 {
+	if sh, ok := ps.subjectShard(p); ok {
+		return sh.MaxScore(p)
+	}
+	max := 0.0
+	for _, sh := range ps.shards {
+		if m := sh.MaxScore(p); m > max {
+			max = m
+		}
+	}
+	return max
+}
+
+// MatchList implements Graph: the global match list in canonical order,
+// materialised once per pattern per pin behind a single-flight cache.
+func (ps *pinnedSharded) MatchList(p Pattern) []int32 {
+	c := ps.merged.Load()
+	if c == nil {
+		c = newListCache()
+		if !ps.merged.CompareAndSwap(nil, c) {
+			c = ps.merged.Load()
+		}
+	}
+	return c.get(p.Key(), func() []int32 { return ps.mergeMatches(p) })
+}
+
+// mergeMatches translates every shard's clamped match list to global indexes
+// and restores canonical global order.
+func (ps *pinnedSharded) mergeMatches(p Pattern) []int32 {
+	var out []int32
+	for si, sh := range ps.shards {
+		glob := ps.dir.global[si]
+		for _, li := range sh.MatchList(p) {
+			out = append(out, glob[li])
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ta, tb := ps.Triple(out[a]), ps.Triple(out[b])
+		if ta.Score != tb.Score {
+			return ta.Score > tb.Score
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+// NormalizedScores implements Graph.
+func (ps *pinnedSharded) NormalizedScores(p Pattern) []float64 {
+	return normalizedScores(ps, p)
+}
+
+// forCandidates implements matcher. A bound subject pins one shard; every
+// other shape unions the shards' candidate enumerations.
+func (ps *pinnedSharded) forCandidates(sub Pattern, f func(t Triple)) {
+	if sh, ok := ps.subjectShard(sub); ok {
+		sh.forCandidates(sub, f)
+		return
+	}
+	for _, sh := range ps.shards {
+		sh.forCandidates(sub, f)
+	}
+}
+
+// fanoutLevel0 reports whether the evaluator's first join level can be
+// fanned out across shards for q under order (see ShardedStore.Evaluate).
+func (ps *pinnedSharded) fanoutLevel0(q Query, order []int) bool {
+	if len(ps.shards) == 1 || len(order) == 0 {
+		return false
+	}
+	_, pinned := ps.subjectShard(q.Patterns[order[0]])
+	return !pinned
+}
+
+// Evaluate implements Graph: the complete answer set over the pinned prefix,
+// with the first join level fanned out across shards (per-shard level-0
+// candidate sets are disjoint, so the derivation multiset matches the
+// sequential walk exactly).
+func (ps *pinnedSharded) Evaluate(q Query) []Answer {
+	return ps.evaluateWeightedParallel(q, nil)
+}
+
+// EvaluateWeighted implements Graph.
+func (ps *pinnedSharded) EvaluateWeighted(q Query, weights []float64) []Answer {
+	return ps.evaluateWeightedParallel(q, weights)
+}
+
+func (ps *pinnedSharded) evaluateWeightedParallel(q Query, weights []float64) []Answer {
+	vs := NewVarSet(q)
+	order := evalOrder(ps, q)
+	if !ps.fanoutLevel0(q, order) {
+		out := collectAnswers(ps, q, vs, order, weights, nil)
+		out = DedupMax(out)
+		SortAnswers(out)
+		return out
+	}
+	outs := make([][]Answer, len(ps.shards))
+	var wg sync.WaitGroup
+	for si := range ps.shards {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			outs[si] = collectAnswers(ps, q, vs, order, weights, ps.shards[si].forCandidates)
+		}(si)
+	}
+	wg.Wait()
+	var out []Answer
+	for _, o := range outs {
+		out = append(out, o...)
+	}
+	out = DedupMax(out)
+	SortAnswers(out)
+	return out
+}
+
+// Count implements Graph (see ShardedStore.Count for the fan-out rules).
+func (ps *pinnedSharded) Count(q Query) int {
+	vs := NewVarSet(q)
+	order := evalOrder(ps, q)
+	if ps.HasDuplicates() || !ps.fanoutLevel0(q, order) {
+		return countAnswers(ps, q)
+	}
+	counts := make([]int, len(ps.shards))
+	var wg sync.WaitGroup
+	for si := range ps.shards {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			counts[si] = countDerivations(ps, q, vs, order, ps.shards[si].forCandidates)
+		}(si)
+	}
+	wg.Wait()
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+// Selectivity implements Graph.
+func (ps *pinnedSharded) Selectivity(q Query) float64 { return selectivity(ps, q) }
+
+// PatternString implements Graph.
+func (ps *pinnedSharded) PatternString(p Pattern) string { return patternString(ps.ss.dict, p) }
+
+// QueryString implements Graph.
+func (ps *pinnedSharded) QueryString(q Query) string { return queryString(ps.ss.dict, q) }

@@ -131,6 +131,10 @@ func (ss *ShardedStore) NumShards() int { return len(ss.shards) }
 // while un-compacted inserts are pending).
 func (ss *ShardedStore) Shard(i int) *Store { return ss.shards[i] }
 
+// ShardView implements ShardedGraph: segment i as a Graph over shard-local
+// indexes.
+func (ss *ShardedStore) ShardView(i int) Graph { return ss.shards[i] }
+
 // GlobalIndexes returns the table mapping shard s's local triple indexes to
 // global indexes, as of the current directory snapshot. The result must not
 // be mutated. Under a concurrent insert the owning shard can be momentarily
@@ -213,27 +217,37 @@ func (ss *ShardedStore) AddSPO(s, p, o string, score float64) error {
 // inserted meanwhile are folded back into the head at publish): neither
 // readers nor writers — of this shard or any other — wait for a merge.
 func (ss *ShardedStore) Insert(t Triple) error {
+	compact, err := ss.InsertDeferred(t)
+	if compact != nil {
+		compact()
+	}
+	return err
+}
+
+// InsertDeferred is Insert with any triggered automatic compaction split out
+// (see Store.InsertDeferred).
+func (ss *ShardedStore) InsertDeferred(t Triple) (compact func(), err error) {
 	ss.mu.Lock()
 	if !ss.frozen {
 		err := ss.Add(t)
 		ss.mu.Unlock()
-		return err
+		return nil, err
 	}
 	si := ss.shardFor(t.S)
 	sh := ss.shards[si]
 	need, err := sh.insert(t)
 	if err != nil {
 		ss.mu.Unlock()
-		return err
+		return nil, err
 	}
 	ss.appendDir(si, sh.Len()-1)
 	ss.publishDir()
 	ss.version.Add(1)
 	ss.mu.Unlock()
 	if need {
-		sh.compactIfNeeded()
+		return sh.compactIfNeeded, nil
 	}
-	return nil
+	return nil, nil
 }
 
 // InsertSPO encodes the three terms and inserts the triple live.
@@ -451,93 +465,37 @@ func (ss *ShardedStore) forCandidates(sub Pattern, f func(t Triple)) {
 	}
 }
 
-// fanoutLevel0 reports whether the evaluator's first join level can be
-// fanned out across shards for q under order: more than one shard, at least
-// one pattern, and a level-0 pattern whose candidates are not pinned to a
-// single shard by a bound subject.
-func (ss *ShardedStore) fanoutLevel0(q Query, order []int) bool {
-	if len(ss.shards) == 1 || len(order) == 0 {
-		return false
-	}
-	_, pinned := ss.subjectShard(q.Patterns[order[0]])
-	return !pinned
-}
-
 // Evaluate computes the complete answer set of q (Definition 6 scoring),
-// identical to the flat store's evaluator over the same triples. On a
-// multi-segment store the first join level fans out across shards: each
-// shard enumerates its own level-0 candidates on its own goroutine while
-// deeper levels probe the whole store, and the per-shard derivations are
-// concatenated, deduplicated and sorted exactly like the sequential walk —
-// level-0 candidate sets are disjoint across shards, so the derivation
-// multiset is identical and DedupMax/SortAnswers normalise the order.
+// identical to the flat store's evaluator over the same triples. The whole
+// evaluation runs over one pinned view — every recursion level sees one
+// content version — and on a multi-segment store the first join level fans
+// out across shards: each shard enumerates its own level-0 candidates on its
+// own goroutine while deeper levels probe the whole store, and the per-shard
+// derivations are concatenated, deduplicated and sorted exactly like the
+// sequential walk — level-0 candidate sets are disjoint across shards, so
+// the derivation multiset is identical and DedupMax/SortAnswers normalise
+// the order.
 func (ss *ShardedStore) Evaluate(q Query) []Answer {
-	return ss.evaluateWeightedParallel(q, nil)
+	return ss.pin().Evaluate(q)
 }
 
 // EvaluateWeighted is Evaluate with per-pattern weight multipliers.
 func (ss *ShardedStore) EvaluateWeighted(q Query, weights []float64) []Answer {
-	return ss.evaluateWeightedParallel(q, weights)
+	return ss.pin().EvaluateWeighted(q, weights)
 }
 
-func (ss *ShardedStore) evaluateWeightedParallel(q Query, weights []float64) []Answer {
-	vs := NewVarSet(q)
-	order := evalOrder(ss, q)
-	if !ss.fanoutLevel0(q, order) {
-		out := collectAnswers(ss, q, vs, order, weights, nil)
-		out = DedupMax(out)
-		SortAnswers(out)
-		return out
-	}
-	outs := make([][]Answer, len(ss.shards))
-	var wg sync.WaitGroup
-	for si := range ss.shards {
-		wg.Add(1)
-		go func(si int) {
-			defer wg.Done()
-			outs[si] = collectAnswers(ss, q, vs, order, weights, ss.shards[si].forCandidates)
-		}(si)
-	}
-	wg.Wait()
-	var out []Answer
-	for _, o := range outs {
-		out = append(out, o...)
-	}
-	out = DedupMax(out)
-	SortAnswers(out)
-	return out
-}
-
-// Count returns the exact number of distinct answers to q. Duplicate-free
-// stores count derivations with the same per-shard level-0 fan-out as
-// Evaluate; duplicate-bearing stores need one global binding-dedup set and
-// fall back to the sequential walk.
+// Count returns the exact number of distinct answers to q, over one pinned
+// view. Duplicate-free stores count derivations with the same per-shard
+// level-0 fan-out as Evaluate; duplicate-bearing stores need one global
+// binding-dedup set and fall back to the sequential walk.
 func (ss *ShardedStore) Count(q Query) int {
-	vs := NewVarSet(q)
-	order := evalOrder(ss, q)
-	if ss.HasDuplicates() || !ss.fanoutLevel0(q, order) {
-		return countAnswers(ss, q)
-	}
-	counts := make([]int, len(ss.shards))
-	var wg sync.WaitGroup
-	for si := range ss.shards {
-		wg.Add(1)
-		go func(si int) {
-			defer wg.Done()
-			counts[si] = countDerivations(ss, q, vs, order, ss.shards[si].forCandidates)
-		}(si)
-	}
-	wg.Wait()
-	n := 0
-	for _, c := range counts {
-		n += c
-	}
-	return n
+	return ss.pin().Count(q)
 }
 
-// Selectivity returns the exact join selectivity φ of q.
+// Selectivity returns the exact join selectivity φ of q, over one pinned
+// view.
 func (ss *ShardedStore) Selectivity(q Query) float64 {
-	return selectivity(ss, q)
+	return ss.pin().Selectivity(q)
 }
 
 // PatternString renders a pattern with decoded constants.

@@ -131,6 +131,12 @@ func validScore(score float64) error {
 	return nil
 }
 
+// ValidateScore reports whether a triple score is storable: finite and
+// non-negative, the same check Add and Insert apply. The durability layer
+// validates before logging so a record can never be written for a triple the
+// store would then reject.
+func ValidateScore(score float64) error { return validScore(score) }
+
 // Add appends a scored triple to an unfrozen store. Scores must be finite
 // and non-negative; zero-scored triples are legal but never contribute to
 // top-k under the paper's model. Duplicate (s,p,o) triples with different
@@ -225,11 +231,25 @@ func (st *Store) Compactions() uint64 { return st.compactions.Load() }
 // configured limit or Compact is called. Insert is safe for concurrent use
 // with readers and other inserters. Before Freeze it behaves like Add.
 func (st *Store) Insert(t Triple) error {
-	need, err := st.insert(t)
-	if err == nil && need {
-		st.compactIfNeeded()
+	compact, err := st.InsertDeferred(t)
+	if compact != nil {
+		compact()
 	}
 	return err
+}
+
+// InsertDeferred is Insert with any triggered automatic compaction split
+// out: the insert itself is published (and visible) when the call returns,
+// and the returned function — nil when no merge is due — runs the
+// compaction. The durability layer uses it to keep posting rebuilds outside
+// the mutex that orders WAL appends against store applies; everyone else
+// should call Insert.
+func (st *Store) InsertDeferred(t Triple) (compact func(), err error) {
+	need, err := st.insert(t)
+	if err == nil && need {
+		return st.compactIfNeeded, nil
+	}
+	return nil, err
 }
 
 // insert publishes the head-extended snapshot and reports whether the head
@@ -473,7 +493,12 @@ func (s *storeState) computeMerged(p Pattern) []int32 {
 // Cardinality returns the number of triples matching p, head included,
 // without materialising a merged list.
 func (st *Store) Cardinality(p Pattern) int {
-	s := st.state()
+	return st.state().cardinality(p)
+}
+
+// cardinality counts the snapshot's matches of p without materialising a
+// merged list.
+func (s *storeState) cardinality(p Pattern) int {
 	n := len(s.post.matchList(p))
 	for _, hi := range s.headSorted {
 		if p.Matches(s.triples[hi]) {
@@ -488,7 +513,11 @@ func (st *Store) Cardinality(p Pattern) int {
 // frozen side is an O(1) head lookup of the score-sorted posting; the head
 // overlay is scanned in score order until its first match.
 func (st *Store) MaxScore(p Pattern) float64 {
-	s := st.state()
+	return st.state().maxScore(p)
+}
+
+// maxScore computes the snapshot's Definition 5 normalisation constant.
+func (s *storeState) maxScore(p Pattern) float64 {
 	max := 0.0
 	if l := s.post.matchList(p); len(l) > 0 {
 		max = s.triples[l[0]].Score

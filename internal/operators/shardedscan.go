@@ -59,16 +59,19 @@ func (h shardHead) heapLess(o shardHead) bool {
 }
 
 // NewShardedListScan builds the merged scan. Parameters mirror NewListScan.
-func NewShardedListScan(ss *kg.ShardedStore, vs *kg.VarSet, p kg.Pattern, weight float64, mask uint32, c *Counter) *ShardedListScan {
+// The store may be a live *kg.ShardedStore or a pinned view of one; pinned
+// shard views serve pre-clamped lists, so the out-of-bounds trim below never
+// fires for them.
+func NewShardedListScan(ss kg.ShardedGraph, vs *kg.VarSet, p kg.Pattern, weight float64, mask uint32, c *Counter) *ShardedListScan {
 	s := &ShardedListScan{counter: c}
 	type shardList struct {
-		sh   *kg.Store
+		sh   kg.Graph
 		glob []int32
 		list []int32
 	}
 	lists := make([]shardList, 0, ss.NumShards())
 	for si := 0; si < ss.NumShards(); si++ {
-		sh := ss.Shard(si)
+		sh := ss.ShardView(si)
 		glob := ss.GlobalIndexes(si)
 		list := sh.MatchList(p)
 		// A live insert between the two loads above can leave the shard
@@ -205,7 +208,7 @@ func (s *ShardedListScan) Reset() {
 // otherwise. Both stream the same entries in the same order; the sharded
 // variant just never materialises a merged list.
 func NewPatternScan(g kg.Graph, vs *kg.VarSet, p kg.Pattern, weight float64, mask uint32, c *Counter) Stream {
-	if ss, ok := g.(*kg.ShardedStore); ok && ss.NumShards() > 1 {
+	if ss, ok := g.(kg.ShardedGraph); ok && ss.NumShards() > 1 {
 		return NewShardedListScan(ss, vs, p, weight, mask, c)
 	}
 	return NewListScan(g, vs, p, weight, mask, c)

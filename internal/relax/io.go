@@ -52,13 +52,24 @@ func (rs *RuleSet) WriteTSV(w io.Writer, dict *kg.Dict) error {
 // ReadTSV parses rules written by WriteTSV, interning constants into dict.
 // Blank lines and '#' comments are skipped.
 func ReadTSV(r io.Reader, dict *kg.Dict) (*RuleSet, error) {
+	rs := NewRuleSet()
+	if err := ReadTSVInto(rs, r, dict); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// ReadTSVInto parses rules into an existing rule set — the path for engines
+// whose rule set must exist before the rules file can be read (a durable
+// engine recovers its dictionary from the WAL directory first, then loads
+// rules against it).
+func ReadTSVInto(rs *RuleSet, r io.Reader, dict *kg.Dict) error {
 	term := func(s string) kg.Term {
 		if strings.HasPrefix(s, "?") {
 			return kg.Var(s)
 		}
 		return kg.Const(dict.Encode(s))
 	}
-	rs := NewRuleSet()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	lineNo := 0
@@ -70,11 +81,11 @@ func ReadTSV(r io.Reader, dict *kg.Dict) (*RuleSet, error) {
 		}
 		f := strings.Split(line, "\t")
 		if len(f) != 7 {
-			return nil, fmt.Errorf("relax: line %d: want 7 fields, got %d", lineNo, len(f))
+			return fmt.Errorf("relax: line %d: want 7 fields, got %d", lineNo, len(f))
 		}
 		w, err := strconv.ParseFloat(f[6], 64)
 		if err != nil {
-			return nil, fmt.Errorf("relax: line %d: bad weight %q: %v", lineNo, f[6], err)
+			return fmt.Errorf("relax: line %d: bad weight %q: %v", lineNo, f[6], err)
 		}
 		rule := Rule{
 			From:   kg.NewPattern(term(f[0]), term(f[1]), term(f[2])),
@@ -82,11 +93,8 @@ func ReadTSV(r io.Reader, dict *kg.Dict) (*RuleSet, error) {
 			Weight: w,
 		}
 		if err := rs.Add(rule); err != nil {
-			return nil, fmt.Errorf("relax: line %d: %v", lineNo, err)
+			return fmt.Errorf("relax: line %d: %v", lineNo, err)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return rs, nil
+	return sc.Err()
 }

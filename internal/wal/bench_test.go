@@ -1,0 +1,51 @@
+package wal
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkAppend measures per-record append cost on the real filesystem
+// under each sync policy, sequentially and with concurrent appenders (where
+// group commit batches fsyncs). SyncAlways sequential is the worst case by
+// design: every append pays a full fsync alone.
+func BenchmarkAppend(b *testing.B) {
+	for _, pol := range []SyncPolicy{SyncNone, SyncInterval, SyncAlways} {
+		open := func(b *testing.B) *Log {
+			fs, err := DirFS(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			initManifest(b, fs, 0)
+			l, _, err := Open(fs, Options{Policy: pol, Interval: 10 * time.Millisecond})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return l
+		}
+		b.Run(pol.String(), func(b *testing.B) {
+			l := open(b)
+			defer l.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := l.Append(rec(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(pol.String()+"-parallel", func(b *testing.B) {
+			l := open(b)
+			defer l.Close()
+			var n atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if err := l.Append(rec(int(n.Add(1)))); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package wal
+
+import "os"
+
+// flockExclusive is a no-op on platforms without flock semantics: the
+// directory lock degrades to best-effort there. Every supported deployment
+// target (and CI) is unix.
+func flockExclusive(*os.File) error { return nil }

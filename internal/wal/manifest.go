@@ -1,0 +1,125 @@
+package wal
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strings"
+)
+
+// Manifest records the durable root of the store: which snapshot file holds
+// the state and the last log sequence number that snapshot covers. Recovery
+// loads the snapshot and replays only records with larger sequence numbers.
+// The file is tiny, text (debuggable with cat), CRC-protected, and replaced
+// atomically via write-tmp + rename — a crash mid-checkpoint leaves the old
+// manifest intact and the half-written tmp ignored.
+type Manifest struct {
+	// Snapshot is the snapshot file name ("" only before the first
+	// checkpoint ever, which no valid directory reaches: opening writes one).
+	Snapshot string
+	// SnapshotSeq is the last log sequence number the snapshot includes (0
+	// when the snapshot predates all WAL inserts).
+	SnapshotSeq uint64
+}
+
+// ManifestName is the manifest's file name inside the WAL directory.
+const ManifestName = "MANIFEST"
+
+// manifestTmp is the scratch name the new manifest is written to before the
+// atomic rename.
+const manifestTmp = "MANIFEST.tmp"
+
+const manifestHeader = "specqp-wal v1"
+
+// SnapshotName formats the canonical snapshot file name for the last log
+// sequence number it covers.
+func SnapshotName(seq uint64) string { return fmt.Sprintf("snap-%016x.bin", seq) }
+
+// IsSnapshotName reports whether name is a canonical snapshot file name.
+func IsSnapshotName(name string) bool {
+	var seq uint64
+	if len(name) != len("snap-0000000000000000.bin") {
+		return false
+	}
+	_, err := fmt.Sscanf(name, "snap-%016x.bin", &seq)
+	return err == nil
+}
+
+// WriteManifest atomically replaces the manifest — the single commit point
+// of a checkpoint. The snapshot it names must already be durable; until the
+// rename lands, recovery uses the previous (snapshot, log offset) pair.
+func WriteManifest(fsys FS, m Manifest) error { return writeManifest(fsys, m) }
+
+// writeManifest atomically replaces the manifest.
+func writeManifest(fsys FS, m Manifest) error {
+	if strings.ContainsAny(m.Snapshot, " \n") || m.Snapshot == "" {
+		return fmt.Errorf("wal: invalid snapshot name %q", m.Snapshot)
+	}
+	body := fmt.Sprintf("%s\nsnapshot %s %d\n", manifestHeader, m.Snapshot, m.SnapshotSeq)
+	body += fmt.Sprintf("crc %08x\n", crc32.Checksum([]byte(body), castagnoli))
+	f, err := fsys.Create(manifestTmp)
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(f, body); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(manifestTmp, ManifestName)
+}
+
+// readManifest parses the manifest, reporting ok=false when none exists.
+// A present-but-unparseable manifest is an error, not a fresh start: guessing
+// would silently discard durable state.
+func readManifest(fsys FS) (m Manifest, ok bool, err error) {
+	names, err := fsys.List()
+	if err != nil {
+		return m, false, err
+	}
+	found := false
+	for _, n := range names {
+		if n == ManifestName {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return m, false, nil
+	}
+	r, err := fsys.Open(ManifestName)
+	if err != nil {
+		return m, false, err
+	}
+	defer r.Close()
+	raw, err := io.ReadAll(io.LimitReader(r, 1<<16))
+	if err != nil {
+		return m, false, err
+	}
+	body := string(raw)
+	crcAt := strings.LastIndex(body, "crc ")
+	if crcAt < 0 || !strings.HasSuffix(body, "\n") {
+		return m, false, fmt.Errorf("wal: manifest missing crc line")
+	}
+	var gotCRC uint32
+	if _, err := fmt.Sscanf(body[crcAt:], "crc %x\n", &gotCRC); err != nil {
+		return m, false, fmt.Errorf("wal: manifest crc line: %v", err)
+	}
+	if want := crc32.Checksum([]byte(body[:crcAt]), castagnoli); want != gotCRC {
+		return m, false, fmt.Errorf("wal: manifest crc mismatch (%08x vs %08x)", gotCRC, want)
+	}
+	lines := strings.Split(strings.TrimSuffix(body[:crcAt], "\n"), "\n")
+	if len(lines) != 2 || lines[0] != manifestHeader {
+		return m, false, fmt.Errorf("wal: malformed manifest")
+	}
+	if _, err := fmt.Sscanf(lines[1], "snapshot %s %d", &m.Snapshot, &m.SnapshotSeq); err != nil {
+		return m, false, fmt.Errorf("wal: manifest snapshot line: %v", err)
+	}
+	return m, true, nil
+}

@@ -1,0 +1,89 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+)
+
+// ReadRecords streams the valid record prefix of one segment's bytes:
+// records are decoded in order and handed to fn until the first partial,
+// corrupt, or out-of-sequence record, where reading stops — the torn-tail
+// truncation rule. first is the sequence number the segment's first record
+// must carry (0 skips the continuity check, for tools reading a lone
+// segment). The returned count is the number of valid records delivered.
+//
+// The reader is deliberately paranoid: length fields are attacker-ish data
+// (a torn write can produce anything), so allocations grow with bytes
+// actually read, never with a claimed length, and every structural rule the
+// writer enforces is re-checked after the CRC. It never returns an error for
+// bad bytes — bad bytes are the expected crash residue — only fn's error is
+// propagated.
+func ReadRecords(r io.Reader, first uint64, fn func(Record) error) (int, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var head [8]byte
+	payload := make([]byte, 0, 256)
+	const chunk = 64 << 10
+	var zero [chunk]byte
+	n := 0
+	expect := first
+	for {
+		if _, err := io.ReadFull(br, head[:]); err != nil {
+			return n, nil // clean EOF or torn header — stop either way
+		}
+		plen := binary.LittleEndian.Uint32(head[:4])
+		crc := binary.LittleEndian.Uint32(head[4:])
+		if plen < 8+1 || plen > maxPayload {
+			return n, nil // implausible frame — corrupt
+		}
+		payload = payload[:0]
+		for read := uint32(0); read < plen; {
+			step := plen - read
+			if step > chunk {
+				step = chunk
+			}
+			start := len(payload)
+			payload = append(payload, zero[:step]...)
+			if _, err := io.ReadFull(br, payload[start:]); err != nil {
+				return n, nil // torn payload
+			}
+			read += step
+		}
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return n, nil // corrupt payload
+		}
+		rec, err := parsePayload(payload)
+		if err != nil {
+			return n, nil // CRC-valid but structurally wrong — treat as corrupt
+		}
+		if expect != 0 && rec.Seq != expect {
+			return n, nil // sequence break — the rest is unreachable
+		}
+		if err := fn(rec); err != nil {
+			return n, err
+		}
+		n++
+		if expect != 0 {
+			expect++
+		}
+	}
+}
+
+// scanSegment reads one segment file, calling fn per valid record. It
+// returns the sequence number of the last valid record (0 if none) and the
+// byte size of the valid prefix.
+func scanSegment(fsys FS, name string, first uint64, fn func(Record)) (last uint64, size int64, err error) {
+	f, err := fsys.Open(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	_, err = ReadRecords(f, first, func(r Record) error {
+		last = r.Seq
+		size += int64(recordSize(r))
+		fn(r)
+		return nil
+	})
+	return last, size, err
+}

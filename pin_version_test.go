@@ -1,0 +1,135 @@
+package specqp
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"specqp/internal/kg"
+)
+
+// TestConcurrentQueriesSeeSingleVersion extends the interleaved oracle to
+// the snapshot-isolation claim: while a writer streams inserts, every
+// concurrent query's answers must equal the oracle of exactly ONE insert
+// prefix — never a mixture of two versions. The oracle answer sets for all
+// prefixes are precomputed at quiescence; each concurrent result must be a
+// member. ModeTriniT is used because its plan is purely structural, making
+// answers a function of store content alone.
+func TestConcurrentQueriesSeeSingleVersion(t *testing.T) {
+	dict, triples, rules, queries := randomLiveFixture(t, 424242)
+	base := len(triples) / 2
+	probes := queries[:2]
+	const k = 8
+
+	key := func(res Result) string {
+		var b strings.Builder
+		for _, a := range res.Answers {
+			for _, id := range a.Binding {
+				fmt.Fprintf(&b, "%d,", id)
+			}
+			fmt.Fprintf(&b, "=%016x|", math.Float64bits(a.Score))
+		}
+		return b.String()
+	}
+
+	// Oracle answer keys per probe, one entry per insert prefix.
+	valid := make([]map[string]int, len(probes))
+	for qi := range probes {
+		valid[qi] = make(map[string]int)
+	}
+	for pos := base; pos <= len(triples); pos++ {
+		st := kg.NewStore(dict)
+		for _, tr := range triples[:pos] {
+			if err := st.Add(tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st.Freeze()
+		ref := NewEngineWith(st, rules, Options{Shards: 1})
+		for qi, q := range probes {
+			res, err := ref.Query(q, k, ModeTriniT)
+			if err != nil {
+				t.Fatal(err)
+			}
+			valid[qi][key(res)] = pos
+		}
+	}
+
+	for _, shards := range []int{1, 3} {
+		ss := kg.NewShardedStore(dict, shards)
+		for _, tr := range triples[:base] {
+			if err := ss.Add(tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng := NewEngineOver(ss, rules, Options{HeadLimit: 24})
+
+		type obs struct {
+			qi  int
+			key string
+		}
+		var mu sync.Mutex
+		var seen []obs
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		for r := 0; r < 3; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					qi := (r + i) % len(probes)
+					res, err := eng.Query(probes[qi], k, ModeTriniT)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					mu.Lock()
+					seen = append(seen, obs{qi: qi, key: key(res)})
+					mu.Unlock()
+				}
+			}(r)
+		}
+		for i, tr := range triples[base:] {
+			if err := eng.Insert(tr); err != nil {
+				t.Fatal(err)
+			}
+			if i%4 == 0 {
+				// Let readers interleave mid-mutation (the container may have
+				// a single CPU, where a tight insert loop would starve them).
+				runtime.Gosched()
+			}
+		}
+		// Keep readers sampling until enough observations landed; late ones
+		// see the final version, which is itself a valid single prefix.
+		for deadline := time.Now().Add(5 * time.Second); ; {
+			mu.Lock()
+			n := len(seen)
+			mu.Unlock()
+			if n >= 25 || time.Now().After(deadline) {
+				break
+			}
+			runtime.Gosched()
+		}
+		close(done)
+		wg.Wait()
+
+		if len(seen) == 0 {
+			t.Fatal("no concurrent queries observed")
+		}
+		for _, o := range seen {
+			if _, ok := valid[o.qi][o.key]; !ok {
+				t.Fatalf("shards=%d: query %d answers match no single insert-prefix version (key %q)",
+					shards, o.qi, o.key)
+			}
+		}
+	}
+}

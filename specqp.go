@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"specqp/internal/exec"
 	"specqp/internal/kg"
@@ -189,6 +190,26 @@ type Options struct {
 	// 0 selects kg.DefaultHeadLimit, a negative value disables automatic
 	// compaction entirely (call Engine.Compact explicitly).
 	HeadLimit int
+	// WALDir selects the durable write-ahead-log directory. It is consumed
+	// exclusively by OpenDurable/OpenDurableWith (as the default for their
+	// dir argument); NewEngineWith panics when it is set, because a non-nil
+	// value there would otherwise silently produce a non-durable engine.
+	WALDir string
+	// SyncPolicy selects the WAL fsync discipline for durable engines:
+	// SyncAlways (default — group-committed fsync before every Insert
+	// returns), SyncInterval, or SyncNone.
+	SyncPolicy SyncPolicy
+	// SyncInterval is the background fsync period under SyncInterval
+	// (0 = wal.DefaultInterval).
+	SyncInterval time.Duration
+	// WALSegmentSize is the log rotation threshold in bytes
+	// (0 = wal.DefaultSegmentSize).
+	WALSegmentSize int64
+	// CheckpointBytes is the WAL size at which a durable engine snapshots
+	// and truncates the log automatically: 0 selects DefaultCheckpointBytes,
+	// negative disables automatic checkpoints (Compact and Checkpoint still
+	// persist on demand).
+	CheckpointBytes int64
 }
 
 // ShardsAuto is the Options.Shards sentinel selecting one shard per
@@ -213,6 +234,9 @@ type Engine struct {
 	// planVersion is the graph content version the batch plan cache was last
 	// validated against (see livePlans).
 	planVersion atomic.Uint64
+	// wal is the durability layer; nil on non-durable engines. Set only by
+	// OpenDurable/OpenDurableWith (see durable.go).
+	wal *walState
 }
 
 // NewEngine builds an engine over a frozen store and a rule set with default
@@ -226,6 +250,11 @@ func NewEngine(st *Store, rules *RuleSet) *Engine {
 // segments (frozen in parallel; st itself is left as passed) and every
 // query runs through the parallel sharded read path.
 func NewEngineWith(st *Store, rules *RuleSet, opts Options) *Engine {
+	if opts.WALDir != "" {
+		// Accepting the option here and ignoring it would hand back an
+		// engine the caller believes is durable. Fail loudly instead.
+		panic("specqp: Options.WALDir requires OpenDurable/OpenDurableWith, not NewEngineWith")
+	}
 	shards := opts.Shards
 	if shards < 0 {
 		shards = runtime.GOMAXPROCS(0)
@@ -403,10 +432,23 @@ func (e *Engine) QueryContext(ctx context.Context, q Query, k int, mode Mode) (R
 // engine queries a sharded copy of the store passed to NewEngineWith — the
 // insert lands there, and Engine.Store() no longer reflects the live
 // contents (Engine.Graph() always does).
+//
+// On a durable engine (OpenDurable) the insert is first framed into the
+// write-ahead log and Insert returns only once the record is durable per
+// Options.SyncPolicy — concurrent inserters share fsyncs through group
+// commit — so every acknowledged Insert survives a crash. An Insert that
+// returns an error is *indeterminate*, exactly like an unacked write to any
+// database: the triple may be visible to queries on this process (applied
+// before the commit failed) and may or may not survive recovery. A commit
+// failure wedges the log — every later Insert fails and checkpoints are
+// refused, so durable state stays at the last consistent prefix.
 func (e *Engine) Insert(t Triple) error {
 	lg, ok := e.graph.(kg.LiveGraph)
 	if !ok {
 		return fmt.Errorf("specqp: %T does not support live inserts", e.graph)
+	}
+	if e.wal != nil {
+		return e.wal.insert(lg, t)
 	}
 	return lg.Insert(t)
 }
@@ -422,10 +464,15 @@ func (e *Engine) InsertSPO(s, p, o string, score float64) error {
 // (per-shard, in parallel, without blocking concurrent queries). Answers are
 // bit-identical before and after; only the read-path cost changes — frozen
 // segments serve zero-allocation match-list views, heads pay a small merge.
-func (e *Engine) Compact() {
+// On a durable engine Compact also checkpoints: the frozen state is
+// persisted through the binary snapshot format and the log segments it
+// covers are truncated. The returned error is always nil on non-durable
+// engines.
+func (e *Engine) Compact() error {
 	if lg, ok := e.graph.(kg.LiveGraph); ok {
 		lg.Compact()
 	}
+	return e.Checkpoint()
 }
 
 // livePlans returns the batch plan cache, flushed when the store's content
