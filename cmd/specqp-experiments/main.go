@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -51,6 +52,7 @@ func main() {
 		batch   = flag.Int("batch", 0, "also time the workload through Engine.QueryBatch with this many workers vs sequential Engine.Query (0 = skip)")
 		shards  = flag.Int("shards", 1, "store segments for the batch/sharding comparisons (1 = flat, -1 = one per CPU); >1 also times sharded vs flat sequential execution")
 		ingest  = flag.Int("ingest", 0, "live-ingest comparison: hold out this many triples, stream them back in batches, and time live Insert+query against a full rebuild per batch (0 = skip)")
+		churn   = flag.Int("churn", 0, "mixed-churn comparison: hold out this many triples, replay them as an insert/delete/update mix with probe queries per batch, and time single-level vs tiered (L1) compaction (0 = skip)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file (go tool pprof)")
 		memProf = flag.String("memprofile", "", "write a heap profile taken at exit to this file (go tool pprof)")
 	)
@@ -59,12 +61,12 @@ func main() {
 	// The experiment body runs inside run() so its profile-flushing defers
 	// execute on every exit path before main's log.Fatal can call os.Exit —
 	// a mid-run error must still leave usable -cpuprofile/-memprofile files.
-	if err := run(*exp, *dataset, *load, *csvDir, *cpuProf, *memProf, *seed, *scale, *buckets, *runs, *batch, *shards, *ingest); err != nil {
+	if err := run(*exp, *dataset, *load, *csvDir, *cpuProf, *memProf, *seed, *scale, *buckets, *runs, *batch, *shards, *ingest, *churn); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(exp, dataset, load, csvDir, cpuProf, memProf string, seed int64, scale float64, buckets, runs, batch, shards, ingest int) error {
+func run(exp, dataset, load, csvDir, cpuProf, memProf string, seed int64, scale float64, buckets, runs, batch, shards, ingest, churn int) error {
 	if cpuProf != "" {
 		f, err := os.Create(cpuProf)
 		if err != nil {
@@ -170,6 +172,11 @@ func run(exp, dataset, load, csvDir, cpuProf, memProf string, seed int64, scale 
 				return err
 			}
 			if err := runWALComparison(ds, ingest, shards); err != nil {
+				return err
+			}
+		}
+		if churn > 0 {
+			if err := runChurnComparison(ds, churn, shards); err != nil {
 				return err
 			}
 		}
@@ -575,6 +582,148 @@ func runWALComparison(ds *datagen.Dataset, holdout, shards int) error {
 	}
 	fmt.Printf("  recovery: %d triples in %v (snapshot + WAL tail replay + freeze)\n",
 		recoveredLen, recoveryT.Round(time.Microsecond))
+	return nil
+}
+
+// churnOp is one step of the deterministic mixed-mutation schedule every
+// churn arm replays: an insert of the next holdout triple, a retraction of a
+// previously-seen key, or a latest-wins re-score.
+type churnOp struct {
+	kind byte // 0 insert, 1 delete, 2 update
+	tr   kg.Triple
+}
+
+// runChurnComparison replays the mutable-knowledge-graph scenario: the
+// holdout is streamed back as a ~70/15/15 insert/delete/update mix with the
+// probe queries run after each batch, once per compaction arm — single-level
+// merges (every head merge rebuilds the segment's full arena) and tiered
+// compaction (heads fold into a small L1 level; the full arena is only
+// rebuilt when L1 crosses its own threshold). Both arms replay the identical
+// schedule and must end answer-for-answer identical; the timings show what
+// the L1 tier buys under churn.
+func runChurnComparison(ds *datagen.Dataset, churn, shards int) error {
+	f, err := newIngestFixture(ds, churn)
+	if err != nil {
+		return err
+	}
+	dict := ds.Store.Dict()
+	effective := shards
+	if effective < 1 {
+		effective = runtime.GOMAXPROCS(0)
+	}
+
+	// One deterministic schedule for every arm. Deletes and updates pick keys
+	// from the triples already streamed (or the base), so most hit something.
+	rng := rand.New(rand.NewSource(7))
+	var ops []churnOp
+	for pos := f.base; pos < f.total; {
+		switch r := rng.Intn(20); {
+		case r < 14:
+			ops = append(ops, churnOp{kind: 0, tr: f.triples[pos]})
+			pos++
+		case r < 17:
+			ops = append(ops, churnOp{kind: 1, tr: f.triples[rng.Intn(pos)]})
+		default:
+			tr := f.triples[rng.Intn(pos)]
+			tr.Score = float64(1 + rng.Intn(100))
+			ops = append(ops, churnOp{kind: 2, tr: tr})
+		}
+	}
+	batchSize := len(ops) / 10
+	if batchSize == 0 {
+		batchSize = 1
+	}
+
+	type arm struct {
+		name string
+		l1   int
+	}
+	arms := []arm{{"single-level", 0}, {"tiered-l1", 4096}}
+	times := make([]time.Duration, len(arms))
+	mutateTimes := make([]time.Duration, len(arms))
+	compactions := make([]uint64, len(arms))
+	engines := make([]*specqp.Engine, len(arms))
+	for ai, a := range arms {
+		ss := kg.NewShardedStore(dict, effective)
+		for _, tr := range f.triples[:f.base] {
+			if err := ss.Add(tr); err != nil {
+				return err
+			}
+		}
+		eng := specqp.NewEngineOver(ss, ds.Rules, specqp.Options{Shards: effective, HeadLimit: 256, L1Limit: a.l1})
+		if err := f.runProbes(eng); err != nil {
+			return err
+		}
+		lg, _ := eng.Graph().(specqp.LiveGraph)
+		t0 := time.Now()
+		var mutateT time.Duration
+		for off := 0; off < len(ops); off += batchSize {
+			end := off + batchSize
+			if end > len(ops) {
+				end = len(ops)
+			}
+			m0 := time.Now()
+			for _, op := range ops[off:end] {
+				switch op.kind {
+				case 0:
+					err = eng.Insert(op.tr)
+				case 1:
+					_, err = eng.Delete(op.tr.S, op.tr.P, op.tr.O)
+				default:
+					err = eng.Update(op.tr)
+				}
+				if err != nil {
+					return err
+				}
+			}
+			mutateT += time.Since(m0)
+			if err := f.runProbes(eng); err != nil {
+				return err
+			}
+		}
+		times[ai] = time.Since(t0)
+		mutateTimes[ai] = mutateT
+		compactions[ai] = lg.Compactions()
+		engines[ai] = eng
+	}
+
+	// Both arms replayed the same schedule: answers must be bit-identical.
+	for ai := 1; ai < len(arms); ai++ {
+		if err := f.verifyAgainst("churn "+arms[ai].name, engines[ai], engines[0]); err != nil {
+			return err
+		}
+	}
+
+	nIns, nDel, nUpd := 0, 0, 0
+	for _, op := range ops {
+		switch op.kind {
+		case 0:
+			nIns++
+		case 1:
+			nDel++
+		default:
+			nUpd++
+		}
+	}
+	fmt.Printf("Mixed churn — %d inserts, %d deletes, %d updates in batches of %d, %d probe queries/batch, head limit 256, %d segments (dataset %s):\n",
+		nIns, nDel, nUpd, batchSize, len(f.probes), effective, ds.Name)
+	fmt.Printf("  %-14s %-14s %-14s %-12s %s\n", "arm", "total", "mutate-only", "compactions", "vs single-level (mutate)")
+	for ai, a := range arms {
+		ratio := float64(mutateTimes[0]) / float64(mutateTimes[ai])
+		fmt.Printf("  %-14s %-14v %-14v %-12d %.2fx\n",
+			a.name, times[ai].Round(time.Microsecond), mutateTimes[ai].Round(time.Microsecond), compactions[ai], ratio)
+	}
+	// A full compact annihilates every pending tombstone in both arms.
+	for ai, a := range arms {
+		lg, _ := engines[ai].Graph().(specqp.LiveGraph)
+		pending := lg.Tombstones()
+		c0 := time.Now()
+		engines[ai].Compact()
+		fmt.Printf("  %-14s final full compact: %d tombstones GC'd in %v\n", a.name, pending, time.Since(c0).Round(time.Microsecond))
+		if lg.Tombstones() != 0 {
+			return fmt.Errorf("churn %s: full compact left %d tombstones", a.name, lg.Tombstones())
+		}
+	}
 	return nil
 }
 

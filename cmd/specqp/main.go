@@ -62,8 +62,10 @@ func run(args []string, in io.Reader, out, errOut io.Writer) error {
 		estimated   = fs.Bool("estimated-selectivity", false, "use estimated instead of exact join selectivity")
 		shards      = fs.Int("shards", 1, "store segments (1 = flat layout, -1 = one per CPU); answers are identical at every setting")
 		timings     = fs.Bool("timings", true, "print plan/exec timings (disable for diffable output)")
-		ingestPath  = fs.String("ingest", "", "TSV of triples to insert live after the initial load (mutable head + merge-on-threshold; queries then run against the combined store)")
+		ingestPath  = fs.String("ingest", "", "TSV of mutations to apply live after the initial load: insert lines are s\\tp\\to\\tscore, retraction lines are -\\ts\\tp\\to (queries then run against the mutated store)")
+		deleteSpec  = fs.String("delete", "", "whitespace-separated \"s p o\" key to delete after load and -ingest (every live copy is retracted)")
 		headLimit   = fs.Int("head", 0, "per-segment head size triggering automatic compaction during live ingest (0 = default, negative = manual only)")
+		l1Limit     = fs.Int("l1", 0, "tiered compaction: heads merge into a small frozen L1 tier, which folds into the main arenas at this size (0 = single-level)")
 		compact     = fs.Bool("compact", false, "compact all pending heads after live ingest, before running queries")
 		walDir      = fs.String("wal", "", "durable WAL directory: a fresh directory is bootstrapped from -triples (every live insert is then crash-durable); a directory with existing state is recovered — omit -triples in that case")
 		walSync     = fs.String("wal-sync", "always", "WAL fsync policy: always (group commit before each insert acks), interval, or none")
@@ -85,6 +87,7 @@ func run(args []string, in io.Reader, out, errOut io.Writer) error {
 		EstimatedSelectivity: *estimated,
 		Shards:               *shards,
 		HeadLimit:            *headLimit,
+		L1Limit:              *l1Limit,
 		SyncPolicy:           syncPolicy,
 	}
 
@@ -140,20 +143,33 @@ func run(args []string, in io.Reader, out, errOut io.Writer) error {
 	fmt.Fprintf(out, "loaded %d triples, %d relaxation rules\n", eng.Graph().Len(), rules.Len())
 
 	if *ingestPath != "" {
-		n, err := ingestTriples(eng, *ingestPath)
+		ins, del, err := ingestMutations(eng, *ingestPath)
 		if err != nil {
 			return err
 		}
-		if *compact {
-			if err := eng.Compact(); err != nil {
-				return err
-			}
-		}
 		if live, ok := eng.Graph().(specqp.LiveGraph); ok {
-			fmt.Fprintf(out, "ingested %d triples live (%d in heads, %d compactions)\n",
-				n, live.HeadLen(), live.Compactions())
+			fmt.Fprintf(out, "ingested %d inserts, %d retractions live (%d in heads, %d compactions)\n",
+				ins, del, live.HeadLen(), live.Compactions())
 		} else {
-			fmt.Fprintf(out, "ingested %d triples live\n", n)
+			fmt.Fprintf(out, "ingested %d inserts, %d retractions live\n", ins, del)
+		}
+	}
+
+	if *deleteSpec != "" {
+		key := strings.Fields(*deleteSpec)
+		if len(key) != 3 {
+			return fmt.Errorf("-delete wants \"s p o\" (3 whitespace-separated terms), got %d", len(key))
+		}
+		removed, err := eng.DeleteSPO(key[0], key[1], key[2])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "deleted %d copies of <%s %s %s>\n", removed, key[0], key[1], key[2])
+	}
+
+	if (*ingestPath != "" || *deleteSpec != "") && *compact {
+		if err := eng.Compact(); err != nil {
+			return err
 		}
 	}
 
@@ -314,27 +330,35 @@ func saveSnapshot(eng *specqp.Engine, path string) (int, error) {
 	return n, os.Rename(tmp, path)
 }
 
-// ingestTriples streams a triples TSV through Engine.InsertSPO — the live
-// path: every line is queryable the moment the call returns, and segments
-// compact themselves as heads cross the -head limit.
-func ingestTriples(eng *specqp.Engine, path string) (int, error) {
+// ingestMutations streams a TSV mutation file through the live engine:
+// insert lines go through Engine.InsertSPO, retraction lines ("-" first
+// field) through Engine.DeleteSPO. Every line is applied the moment its call
+// returns, and segments compact themselves as heads cross the -head limit.
+func ingestMutations(eng *specqp.Engine, path string) (ins, del int, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer f.Close()
-	n := 0
-	err = kg.ForEachTSVTriple(f, func(s, p, o string, score float64) error {
-		if err := eng.InsertSPO(s, p, o, score); err != nil {
-			return err
-		}
-		n++
-		return nil
-	})
+	err = kg.ForEachTSVMutation(f,
+		func(s, p, o string, score float64) error {
+			if err := eng.InsertSPO(s, p, o, score); err != nil {
+				return err
+			}
+			ins++
+			return nil
+		},
+		func(s, p, o string) error {
+			if _, err := eng.DeleteSPO(s, p, o); err != nil {
+				return err
+			}
+			del++
+			return nil
+		})
 	if err != nil {
-		return n, fmt.Errorf("ingest %s: %v", path, err)
+		return ins, del, fmt.Errorf("ingest %s: %v", path, err)
 	}
-	return n, nil
+	return ins, del, nil
 }
 
 func loadQueries(path string) ([]string, error) {

@@ -167,7 +167,7 @@ func splitFixture(t *testing.T, dir string) (base, stream string) {
 	return base, stream
 }
 
-// stripVarHeaders drops the load/ingest/save/recovery headers and the
+// stripVarHeaders drops the load/ingest/delete/save/recovery headers and the
 // scheduling-dependent memory-object counts; the ranked answers below must
 // match byte-for-byte.
 func stripVarHeaders(out string) string {
@@ -175,7 +175,7 @@ func stripVarHeaders(out string) string {
 	for _, l := range strings.Split(out, "\n") {
 		if strings.HasPrefix(l, "loaded ") || strings.HasPrefix(l, "ingested ") ||
 			strings.HasPrefix(l, "saved ") || strings.HasPrefix(l, "recovered ") ||
-			strings.HasPrefix(l, "bootstrapped ") {
+			strings.HasPrefix(l, "bootstrapped ") || strings.HasPrefix(l, "deleted ") {
 			continue
 		}
 		kept = append(kept, l)
@@ -210,6 +210,89 @@ func TestSaveReloadCLIMatches(t *testing.T) {
 	}))
 	if reloaded != want {
 		t.Fatalf("snapshot reload diverged.\n--- got ---\n%s\n--- want ---\n%s", reloaded, want)
+	}
+}
+
+// TestDeleteCLIRoundTrip pins retractions end to end: load the fixture, feed
+// a mutation stream carrying `-` retraction lines and a latest-wins re-score,
+// drop one more key with -delete, and require the ranked answers of a run
+// preloaded with only the surviving facts. Then save the mutated store and
+// reload the snapshot — retracted facts must stay gone across persistence.
+//
+// The survivors file is built by editing the fixture in place (re-scored line
+// stays at its original position, retracted lines removed) so both runs
+// intern every term in the same order; ranked-answer tie-breaks therefore
+// compare byte-for-byte.
+func TestDeleteCLIRoundTrip(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "music.triples.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, l := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(l) != "" {
+			lines = append(lines, l)
+		}
+	}
+	var survivors []string
+	for _, l := range lines {
+		f := strings.Split(l, "\t")
+		switch {
+		case f[0] == "prince" && f[1] == "rdf:type" && f[2] == "guitarist":
+			continue // retracted by the stream
+		case f[0] == "miley" && f[1] == "collab" && f[2] == "shakira":
+			continue // retracted by -delete
+		case f[0] == "beyonce" && f[1] == "rdf:type" && f[2] == "singer":
+			survivors = append(survivors, "beyonce\trdf:type\tsinger\t70") // re-scored in place
+		default:
+			survivors = append(survivors, l)
+		}
+	}
+	dir := t.TempDir()
+	survivorsPath := filepath.Join(dir, "survivors.tsv")
+	if err := os.WriteFile(survivorsPath, []byte(strings.Join(survivors, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stream := filepath.Join(dir, "mutations.tsv")
+	mutations := "-\tprince\trdf:type\tguitarist\n" +
+		"-\tbeyonce\trdf:type\tsinger\n" +
+		"beyonce\trdf:type\tsinger\t70\n"
+	if err := os.WriteFile(stream, []byte(mutations), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	common := []string{
+		"-rules", filepath.Join("testdata", "music.rules.tsv"),
+		"-queries", filepath.Join("testdata", "music.queries.txt"),
+		"-compare", "-k", "3", "-timings=false",
+	}
+	want := stripVarHeaders(runCLI(t, append([]string{"-triples", survivorsPath}, common...)))
+	if full := stripVarHeaders(runCLI(t, append([]string{"-triples", filepath.Join("testdata", "music.triples.tsv")}, common...))); full == want {
+		t.Fatal("fixture and survivors runs agree — the retracted keys are invisible to the queries, test proves nothing")
+	}
+	snap := filepath.Join(dir, "mutated.bin")
+	mutArgs := func(extra ...string) []string {
+		args := append([]string{
+			"-triples", filepath.Join("testdata", "music.triples.tsv"),
+			"-ingest", stream, "-delete", "miley collab shakira",
+		}, extra...)
+		return append(args, common...)
+	}
+	for _, extra := range [][]string{
+		{},
+		{"-compact"},
+		{"-shards", "3"},
+		{"-shards", "3", "-compact"},
+		{"-head", "2", "-l1", "4"},
+		{"-save", snap},
+	} {
+		got := stripVarHeaders(runCLI(t, mutArgs(extra...)))
+		if got != want {
+			t.Fatalf("%v diverged from survivors-only run.\n--- got ---\n%s\n--- want ---\n%s", extra, got, want)
+		}
+	}
+	reloaded := stripVarHeaders(runCLI(t, append([]string{"-triples", snap}, common...)))
+	if reloaded != want {
+		t.Fatalf("snapshot of mutated store resurrected retracted facts.\n--- got ---\n%s\n--- want ---\n%s", reloaded, want)
 	}
 }
 

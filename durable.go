@@ -13,24 +13,32 @@ import (
 )
 
 // This file is the durability layer: it threads the internal/wal subsystem
-// through the engine so that every acknowledged Insert survives a crash.
+// through the engine so that every acknowledged mutation — Insert, Delete or
+// Update — survives a crash.
 //
-// The protocol is write-ahead with one serialisation point: an insert (1)
-// validates, (2) under the durable mutex reserves its log position AND
-// applies to the store — so log order and global insertion order are the
-// same order — and (3) outside the mutex waits for the group-commit pipeline
-// to make the record durable per the SyncPolicy. Because every sequence
-// number corresponds to exactly one store triple, a snapshot covering the
-// first n triples covers exactly log positions 1..n-base, which is how
+// The protocol is write-ahead with one serialisation point: a mutation (1)
+// validates, (2) under the durable mutex reserves its log position(s) AND
+// applies to the store — so log order and global mutation order are the same
+// order — and (3) outside the mutex waits for the group-commit pipeline to
+// make the record durable per the SyncPolicy. An insert logs one KindInsert
+// record; a delete logs one KindTombstone; an update logs a tombstone
+// followed by an insert (two sequence numbers, matching the store's
+// two-operation accounting). Because every sequence number corresponds to
+// exactly one store operation (LiveGraph.Ops — NOT one triple: a tombstone
+// consumes a sequence number without adding a triple), a snapshot pinned at
+// operation count O covers exactly log positions 1..O-base, which is how
 // checkpoints pin their (snapshot, log offset) pair without quiescing
-// writers: WriteGraphBinary captures a consistent prefix and returns its
-// length, and the manifest commit plus segment truncation follow.
+// writers: WriteGraphSnapshot captures a consistent pinned view (survivors
+// only — a checkpoint never carries a retracted fact) and returns its
+// operation count, and the manifest commit plus segment truncation follow.
 //
 // Recovery (OpenDurable) loads the manifest's snapshot into a fresh store —
 // flat or sharded per Options.Shards — replays the log tail's records (term
-// strings, not IDs: re-encoding in log order reproduces the insertion order,
+// strings, not IDs: re-encoding in log order reproduces the mutation order,
 // and subject-hash routing re-derives shard placement under any shard
-// count), freezes once, and resumes with the next sequence number.
+// count), and resumes with the next sequence number. A pure-insert tail
+// replays with pre-freeze Adds; the first tombstone freezes the store and
+// replays the rest live.
 
 // SyncPolicy re-exports the WAL fsync discipline.
 type SyncPolicy = wal.SyncPolicy
@@ -67,9 +75,11 @@ type walState struct {
 	mu  sync.Mutex
 	fs  wal.FS
 	log *wal.Log
-	// base is the number of store triples predating the WAL (the bootstrap
-	// store); triple count minus base is the log sequence number of the
-	// store's last insert.
+	// base aligns the store's operation count with the log: operation count
+	// minus base is the log sequence number of the store's last applied
+	// mutation. It may be negative — a recovered snapshot holds only
+	// surviving triples, so its operation count can trail the sequence
+	// numbers its deletes consumed.
 	base            int
 	checkpointBytes int64
 	// cpMu serialises checkpoints; cpBusy gates the auto-trigger to one
@@ -161,7 +171,7 @@ func openDurableFS(fsys wal.FS, base *Store, rules *RuleSet, opts Options) (*Eng
 			return nil, err
 		}
 		eng = NewEngineOver(g, rules, engOpts)
-		w.base = g.Len() - int(rec.LastSeq)
+		w.base = int(g.Ops()) - int(rec.LastSeq)
 		eng.wal = w
 		// Re-root the directory at a fresh checkpoint before accepting any
 		// append. The replayed tail may have been read from bytes no one
@@ -182,11 +192,12 @@ func openDurableFS(fsys wal.FS, base *Store, rules *RuleSet, opts Options) (*Eng
 		base = NewStore()
 	}
 	eng = NewEngineWith(base, rules, engOpts)
-	if _, ok := eng.graph.(kg.LiveGraph); !ok {
+	lg, ok := eng.graph.(kg.LiveGraph)
+	if !ok {
 		log.Close()
 		return nil, fmt.Errorf("specqp: %T does not support live inserts", eng.graph)
 	}
-	w.base = eng.graph.Len()
+	w.base = int(lg.Ops())
 	eng.wal = w
 	// The opening checkpoint makes the directory self-contained: recovery
 	// never needs the bootstrap source again. Until the manifest lands the
@@ -200,8 +211,14 @@ func openDurableFS(fsys wal.FS, base *Store, rules *RuleSet, opts Options) (*Eng
 
 // loadDurableState rebuilds the store a recovery describes: the manifest's
 // snapshot loaded into the layout Options.Shards selects, then the log tail
-// replayed with plain Adds (the store is frozen once, afterwards).
-func loadDurableState(fsys wal.FS, rec *wal.Recovery, opts Options) (kg.Graph, error) {
+// replayed in sequence order. The pure-insert prefix of the tail replays
+// with plain pre-freeze Adds; the first tombstone freezes the store (deletes
+// are live operations) and the rest replays through Insert/Delete, which
+// keeps the operation count in lockstep with the sequence numbers under any
+// interleaving. Record terms are interned unconditionally — dictionary IDs
+// may diverge from the original process's, but term-level content (what
+// recovery promises) is reproduced exactly.
+func loadDurableState(fsys wal.FS, rec *wal.Recovery, opts Options) (kg.LiveGraph, error) {
 	rd, err := fsys.Open(rec.Manifest.Snapshot)
 	if err != nil {
 		return nil, fmt.Errorf("specqp: manifest names snapshot %s: %w", rec.Manifest.Snapshot, err)
@@ -212,11 +229,12 @@ func loadDurableState(fsys wal.FS, rec *wal.Recovery, opts Options) (kg.Graph, e
 	if shards < 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
-	// stage is the pre-freeze loading surface both layouts share.
+	// stage is the loading surface both layouts share.
 	type stage interface {
 		kg.LiveGraph
 		Add(kg.Triple) error
 		AddSPO(s, p, o string, score float64) error
+		InsertSPO(s, p, o string, score float64) error
 		Freeze()
 	}
 	var g stage
@@ -228,20 +246,39 @@ func loadDurableState(fsys wal.FS, rec *wal.Recovery, opts Options) (kg.Graph, e
 	if err := kg.ReadBinaryInto(rd, g.Dict(), g.Add); err != nil {
 		return nil, fmt.Errorf("specqp: loading snapshot %s: %w", rec.Manifest.Snapshot, err)
 	}
-	if g.Len() < int(rec.Manifest.SnapshotSeq) {
-		return nil, fmt.Errorf("specqp: snapshot %s holds %d triples but claims to cover log position %d",
-			rec.Manifest.Snapshot, g.Len(), rec.Manifest.SnapshotSeq)
-	}
-	for _, r := range rec.Records {
+	i := 0
+	for ; i < len(rec.Records); i++ {
+		r := rec.Records[i]
 		if r.Kind != wal.KindInsert {
-			return nil, fmt.Errorf("specqp: unsupported WAL record kind %d at seq %d", r.Kind, r.Seq)
+			break
 		}
 		if err := g.AddSPO(r.S, r.P, r.O, r.Score); err != nil {
 			return nil, fmt.Errorf("specqp: replaying WAL record %d: %w", r.Seq, err)
 		}
 	}
-	// NewEngineOver freezes; returning unfrozen lets it pick the parallel
-	// freeze path.
+	if i < len(rec.Records) {
+		g.Freeze()
+		d := g.Dict()
+		for _, r := range rec.Records[i:] {
+			switch r.Kind {
+			case wal.KindInsert:
+				if err := g.InsertSPO(r.S, r.P, r.O, r.Score); err != nil {
+					return nil, fmt.Errorf("specqp: replaying WAL record %d: %w", r.Seq, err)
+				}
+			case wal.KindTombstone:
+				// Delete by encoded ID, not DeleteSPO: the short-circuit on
+				// unknown terms would skip the operation count this record's
+				// sequence number already consumed.
+				if _, err := g.Delete(d.Encode(r.S), d.Encode(r.P), d.Encode(r.O)); err != nil {
+					return nil, fmt.Errorf("specqp: replaying WAL record %d: %w", r.Seq, err)
+				}
+			default:
+				return nil, fmt.Errorf("specqp: unsupported WAL record kind %d at seq %d", r.Kind, r.Seq)
+			}
+		}
+	}
+	// With a pure-insert tail the store returns unfrozen and NewEngineOver
+	// picks the parallel freeze path.
 	return g, nil
 }
 
@@ -276,6 +313,90 @@ func (w *walState) insert(lg kg.LiveGraph, t Triple) error {
 		// The merge the insert triggered runs on this goroutine like the
 		// non-durable path, but outside the ordering mutex: other durable
 		// inserts proceed while the posting arenas rebuild.
+		compact()
+	}
+	if werr != nil {
+		return werr
+	}
+	w.maybeCheckpoint(lg)
+	return nil
+}
+
+// delete is the durable Delete path: one tombstone record reserved and the
+// retraction applied under the ordering mutex, the durability wait outside
+// it. A delete of a key with no live copies still logs (and consumes a
+// sequence number) — the store counts it as an operation either way, which
+// keeps the ops↔seq lockstep unconditional.
+func (w *walState) delete(lg kg.LiveGraph, s, p, o kg.ID) (int, error) {
+	d := lg.Dict()
+	n := kg.ID(d.Len())
+	if s >= n || p >= n || o >= n {
+		return 0, fmt.Errorf("specqp: delete references unknown term ID (dictionary holds %d terms)", n)
+	}
+	rec := wal.Record{Kind: wal.KindTombstone, S: d.Decode(s), P: d.Decode(p), O: d.Decode(o)}
+
+	w.mu.Lock()
+	wait, err := w.log.AppendAsync(rec)
+	if err != nil {
+		w.mu.Unlock()
+		return 0, err
+	}
+	removed, aerr := lg.Delete(s, p, o)
+	w.mu.Unlock()
+	if aerr != nil {
+		// Unreachable on a frozen engine graph; a logged tombstone with no
+		// applied retraction is a broken durability invariant worth crashing
+		// over.
+		panic(fmt.Sprintf("specqp: delete rejected by store after logging: %v", aerr))
+	}
+	if werr := wait(); werr != nil {
+		return removed, werr
+	}
+	w.maybeCheckpoint(lg)
+	return removed, nil
+}
+
+// update is the durable Update path: a tombstone and an insert record
+// reserved back-to-back (two sequence numbers, matching the store's
+// two-operation accounting) and the latest-wins re-score applied once, all
+// under the ordering mutex. A crash between the two records recovers as a
+// bare delete — the un-acked update's retraction half — which is exactly the
+// acked-prefix contract: the caller was never told the update happened.
+func (w *walState) update(lg kg.LiveGraph, t Triple) error {
+	if err := kg.ValidateScore(t.Score); err != nil {
+		return err
+	}
+	d := lg.Dict()
+	n := kg.ID(d.Len())
+	if t.S >= n || t.P >= n || t.O >= n {
+		return fmt.Errorf("specqp: update references unknown term ID (dictionary holds %d terms)", n)
+	}
+	s, p, o := d.Decode(t.S), d.Decode(t.P), d.Decode(t.O)
+
+	w.mu.Lock()
+	wait1, err := w.log.AppendAsync(wal.Record{Kind: wal.KindTombstone, S: s, P: p, O: o})
+	if err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	wait2, err := w.log.AppendAsync(wal.Record{Kind: wal.KindInsert, S: s, P: p, O: o, Score: t.Score})
+	if err != nil {
+		// The tombstone is reserved but the insert is not: the log is wedged
+		// (sticky error), no further append can interleave, and the update is
+		// not applied nor acked.
+		w.mu.Unlock()
+		return err
+	}
+	compact, aerr := lg.UpdateDeferred(t)
+	w.mu.Unlock()
+	if aerr != nil {
+		panic(fmt.Sprintf("specqp: validated update rejected by store after logging: %v", aerr))
+	}
+	werr := wait1()
+	if werr2 := wait2(); werr == nil {
+		werr = werr2
+	}
+	if compact != nil {
 		compact()
 	}
 	if werr != nil {
@@ -332,7 +453,7 @@ func (w *walState) checkpoint(g kg.Graph) error {
 	if err != nil {
 		return err
 	}
-	n, err := kg.WriteGraphBinary(f, g)
+	_, ops, err := kg.WriteGraphSnapshot(f, g)
 	if err != nil {
 		f.Close()
 		return err
@@ -344,7 +465,7 @@ func (w *walState) checkpoint(g kg.Graph) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	seq := uint64(n - w.base)
+	seq := uint64(int(ops) - w.base)
 	name := wal.SnapshotName(seq)
 	if err := w.fs.Rename(tmp, name); err != nil {
 		return err

@@ -526,6 +526,269 @@ func TestRecoveryRecheckpointsReplayedTail(t *testing.T) {
 	assertOracleEqual(t, "post-double-crash", final, flatOracle(t, dict, triples, len(triples), rules), queries)
 }
 
+// recOp is one WAL record in the mutation crash harness's model: the op log
+// at record granularity, so a crash landing between an update's tombstone
+// and its insert is just a prefix cut (the torn update recovers as a bare
+// delete — acceptable, the caller was never acked).
+type recOp struct {
+	del     bool
+	s, p, o string
+	score   float64
+}
+
+// survivorsOf replays a record prefix into the surviving fact sequence.
+func survivorsOf(records []recOp) []recOp {
+	var out []recOp
+	for _, r := range records {
+		if r.del {
+			kept := out[:0]
+			for _, t := range out {
+				if t.s == r.s && t.p == r.p && t.o == r.o {
+					continue
+				}
+				kept = append(kept, t)
+			}
+			out = kept
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// liveSequence extracts a graph's surviving triples in global insertion
+// order as term strings, by round-tripping the survivors-only snapshot
+// writer (which is itself part of the contract under test).
+func liveSequence(t *testing.T, g Graph) []recOp {
+	t.Helper()
+	var buf strings.Builder
+	if _, _, err := kg.WriteGraphSnapshot(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	d := kg.NewDict()
+	var out []recOp
+	add := func(tr Triple) error {
+		out = append(out, recOp{s: d.Decode(tr.S), p: d.Decode(tr.P), o: d.Decode(tr.O), score: tr.Score})
+		return nil
+	}
+	if err := kg.ReadBinaryInto(strings.NewReader(buf.String()), d, add); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// sameRecOps reports whether two survivor sequences are identical.
+func sameRecOps(a, b []recOp) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDurableMutationCrashFaultInjection is the tombstone-bearing crash
+// harness: a randomized schedule of inserts, deletes, updates, compactions
+// and checkpoints runs under byte-budget fault injection; recovery must
+// yield exactly the survivors of some record-level prefix of the mutation
+// log — under SyncAlways a prefix covering every acked mutation — and a
+// deleted fact must never resurrect. Shard counts rotate across recovery,
+// and checkpoints in the schedule make some crashes land with a covering
+// snapshot (tombstones resolved, replay empty) and some without.
+func TestDurableMutationCrashFaultInjection(t *testing.T) {
+	trial := int64(0)
+	for _, policy := range []SyncPolicy{SyncAlways, SyncNone} {
+		for _, shards := range durableShardCounts {
+			for rep := 0; rep < 4; rep++ {
+				trial++
+				rng := rand.New(rand.NewSource(9100 + trial))
+				dict, triples, rules, queries := randomLiveFixture(t, 7700+trial)
+				base := len(triples) / 2
+				l1 := 0
+				if rep%2 == 0 {
+					l1 = 48 // alternate reps run the tiered compaction path
+				}
+				fs := wal.NewMemFS()
+				eng, err := openDurableFS(fs, buildBaseStore(t, dict, triples, base), rules, Options{
+					Shards:          shards,
+					SyncPolicy:      policy,
+					WALSegmentSize:  1 << 10,
+					CheckpointBytes: -1,
+					HeadLimit:       16,
+					L1Limit:         l1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The model starts at the bootstrap store's contents.
+				var records []recOp
+				for _, tr := range triples[:base] {
+					records = append(records, recOp{
+						s: dict.Decode(tr.S), p: dict.Decode(tr.P), o: dict.Decode(tr.O), score: tr.Score})
+				}
+				fs.SetBudget(int64(rng.Intn(8000)))
+				acked := len(records)
+
+				deletable := func() Triple {
+					if s := survivorsOf(records); len(s) > 0 && rng.Intn(4) != 0 {
+						pick := s[rng.Intn(len(s))]
+						return Triple{S: dict.Encode(pick.s), P: dict.Encode(pick.p), O: dict.Encode(pick.o)}
+					}
+					return triples[rng.Intn(len(triples))]
+				}
+				// The bootstrap dict IS the fixture dict, and recovery snapshots
+				// persist the full dictionary in ID order, so IDs stay stable
+				// across every crash/recover cycle below.
+				pos := base
+				for pos < len(triples) {
+					var err error
+					switch op := rng.Intn(16); {
+					case op == 0:
+						_ = eng.Checkpoint()
+					case op == 1:
+						_ = eng.Compact()
+					case op < 5: // delete
+						tr := deletable()
+						records = append(records, recOp{
+							del: true, s: dict.Decode(tr.S), p: dict.Decode(tr.P), o: dict.Decode(tr.O)})
+						_, err = eng.Delete(tr.S, tr.P, tr.O)
+					case op < 8: // latest-wins update
+						tr := deletable()
+						tr.Score = float64(1 + rng.Intn(25))
+						records = append(records,
+							recOp{del: true, s: dict.Decode(tr.S), p: dict.Decode(tr.P), o: dict.Decode(tr.O)},
+							recOp{s: dict.Decode(tr.S), p: dict.Decode(tr.P), o: dict.Decode(tr.O), score: tr.Score})
+						err = eng.Update(tr)
+					default:
+						tr := triples[pos]
+						records = append(records, recOp{
+							s: dict.Decode(tr.S), p: dict.Decode(tr.P), o: dict.Decode(tr.O), score: tr.Score})
+						err = eng.Insert(tr)
+						pos++
+					}
+					if err != nil {
+						break // wedged log: nothing past this point is acked
+					}
+					acked = len(records)
+				}
+
+				crashed := fs.Crash(func(_ string, pending int) int { return rng.Intn(pending + 1) })
+				reShards := durableShardCounts[rng.Intn(len(durableShardCounts))]
+				reng, err := openDurableFS(crashed, nil, rules, Options{Shards: reShards})
+				if err != nil {
+					t.Fatalf("trial %d (policy=%v shards=%d→%d): recovery failed: %v",
+						trial, policy, shards, reShards, err)
+				}
+				label := fmt.Sprintf("trial %d policy=%v shards=%d→%d", trial, policy, shards, reShards)
+				got := liveSequence(t, reng.Graph())
+				lo := 0
+				if policy == SyncAlways {
+					lo = acked
+				}
+				matched := -1
+				for l := lo; l <= len(records); l++ {
+					if sameRecOps(got, survivorsOf(records[:l])) {
+						matched = l
+						break
+					}
+				}
+				if matched < 0 {
+					t.Fatalf("%s: recovered state matches no record prefix in [%d,%d] (got %d survivors, acked-prefix has %d)",
+						label, lo, len(records), len(got), len(survivorsOf(records[:acked])))
+				}
+				// Answer-level oracle over the matched prefix's survivors,
+				// built over the fixture dict (ID-stable, see above).
+				flat := kg.NewStore(dict)
+				for _, r := range survivorsOf(records[:matched]) {
+					if err := flat.AddSPO(r.s, r.p, r.o, r.score); err != nil {
+						t.Fatal(err)
+					}
+				}
+				flat.Freeze()
+				oracle := NewEngineWith(flat, rules, Options{Shards: 1})
+				assertOracleEqual(t, label, reng, oracle, queries)
+				reng.Close()
+			}
+		}
+	}
+}
+
+// TestDurableMutationCloseReopen is the clean-shutdown face of full
+// mutability: mutate through the WAL — deletes and updates included — close,
+// recover at a different shard count, and get exactly the surviving facts
+// back, whether or not a checkpoint covered the tombstones.
+func TestDurableMutationCloseReopen(t *testing.T) {
+	for _, checkpointed := range []bool{false, true} {
+		dict, triples, rules, queries := randomLiveFixture(t, 3300)
+		base := len(triples) * 3 / 5
+		fs := wal.NewMemFS()
+		eng, err := openDurableFS(fs, buildBaseStore(t, dict, triples, base), rules,
+			Options{Shards: 2, SyncPolicy: SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var records []recOp
+		for _, tr := range triples[:base] {
+			records = append(records, recOp{
+				s: dict.Decode(tr.S), p: dict.Decode(tr.P), o: dict.Decode(tr.O), score: tr.Score})
+		}
+		rng := rand.New(rand.NewSource(31337))
+		for _, tr := range triples[base:] {
+			s, p, o := dict.Decode(tr.S), dict.Decode(tr.P), dict.Decode(tr.O)
+			switch rng.Intn(4) {
+			case 0:
+				if _, err := eng.Delete(tr.S, tr.P, tr.O); err != nil {
+					t.Fatal(err)
+				}
+				records = append(records, recOp{del: true, s: s, p: p, o: o})
+			case 1:
+				up := 1 + float64(rng.Intn(30))
+				if err := eng.Update(Triple{S: tr.S, P: tr.P, O: tr.O, Score: up}); err != nil {
+					t.Fatal(err)
+				}
+				records = append(records, recOp{del: true, s: s, p: p, o: o},
+					recOp{s: s, p: p, o: o, score: up})
+			default:
+				if err := eng.Insert(tr); err != nil {
+					t.Fatal(err)
+				}
+				records = append(records, recOp{s: s, p: p, o: o, score: tr.Score})
+			}
+		}
+		if checkpointed {
+			if err := eng.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+		reng, err := openDurableFS(fs, nil, rules, Options{Shards: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := fmt.Sprintf("mutation close/reopen checkpointed=%v", checkpointed)
+		want := survivorsOf(records)
+		got := liveSequence(t, reng.Graph())
+		if !sameRecOps(got, want) {
+			t.Fatalf("%s: recovered %d survivors, want %d (or content diverged)", label, len(got), len(want))
+		}
+		flat := kg.NewStore(dict)
+		for _, r := range want {
+			if err := flat.AddSPO(r.s, r.p, r.o, r.score); err != nil {
+				t.Fatal(err)
+			}
+		}
+		flat.Freeze()
+		oracle := NewEngineWith(flat, rules, Options{Shards: 1})
+		assertOracleEqual(t, label, reng, oracle, queries)
+		reng.Close()
+	}
+}
+
 // TestCheckpointRefusedAfterCloseAndWedge pins the two checkpoint guards: a
 // closed engine (the directory lock is released — another process may own
 // it) and a wedged log (the in-memory store can be ahead of acked state)

@@ -214,14 +214,24 @@ func (st *Store) forCandidates(sub Pattern, f func(t Triple)) {
 }
 
 // forCandidates is the snapshot-level candidate enumeration behind both the
-// live store's matcher and the pinned views.
+// live store's matcher and the pinned views. Pending-tombstone victims are
+// masked out — a retracted fact must not contribute derivations — while the
+// head needs no mask (deletes remove its entries physically).
 func (s *storeState) forCandidates(sub Pattern, f func(t Triple)) {
-	cand, ok := s.post.candidates(sub)
-	if !ok {
-		cand = s.post.matchList(sub)
+	emit := func(po *postings) {
+		cand, ok := po.candidates(sub)
+		if !ok {
+			cand = po.matchList(sub)
+		}
+		for _, ti := range cand {
+			if !s.killed(ti) {
+				f(s.triples[ti])
+			}
+		}
 	}
-	for _, ti := range cand {
-		f(s.triples[ti])
+	emit(s.post)
+	if s.l1 != nil {
+		emit(s.l1)
 	}
 	for _, hi := range s.headSorted {
 		f(s.triples[hi])

@@ -83,10 +83,11 @@ type ShardedGraph interface {
 	GlobalIndexes(i int) []int32
 }
 
-// LiveGraph is the mutable extension of Graph: stores that accept inserts
-// after Freeze through a per-segment mutable head, merged into the frozen
-// arenas on demand. Implemented by *Store (one head) and *ShardedStore (one
-// head per segment, compacted independently).
+// LiveGraph is the mutable extension of Graph: stores that accept inserts,
+// deletes and updates after Freeze through a per-segment mutable head
+// (retractions as per-key tombstones), merged into the frozen arenas on
+// demand. Implemented by *Store (one head) and *ShardedStore (one head per
+// segment, compacted independently).
 type LiveGraph interface {
 	Graph
 	// Insert appends a triple live; it is immediately visible to readers.
@@ -95,14 +96,38 @@ type LiveGraph interface {
 	// handed back to the caller instead of run inline (nil when none is
 	// due). The durability layer's write-ordering mutex relies on it.
 	InsertDeferred(t Triple) (compact func(), err error)
-	// Compact merges every pending head into its frozen segment. Readers are
-	// never blocked and answers are identical before and after.
+	// Delete retracts every live copy of the (s,p,o) key and returns how
+	// many were removed; the retraction is immediately visible to readers.
+	Delete(s, p, o ID) (int, error)
+	// Update re-scores the (s,p,o) key latest-wins: all live copies are
+	// retracted and one copy with t.Score inserted, atomically. Updating an
+	// absent key inserts it.
+	Update(t Triple) error
+	// UpdateDeferred is Update with any triggered automatic compaction
+	// handed back (see InsertDeferred).
+	UpdateDeferred(t Triple) (compact func(), err error)
+	// Compact merges every pending head (and L1 tier) into its frozen
+	// segment, annihilating covered tombstones. Readers are never blocked
+	// and answers are identical before and after.
 	Compact()
 	// SetHeadLimit sets the per-segment head size at which Insert compacts
 	// automatically (0 = DefaultHeadLimit, negative = manual only).
 	SetHeadLimit(n int)
+	// SetL1Limit configures per-segment tiered compaction (positive n) or
+	// restores single-level merges (0, the default).
+	SetL1Limit(n int)
 	// HeadLen reports the total number of un-compacted head triples.
 	HeadLen() int
+	// LiveLen reports the number of live (non-retracted) triples; Len keeps
+	// counting retracted slots for index stability.
+	LiveLen() int
+	// Tombstones reports the number of pending (not yet compacted-away)
+	// retraction keys; a full Compact drives it to zero.
+	Tombstones() int
+	// Ops reports applied mutation operations: the triple count at Freeze
+	// plus one per Insert/Delete and two per Update. The durability layer's
+	// store-side mirror of the WAL sequence.
+	Ops() uint64
 	// Compactions reports how many head merges have been performed.
 	Compactions() uint64
 }

@@ -9,53 +9,45 @@ import (
 // This file implements snapshot pinning: Graph.Pin captures an immutable
 // read view of a live store so that an entire operator tree — or one
 // Evaluate/Count call — reads exactly one content version even while
-// concurrent Inserts land. Before pinning, each operator (and each recursion
-// step of the exact evaluator) loaded its own snapshot, so a query racing an
-// ingest could combine match lists from different versions: every list was
-// internally consistent, but the joined answer corresponded to no single
-// store state. A pinned view gives full snapshot isolation — mid-mutation
-// answers are bit-identical to a quiescent store holding exactly the pinned
-// insert prefix.
+// concurrent mutations land. Before pinning, each operator (and each
+// recursion step of the exact evaluator) loaded its own snapshot, so a query
+// racing an ingest could combine match lists from different versions: every
+// list was internally consistent, but the joined answer corresponded to no
+// single store state. A pinned view gives full snapshot isolation —
+// mid-mutation answers are bit-identical to a quiescent store holding
+// exactly the pinned mutation prefix. In particular a view pinned before a
+// Delete keeps answering with the retracted fact, and one pinned after
+// never sees it.
 //
 // For the flat store a pin is one atomic storeState load. For the sharded
-// store the directory snapshot is captured first and the per-shard states
-// after it: shard states are always at least as new as the directory (Insert
-// updates the shard before the directory), so every directory entry
-// resolves, and shard-local triples beyond the directory's coverage — later
-// inserts, or a concurrent compaction that already absorbed them — are
-// clamped out. The pinned triple set is therefore exactly the global
-// insertion-order prefix the directory snapshot describes.
+// store it is one atomic directory load: the directory snapshot embeds the
+// per-shard storeStates captured under the mutator lock at publish time, so
+// shard views are exactly in lockstep with the directory — no visibility
+// clamping is needed, and a mutation between two loads can never leak into
+// a pin.
 
-// pinnedStore is an immutable view of one segment: a captured storeState
-// plus a visibility limit. Local indexes at or beyond limit belong to
-// inserts after the pin (or to a directory not yet covering them) and are
-// invisible. A flat-store pin always has limit == len(s.triples), keeping
-// every read a straight delegation to the captured snapshot.
+// pinnedStore is an immutable view of one segment: a captured storeState.
+// Every read delegates straight to the snapshot.
 type pinnedStore struct {
-	dict  *Dict
-	s     *storeState
-	limit int32
+	dict *Dict
+	s    *storeState
 	// version is the owning store's content version at pin time (see
 	// Graph.Version); constant for the pin's lifetime.
 	version uint64
-	// dup records HasDuplicates at pin time. It may over-approximate for a
-	// clamped shard view (a duplicate beyond the limit still counts), which
-	// only costs operators an unnecessary dedup map — never correctness.
+	// dup records HasDuplicates at pin time (it may over-approximate after
+	// deletes, which only costs operators an unnecessary dedup map — never
+	// correctness).
 	dup bool
 }
 
 var _ matcher = (*pinnedStore)(nil)
 
-// unclamped reports whether the captured snapshot holds no triples beyond
-// the visibility limit, making every delegation exact.
-func (ps *pinnedStore) unclamped() bool { return int(ps.limit) >= len(ps.s.triples) }
-
 // Dict implements Graph.
 func (ps *pinnedStore) Dict() *Dict { return ps.dict }
 
-// Len implements Graph: the pinned triple count, constant for the pin's
-// lifetime.
-func (ps *pinnedStore) Len() int { return int(ps.limit) }
+// Len implements Graph: the pinned physical triple count (retracted slots
+// included, mirroring Store.Len), constant for the pin's lifetime.
+func (ps *pinnedStore) Len() int { return len(ps.s.triples) }
 
 // Frozen implements Graph; a pin exists only after Freeze.
 func (ps *pinnedStore) Frozen() bool { return true }
@@ -69,110 +61,29 @@ func (ps *pinnedStore) Pin() Graph { return ps }
 // Triple implements Graph.
 func (ps *pinnedStore) Triple(i int32) Triple { return ps.s.triples[i] }
 
-// HasDuplicates implements Graph (see the dup field for the clamped-view
-// over-approximation).
+// HasDuplicates implements Graph.
 func (ps *pinnedStore) HasDuplicates() bool { return ps.dup }
 
-// MatchList implements Graph. The unclamped path returns the snapshot's own
-// (cached) list; a clamped view copies only when an invisible index actually
-// appears in it.
-func (ps *pinnedStore) MatchList(p Pattern) []int32 {
-	l := ps.s.matchList(p)
-	if ps.unclamped() {
-		return l
-	}
-	trim := -1
-	for i, ti := range l {
-		if ti >= ps.limit {
-			trim = i
-			break
-		}
-	}
-	if trim < 0 {
-		return l
-	}
-	out := make([]int32, 0, len(l)-1)
-	out = append(out, l[:trim]...)
-	for _, ti := range l[trim+1:] {
-		if ti < ps.limit {
-			out = append(out, ti)
-		}
-	}
-	return out
-}
+// MatchList implements Graph: the snapshot's own (cached) list.
+func (ps *pinnedStore) MatchList(p Pattern) []int32 { return ps.s.matchList(p) }
 
-// Cardinality implements Graph, counting only visible triples.
-func (ps *pinnedStore) Cardinality(p Pattern) int {
-	if ps.unclamped() {
-		return ps.s.cardinality(p)
-	}
-	n := 0
-	for _, ti := range ps.s.post.matchList(p) {
-		if ti < ps.limit {
-			n++
-		}
-	}
-	for _, hi := range ps.s.headSorted {
-		if hi < ps.limit && p.Matches(ps.s.triples[hi]) {
-			n++
-		}
-	}
-	return n
-}
+// Cardinality implements Graph.
+func (ps *pinnedStore) Cardinality(p Pattern) int { return ps.s.cardinality(p) }
 
-// MaxScore implements Graph: the Definition 5 normalisation constant over
-// visible matches. Both sources are score-sorted, so the first visible match
-// of each bounds it.
-func (ps *pinnedStore) MaxScore(p Pattern) float64 {
-	if ps.unclamped() {
-		return ps.s.maxScore(p)
-	}
-	max := 0.0
-	for _, ti := range ps.s.post.matchList(p) {
-		if ti < ps.limit {
-			max = ps.s.triples[ti].Score
-			break
-		}
-	}
-	for _, hi := range ps.s.headSorted {
-		if hi < ps.limit && p.Matches(ps.s.triples[hi]) {
-			if sc := ps.s.triples[hi].Score; sc > max {
-				max = sc
-			}
-			break
-		}
-	}
-	return max
-}
+// MaxScore implements Graph: the Definition 5 normalisation constant.
+func (ps *pinnedStore) MaxScore(p Pattern) float64 { return ps.s.maxScore(p) }
 
 // NormalizedScores implements Graph.
 func (ps *pinnedStore) NormalizedScores(p Pattern) []float64 {
 	return normalizedScores(ps, p)
 }
 
-// forCandidates implements matcher over the visible prefix.
+// forCandidates implements matcher.
 func (ps *pinnedStore) forCandidates(sub Pattern, f func(t Triple)) {
-	if ps.unclamped() {
-		ps.s.forCandidates(sub, f)
-		return
-	}
-	cand, ok := ps.s.post.candidates(sub)
-	if !ok {
-		cand = ps.s.post.matchList(sub)
-	}
-	for _, ti := range cand {
-		if ti < ps.limit {
-			f(ps.s.triples[ti])
-		}
-	}
-	for _, hi := range ps.s.headSorted {
-		if hi < ps.limit {
-			f(ps.s.triples[hi])
-		}
-	}
+	ps.s.forCandidates(sub, f)
 }
 
-// Evaluate implements Graph over the pinned prefix.
+// Evaluate implements Graph over the pinned snapshot.
 func (ps *pinnedStore) Evaluate(q Query) []Answer {
 	return evaluateWeighted(ps, q, nil)
 }
@@ -194,15 +105,22 @@ func (ps *pinnedStore) PatternString(p Pattern) string { return patternString(ps
 // QueryString implements Graph.
 func (ps *pinnedStore) QueryString(q Query) string { return queryString(ps.dict, q) }
 
+// dupFor computes a snapshot's duplicate flag across all segments.
+func dupFor(s *storeState) bool {
+	if s.post.hasDuplicates || s.headDup || s.crossDup {
+		return true
+	}
+	return s.l1 != nil && s.l1.hasDuplicates
+}
+
 // pin captures the store's current snapshot as an immutable view.
 func (st *Store) pin() *pinnedStore {
 	s := st.state()
 	return &pinnedStore{
 		dict:    st.dict,
 		s:       s,
-		limit:   int32(len(s.triples)),
 		version: st.version.Load(),
-		dup:     s.post.hasDuplicates || s.headDup,
+		dup:     dupFor(s),
 	}
 }
 
@@ -210,8 +128,8 @@ func (st *Store) pin() *pinnedStore {
 func (st *Store) Pin() Graph { return st.pin() }
 
 // pinnedSharded is an immutable view of a sharded store: one directory
-// snapshot plus one clamped pinnedStore per shard, together describing
-// exactly the global insertion-order prefix the directory covers.
+// snapshot whose embedded per-shard states become the shard views, together
+// describing exactly the global mutation prefix the directory covers.
 type pinnedSharded struct {
 	ss      *ShardedStore
 	dir     *shardedDir
@@ -226,24 +144,22 @@ type pinnedSharded struct {
 var _ matcher = (*pinnedSharded)(nil)
 var _ ShardedGraph = (*pinnedSharded)(nil)
 
-// pin captures the current directory snapshot and per-shard states. Shard
-// states are loaded after the directory, so they cover every directory entry;
-// the per-shard limits clamp everything newer out.
+// pin captures the current directory snapshot; the embedded shard states
+// were captured with it under the mutator lock, so the whole view is one
+// consistent content version.
 func (ss *ShardedStore) pin() *pinnedSharded {
 	d := ss.dir.Load()
 	if d == nil {
 		panic("kg: Pin before Freeze")
 	}
 	v := ss.version.Load()
-	shards := make([]*pinnedStore, len(ss.shards))
-	for i, sh := range ss.shards {
-		s := sh.state()
+	shards := make([]*pinnedStore, len(d.states))
+	for i, s := range d.states {
 		shards[i] = &pinnedStore{
 			dict:    ss.dict,
 			s:       s,
-			limit:   int32(len(d.global[i])),
 			version: v,
-			dup:     s.post.hasDuplicates || s.headDup,
+			dup:     dupFor(s),
 		}
 	}
 	return &pinnedSharded{ss: ss, dir: d, shards: shards, version: v}
@@ -255,7 +171,7 @@ func (ss *ShardedStore) Pin() Graph { return ss.pin() }
 // Dict implements Graph.
 func (ps *pinnedSharded) Dict() *Dict { return ps.ss.dict }
 
-// Len implements Graph: the pinned global triple count.
+// Len implements Graph: the pinned global physical triple count.
 func (ps *pinnedSharded) Len() int { return len(ps.dir.locShard) }
 
 // Frozen implements Graph.
@@ -270,11 +186,11 @@ func (ps *pinnedSharded) Pin() Graph { return ps }
 // NumShards implements ShardedGraph.
 func (ps *pinnedSharded) NumShards() int { return len(ps.shards) }
 
-// ShardView implements ShardedGraph: shard i's clamped pinned view.
+// ShardView implements ShardedGraph: shard i's pinned view.
 func (ps *pinnedSharded) ShardView(i int) Graph { return ps.shards[i] }
 
-// GlobalIndexes implements ShardedGraph. The table's length equals the
-// shard view's visibility limit, so every visible local index maps.
+// GlobalIndexes implements ShardedGraph. The table covers exactly the shard
+// view's triples, so every visible local index maps.
 func (ps *pinnedSharded) GlobalIndexes(i int) []int32 { return ps.dir.global[i] }
 
 // Triple implements Graph: every pinned directory entry resolves in its
@@ -341,8 +257,8 @@ func (ps *pinnedSharded) MatchList(p Pattern) []int32 {
 	return c.get(p.Key(), func() []int32 { return ps.mergeMatches(p) })
 }
 
-// mergeMatches translates every shard's clamped match list to global indexes
-// and restores canonical global order.
+// mergeMatches translates every shard's match list to global indexes and
+// restores canonical global order.
 func (ps *pinnedSharded) mergeMatches(p Pattern) []int32 {
 	var out []int32
 	for si, sh := range ps.shards {

@@ -6,17 +6,11 @@ import (
 	"testing"
 )
 
-// pinFixture builds a live store with score ties and duplicate keys: nFrozen
-// triples frozen, the rest inserted live (head), so pins land on every
-// frozen/head mixture.
-func pinFixture(t *testing.T, seed int64, n, nFrozen int) (*Store, []Triple) {
-	t.Helper()
+// genPinTriples generates the deterministic fixture triple sequence: score
+// ties and duplicate keys over a small ID universe, so pins land on every
+// interesting match-list shape. A shorter n yields a prefix of a longer one.
+func genPinTriples(seed int64, n int) []Triple {
 	rng := rand.New(rand.NewSource(seed))
-	st := NewStore(nil)
-	d := st.Dict()
-	for i := 0; i < 12; i++ {
-		d.Encode(fmt.Sprintf("t%d", i))
-	}
 	triples := make([]Triple, n)
 	for i := range triples {
 		triples[i] = Triple{
@@ -26,6 +20,20 @@ func pinFixture(t *testing.T, seed int64, n, nFrozen int) (*Store, []Triple) {
 			Score: float64(1 + rng.Intn(9)),
 		}
 	}
+	return triples
+}
+
+// pinFixture builds a live store with score ties and duplicate keys: nFrozen
+// triples frozen, the rest inserted live (head), so pins land on every
+// frozen/head mixture.
+func pinFixture(t *testing.T, seed int64, n, nFrozen int) (*Store, []Triple) {
+	t.Helper()
+	st := NewStore(nil)
+	d := st.Dict()
+	for i := 0; i < 12; i++ {
+		d.Encode(fmt.Sprintf("t%d", i))
+	}
+	triples := genPinTriples(seed, n)
 	st.SetHeadLimit(-1)
 	for _, tr := range triples[:nFrozen] {
 		if err := st.Add(tr); err != nil {
@@ -61,21 +69,45 @@ func pinPatterns() []Pattern {
 	return ps
 }
 
-// TestPinnedStoreClampedViewsMatchPrefixStore is the pinned-view contract at
-// the storage level: a pinnedStore with an arbitrary visibility limit must
-// answer every read exactly like a store holding only the first limit
-// triples — whether the invisible tail lives in the head overlay or was
-// already compacted into the frozen arenas.
-func TestPinnedStoreClampedViewsMatchPrefixStore(t *testing.T) {
+// TestPinnedStoreViewsMatchPrefixStore is the pinned-view contract at the
+// storage level: a pin taken mid-ingest must answer every read exactly like
+// a store holding only the triples present at pin time — even after the
+// live store ingests more, retracts a key the pin can see, and compacts.
+func TestPinnedStoreViewsMatchPrefixStore(t *testing.T) {
 	const n, nFrozen = 120, 70
 	for _, compacted := range []bool{false, true} {
-		st, triples := pinFixture(t, 42, n, nFrozen)
-		if compacted {
-			st.Compact() // the invisible tail is now frozen, not head
-		}
-		for _, limit := range []int{nFrozen - 7, nFrozen, nFrozen + 9, n - 1, n} {
-			s := st.state()
-			ps := &pinnedStore{dict: st.Dict(), s: s, limit: int32(limit), dup: true}
+		for _, limit := range []int{nFrozen, nFrozen + 9, n - 1, n} {
+			triples := genPinTriples(42, n)
+			st := NewStore(nil)
+			for i := 0; i < 12; i++ {
+				st.Dict().Encode(fmt.Sprintf("t%d", i))
+			}
+			st.SetHeadLimit(-1)
+			for _, tr := range triples[:nFrozen] {
+				if err := st.Add(tr); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st.Freeze()
+			for _, tr := range triples[nFrozen:limit] {
+				if err := st.Insert(tr); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ps := st.pin()
+			// The live store moves on: the pin must keep answering from the
+			// prefix regardless.
+			for _, tr := range triples[limit:] {
+				if err := st.Insert(tr); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := st.Delete(triples[0].S, triples[0].P, triples[0].O); err != nil {
+				t.Fatal(err)
+			}
+			if compacted {
+				st.Compact() // the post-pin tail (and tombstone) is now frozen
+			}
 			ref := NewStore(st.Dict())
 			for _, tr := range triples[:limit] {
 				if err := ref.Add(tr); err != nil {

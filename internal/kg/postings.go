@@ -45,13 +45,29 @@ type span struct {
 }
 
 // postings is one frozen segment's complete index state over a fixed triple
-// prefix. It is immutable once built; Store swaps in a freshly built value at
-// Freeze and at every compaction.
+// range. It is immutable once built; Store swaps in a freshly built value at
+// Freeze and at every compaction. The main segment covers [0, len(triples));
+// an L1 tier covers [lo, len(triples)) on top of a main segment ending at lo.
+// Triples retracted by a tombstone before the build are skipped — the arena
+// never contains a retracted fact — and recorded in the dead bitmap so no
+// later rebuild over the same physical slots can resurrect them.
 type postings struct {
-	// triples is the frozen prefix the index covers. Triple indexes in every
-	// arena are positions in this slice; the slice is never mutated (live
-	// inserts append past its length into the snapshot's triples).
+	// triples is the frozen prefix the index covers (the range [lo,
+	// len(triples)) of it). Triple indexes in every arena are absolute
+	// positions in this slice; the slice is never mutated (live inserts
+	// append past its length into the snapshot's triples).
 	triples []Triple
+	// lo is the first triple index this segment covers: 0 for the main
+	// segment, the main segment's end for an L1 tier.
+	lo int32
+	// dead is the cumulative retraction bitmap over [0, len(triples)): bit i
+	// set means triples[i] was annihilated by a tombstone at some merge. The
+	// bitmap is inherited (copied) from the predecessor segment at every
+	// build and only ever gains bits — dead triples stay physically in the
+	// triples slice for index stability, so without the bitmap a rebuild
+	// could not tell a retracted fact from a live one once its tombstone has
+	// been resolved and dropped.
+	dead []uint64
 	// arenas is the shared posting storage: one region per family (slices of
 	// a single flat allocation), holding triple indexes addressed by the
 	// spans in the index maps.
@@ -86,6 +102,26 @@ func (po *postings) view(f int, s span) []int32 {
 	return a[s.off : s.off+s.n : s.off+s.n]
 }
 
+// isDead reports whether triple index i was annihilated by a tombstone at or
+// before this segment's build.
+func (po *postings) isDead(i int32) bool {
+	w := int(i >> 6)
+	if w >= len(po.dead) {
+		return false
+	}
+	return po.dead[w]&(1<<(uint32(i)&63)) != 0
+}
+
+// killedBy reports whether tombs retracts triples[i]: a tombstone's watermark
+// kills every copy of its (s,p,o) key inserted before it, and none after.
+func killedBy(tombs map[[3]ID]int32, t Triple, i int32) bool {
+	if len(tombs) == 0 {
+		return false
+	}
+	w, ok := tombs[[3]ID{t.S, t.P, t.O}]
+	return ok && i < w
+}
+
 // bump counts one occurrence of key k during the counting pass.
 func bump[K comparable](m map[K]span, k K) {
 	s := m[k]
@@ -111,24 +147,42 @@ func place[K comparable](m map[K]span, k K, arena []int32, ti int32) {
 	m[k] = s
 }
 
-// buildPostings populates and sorts every posting family over triples.
-// Called by Freeze and by every compaction, always on the mutator goroutine;
-// the result is published to readers through an atomic snapshot swap.
-func buildPostings(triples []Triple, computes *atomic.Int64) *postings {
-	n := len(triples)
+// buildPostings populates and sorts every posting family over the triple
+// range [lo, len(triples)). Called by Freeze and by every merge, always on a
+// mutator goroutine; the result is published to readers through an atomic
+// snapshot swap. prevDead is the predecessor segment's retraction bitmap
+// (nil at Freeze) and tombs the tombstone set to resolve: every triple in
+// range that is already dead, or that a tombstone's watermark retracts, is
+// skipped and marked dead — the built arenas hold surviving facts only.
+func buildPostings(triples []Triple, lo int32, prevDead []uint64, tombs map[[3]ID]int32, computes *atomic.Int64) *postings {
+	nAll := len(triples)
+	dead := make([]uint64, (nAll+63)/64)
+	copy(dead, prevDead)
 	po := &postings{
 		triples:          triples,
+		lo:               lo,
+		dead:             dead,
 		byS:              make(map[ID]span),
 		byP:              make(map[ID]span),
 		byO:              make(map[ID]span),
 		byPO:             make(map[[2]ID]span),
 		bySP:             make(map[[2]ID]span),
-		bySPO:            make(map[[3]ID]span, n),
+		bySPO:            make(map[[3]ID]span, nAll-int(lo)),
 		residual:         newListCache(),
 		residualComputes: computes,
 	}
 
-	for _, t := range triples {
+	live := 0
+	for i := int(lo); i < nAll; i++ {
+		if dead[i>>6]&(1<<(uint32(i)&63)) != 0 {
+			continue
+		}
+		t := triples[i]
+		if killedBy(tombs, t, int32(i)) {
+			dead[i>>6] |= 1 << (uint32(i) & 63)
+			continue
+		}
+		live++
 		bump(po.byS, t.S)
 		bump(po.byP, t.P)
 		bump(po.byO, t.O)
@@ -136,13 +190,13 @@ func buildPostings(triples []Triple, computes *atomic.Int64) *postings {
 		bump(po.bySP, [2]ID{t.S, t.P})
 		bump(po.bySPO, [3]ID{t.S, t.P, t.O})
 	}
-	// Fewer distinct (s,p,o) keys than triples means some key was added more
-	// than once; Count only needs binding dedup in that case.
-	po.hasDuplicates = len(po.bySPO) < n
+	// Fewer distinct (s,p,o) keys than surviving triples means some key
+	// appears more than once; Count only needs binding dedup in that case.
+	po.hasDuplicates = len(po.bySPO) < live
 
-	backing := make([]int32, famCount*n)
+	backing := make([]int32, famCount*live)
 	for f := 0; f < famCount; f++ {
-		po.arenas[f] = backing[f*n : (f+1)*n : (f+1)*n]
+		po.arenas[f] = backing[f*live : (f+1)*live : (f+1)*live]
 	}
 	assignOffsets(po.byS)
 	assignOffsets(po.byP)
@@ -151,7 +205,11 @@ func buildPostings(triples []Triple, computes *atomic.Int64) *postings {
 	assignOffsets(po.bySP)
 	assignOffsets(po.bySPO)
 
-	for i, t := range triples {
+	for i := int(lo); i < nAll; i++ {
+		if dead[i>>6]&(1<<(uint32(i)&63)) != 0 {
+			continue
+		}
+		t := triples[i]
 		ii := int32(i)
 		place(po.byS, t.S, po.arenas[famS], ii)
 		place(po.byP, t.P, po.arenas[famP], ii)
@@ -252,7 +310,10 @@ func (po *postings) computeMatches(p Pattern) []int32 {
 	var out []int32
 	cand, indexed := po.candidates(p)
 	if !indexed {
-		for i := range po.triples {
+		for i := int(po.lo); i < len(po.triples); i++ {
+			if po.isDead(int32(i)) {
+				continue
+			}
 			if p.Matches(po.triples[i]) {
 				out = append(out, int32(i))
 			}

@@ -51,10 +51,16 @@ type ShardedStore struct {
 	locIdx   []int32
 	global   [][]int32
 
+	// ops mirrors Store.ops across the whole sharded store: the global
+	// triple count at Freeze, +1 per Insert or Delete, +2 per Update.
+	// Mutator-side (guarded by mu); readers see the dir snapshot's copy.
+	ops uint64
+
 	// dir is the immutable directory snapshot readers use after Freeze;
-	// republished on every live insert.
+	// republished on every live mutation (and refreshed after shard
+	// compactions so pins capture the merged per-shard states).
 	dir atomic.Pointer[shardedDir]
-	// version counts live inserts (see Graph.Version).
+	// version counts live mutations (see Graph.Version).
 	version atomic.Uint64
 
 	// merged caches materialised global match lists for the generic
@@ -65,13 +71,20 @@ type ShardedStore struct {
 }
 
 // shardedDir is one immutable directory snapshot: the global→shard mapping
-// and its inverse at a single content version. Backing arrays are shared
-// with newer snapshots (appends only ever write beyond every published
-// snapshot's length).
+// and its inverse at a single content version, together with the per-shard
+// storeState snapshots captured at the same instant — so a pin is one
+// pointer load and every shard view is exactly in lockstep with the
+// directory (len(global[i]) == len(states[i].triples), always). Backing
+// arrays are shared with newer snapshots (appends only ever write beyond
+// every published snapshot's length).
 type shardedDir struct {
 	locShard []int32
 	locIdx   []int32
 	global   [][]int32
+	states   []*storeState
+	// ops is the sharded store's operation count at publish (see
+	// ShardedStore.ops).
+	ops uint64
 }
 
 // versionedLists pairs a merged-list cache with the content version it was
@@ -173,12 +186,34 @@ func (ss *ShardedStore) appendDir(si, li int) {
 // global slice is copied (its inner headers change length per insert); the
 // int32 backing arrays are shared, which is safe because appends only write
 // beyond every published length and the pointer store is an atomic release.
+// Per-shard states are captured in the same snapshot: mutations are
+// serialised by ss.mu and always update the shard before publishing, and
+// merges never change a shard's triple count, so every captured state covers
+// exactly its directory rows.
 func (ss *ShardedStore) publishDir() {
+	states := make([]*storeState, len(ss.shards))
+	for i, sh := range ss.shards {
+		states[i] = sh.state()
+	}
 	ss.dir.Store(&shardedDir{
 		locShard: ss.locShard,
 		locIdx:   ss.locIdx,
 		global:   append([][]int32(nil), ss.global...),
+		states:   states,
+		ops:      ss.ops,
 	})
+}
+
+// refreshDir republishes a content-identical directory snapshot so it
+// captures the shards' latest post-merge states; without it a pin taken
+// after a shard compaction would keep serving the shard's slower (and
+// memory-pinning) pre-merge snapshot.
+func (ss *ShardedStore) refreshDir() {
+	ss.mu.Lock()
+	if ss.frozen {
+		ss.publishDir()
+	}
+	ss.mu.Unlock()
 }
 
 // Add routes a scored triple to its subject's shard (before Freeze).
@@ -241,13 +276,100 @@ func (ss *ShardedStore) InsertDeferred(t Triple) (compact func(), err error) {
 		return nil, err
 	}
 	ss.appendDir(si, sh.Len()-1)
+	ss.ops++
 	ss.publishDir()
 	ss.version.Add(1)
 	ss.mu.Unlock()
 	if need {
-		return sh.compactIfNeeded, nil
+		return func() { sh.compactIfNeeded(); ss.refreshDir() }, nil
 	}
 	return nil, nil
+}
+
+// Delete retracts every live copy of the (s,p,o) key from its subject's
+// shard (all copies of one key share a shard) and returns how many were
+// removed. The retraction — tombstone, version bump and directory snapshot —
+// publishes atomically with respect to pins: a view pinned before Delete
+// returns sees every copy, one pinned after sees none. Returns ErrNotLive
+// before Freeze.
+func (ss *ShardedStore) Delete(s, p, o ID) (int, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if !ss.frozen {
+		return 0, ErrNotLive
+	}
+	removed, err := ss.shards[ss.shardFor(s)].Delete(s, p, o)
+	if err != nil {
+		return 0, err
+	}
+	ss.ops++
+	ss.publishDir()
+	ss.version.Add(1)
+	return removed, nil
+}
+
+// DeleteSPO retracts every live copy of the key named by the three terms;
+// unknown terms return (0, nil) without interning.
+func (ss *ShardedStore) DeleteSPO(s, p, o string) (int, error) {
+	sid, ok := ss.dict.Lookup(s)
+	if !ok {
+		return 0, nil
+	}
+	pid, ok := ss.dict.Lookup(p)
+	if !ok {
+		return 0, nil
+	}
+	oid, ok := ss.dict.Lookup(o)
+	if !ok {
+		return 0, nil
+	}
+	return ss.Delete(sid, pid, oid)
+}
+
+// Update re-scores the (s,p,o) key latest-wins in its subject's shard (see
+// Store.Update for the atomicity contract).
+func (ss *ShardedStore) Update(t Triple) error {
+	compact, err := ss.UpdateDeferred(t)
+	if compact != nil {
+		compact()
+	}
+	return err
+}
+
+// UpdateDeferred is Update with any triggered automatic compaction split out
+// (see Store.InsertDeferred).
+func (ss *ShardedStore) UpdateDeferred(t Triple) (compact func(), err error) {
+	ss.mu.Lock()
+	if !ss.frozen {
+		ss.mu.Unlock()
+		return nil, ErrNotLive
+	}
+	si := ss.shardFor(t.S)
+	sh := ss.shards[si]
+	need, err := sh.update(t)
+	if err != nil {
+		ss.mu.Unlock()
+		return nil, err
+	}
+	ss.appendDir(si, sh.Len()-1)
+	ss.ops += 2
+	ss.publishDir()
+	ss.version.Add(1)
+	ss.mu.Unlock()
+	if need {
+		return func() { sh.compactIfNeeded(); ss.refreshDir() }, nil
+	}
+	return nil, nil
+}
+
+// UpdateSPO encodes the three terms and applies a latest-wins re-score.
+func (ss *ShardedStore) UpdateSPO(s, p, o string, score float64) error {
+	return ss.Update(Triple{
+		S:     ss.dict.Encode(s),
+		P:     ss.dict.Encode(p),
+		O:     ss.dict.Encode(o),
+		Score: score,
+	})
 }
 
 // InsertSPO encodes the three terms and inserts the triple live.
@@ -277,13 +399,14 @@ func (ss *ShardedStore) Freeze() {
 		}(sh)
 	}
 	wg.Wait()
+	ss.ops = uint64(len(ss.locShard))
 	ss.publishDir()
 	ss.frozen = true
 }
 
-// Compact merges every shard's pending head into its frozen arena, in
-// parallel across shards. Readers are never blocked; answers are identical
-// before and after.
+// Compact merges every shard's pending head (and L1 tier) into its frozen
+// arena, in parallel across shards, then refreshes the directory snapshot.
+// Readers are never blocked; answers are identical before and after.
 func (ss *ShardedStore) Compact() {
 	var wg sync.WaitGroup
 	for _, sh := range ss.shards {
@@ -294,18 +417,30 @@ func (ss *ShardedStore) Compact() {
 		}(sh)
 	}
 	wg.Wait()
+	ss.refreshDir()
 }
 
 // CompactShard merges shard i's head only. Other shards' snapshots are left
 // physically untouched, so the merge cost is proportional to one segment and
 // queries on other shards proceed completely undisturbed.
-func (ss *ShardedStore) CompactShard(i int) { ss.shards[i].Compact() }
+func (ss *ShardedStore) CompactShard(i int) {
+	ss.shards[i].Compact()
+	ss.refreshDir()
+}
 
 // SetHeadLimit sets every shard's automatic-compaction threshold (the limit
 // applies per segment, not to the aggregate head size).
 func (ss *ShardedStore) SetHeadLimit(n int) {
 	for _, sh := range ss.shards {
 		sh.SetHeadLimit(n)
+	}
+}
+
+// SetL1Limit configures every shard's tiered compaction (the threshold
+// applies per segment; see Store.SetL1Limit).
+func (ss *ShardedStore) SetL1Limit(n int) {
+	for _, sh := range ss.shards {
+		sh.SetL1Limit(n)
 	}
 }
 
@@ -317,6 +452,46 @@ func (ss *ShardedStore) HeadLen() int {
 		n += sh.HeadLen()
 	}
 	return n
+}
+
+// L1Len reports the total number of physical triple slots the shards' L1
+// tiers cover.
+func (ss *ShardedStore) L1Len() int {
+	n := 0
+	for _, sh := range ss.shards {
+		n += sh.L1Len()
+	}
+	return n
+}
+
+// Tombstones reports the total number of pending tombstones across shards.
+func (ss *ShardedStore) Tombstones() int {
+	n := 0
+	for _, sh := range ss.shards {
+		n += sh.Tombstones()
+	}
+	return n
+}
+
+// Ops reports applied mutation operations (see Store.Ops).
+func (ss *ShardedStore) Ops() uint64 {
+	if d := ss.dir.Load(); d != nil {
+		return d.ops
+	}
+	return uint64(len(ss.locShard))
+}
+
+// LiveLen reports the number of live (non-retracted) triples across shards;
+// Len keeps counting retracted slots.
+func (ss *ShardedStore) LiveLen() int {
+	if d := ss.dir.Load(); d != nil {
+		n := 0
+		for _, s := range d.states {
+			n += len(s.triples) - s.dead
+		}
+		return n
+	}
+	return len(ss.locShard)
 }
 
 // Compactions reports the total number of head merges across all shards.

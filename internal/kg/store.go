@@ -41,19 +41,32 @@ type Store struct {
 
 	// live is the current read snapshot; nil until Freeze.
 	live atomic.Pointer[storeState]
-	// mu serialises mutators (Insert, Compact, SetHeadLimit) after Freeze.
+	// mu serialises mutators (Insert, Delete, Update, merge publishes,
+	// SetHeadLimit) after Freeze.
 	mu sync.Mutex
+	// mergeMu serialises merges (head→L1 and full compactions): a merge
+	// builds off-lock against a snapshot loaded under mergeMu, so two
+	// concurrent merges could otherwise publish states whose coverage
+	// disagrees and orphan head entries absorbed by the loser.
+	mergeMu sync.Mutex
 	// headLimit is the head size at which Insert triggers an automatic
 	// compaction: 0 selects DefaultHeadLimit, negative disables automatic
 	// compaction entirely (Compact must be called explicitly).
 	headLimit int
+	// l1Limit enables tiered compaction when positive: automatic head merges
+	// target a small frozen L1 tier instead of the main arena, and the L1 is
+	// folded into the main arena only once it covers at least l1Limit
+	// triples. 0 (the default) keeps single-level merges; explicit Compact
+	// always merges everything into the main arena.
+	l1Limit int
 
 	// compacting gates automatic compactions to one in flight (explicit
 	// Compact calls always run).
 	compacting atomic.Bool
 	// version counts content changes: 0 for a store frozen once and never
-	// mutated, +1 per successful Insert. Compaction leaves it unchanged —
-	// the visible triple set is identical before and after a merge.
+	// mutated, +1 per successful Insert, Delete or Update. Compaction leaves
+	// it unchanged — the visible triple set is identical before and after a
+	// merge.
 	version atomic.Uint64
 	// compactions counts head merges (explicit and automatic).
 	compactions atomic.Uint64
@@ -67,29 +80,120 @@ type Store struct {
 // exactly one storeState per call, so Insert/Compact swaps are atomic from
 // the reader's point of view.
 type storeState struct {
-	// triples holds the frozen prefix (triples[:len(post.triples)]) followed
-	// by the head (triples[len(post.triples):]). Triple indexes are stable
-	// across inserts and compactions; backing arrays are shared between
-	// snapshots but slots are written only before the covering snapshot is
-	// published.
+	// triples holds the frozen prefix (triples[:frozenLen()]) followed by
+	// the head (triples[frozenLen():]). Triple indexes are stable across
+	// inserts, deletes and compactions — a retracted triple keeps its slot
+	// and is masked out of every read instead; backing arrays are shared
+	// between snapshots but slots are written only before the covering
+	// snapshot is published.
 	triples []Triple
-	// post indexes the frozen prefix.
+	// post indexes the main frozen segment, triples[:len(post.triples)].
 	post *postings
+	// l1 is the optional small frozen tier over
+	// triples[len(post.triples):len(l1.triples)], built by tiered head
+	// merges (see Store.l1Limit); nil when tiering is off or freshly
+	// full-compacted.
+	l1 *postings
 	// headSorted lists head triple indexes in canonical match order — raw
 	// score descending, index ascending on ties — the tiny sorted overlay
-	// merged on top of frozen views.
+	// merged on top of frozen views. Deleted head entries are removed
+	// physically, so the overlay never lists a retracted fact.
 	headSorted []int32
+	// tombs is the pending tombstone set: (s,p,o) key → watermark (the
+	// store's triple count when the delete was applied). A frozen entry at
+	// index i is retracted iff tombs[key] > i, so a key re-inserted after
+	// its delete stays visible. Resolved — annihilated into the dead bitmap
+	// — at full merges. The map is copy-on-write: never mutated after its
+	// snapshot publishes.
+	tombs map[[3]ID]int32
+	// ops counts applied mutation operations: Freeze sets it to the triple
+	// count, then Insert and Delete add one and Update adds two (it logs as
+	// a tombstone plus an insert). The durability layer maps WAL sequence
+	// numbers onto it — with deletes in the mix the triple count no longer
+	// measures log position, since a tombstone consumes a sequence number
+	// without adding a triple.
+	ops uint64
+	// dead counts retracted triples still occupying physical slots in
+	// triples; len(triples)-dead is the live triple count.
+	dead int
 	// headDup records whether any head triple repeats an (s,p,o) key already
-	// present in the frozen prefix or earlier in the head.
+	// present in the frozen segments or earlier in the head.
 	headDup bool
-	// merged lazily caches frozen⊕head merged match lists for this snapshot
-	// (nil until the first merged lookup; dropped wholesale when the next
-	// Insert or Compact publishes a new snapshot).
+	// crossDup records whether any L1 (s,p,o) key also appears in the main
+	// segment (recomputed at every L1 merge; false while l1 is nil). Like
+	// headDup it may over-approximate once deletes retract one of the
+	// copies — which costs operators a dedup map, never correctness.
+	crossDup bool
+	// merged lazily caches merged (frozen ⊕ L1 ⊕ head, tombstone-masked)
+	// match lists for this snapshot (nil until the first merged lookup;
+	// dropped wholesale when the next mutation publishes a new snapshot).
 	merged atomic.Pointer[listCache]
 }
 
-// frozenLen reports how many leading triples the frozen postings cover.
-func (s *storeState) frozenLen() int { return len(s.post.triples) }
+// frozenLen reports how many leading triples the frozen segments cover.
+func (s *storeState) frozenLen() int {
+	if s.l1 != nil {
+		return len(s.l1.triples)
+	}
+	return len(s.post.triples)
+}
+
+// fastRead reports whether reads can serve raw main-segment posting views:
+// no head overlay, no L1 tier, no pending tombstones — the zero-allocation
+// path every quiescent (or freshly full-compacted) store stays on.
+func (s *storeState) fastRead() bool {
+	return len(s.headSorted) == 0 && s.l1 == nil && len(s.tombs) == 0
+}
+
+// killed reports whether the triple at index ti is retracted by a pending
+// tombstone. Entries annihilated at earlier merges never reach this check —
+// they are absent from every arena.
+func (s *storeState) killed(ti int32) bool {
+	if len(s.tombs) == 0 {
+		return false
+	}
+	t := s.triples[ti]
+	w, ok := s.tombs[[3]ID{t.S, t.P, t.O}]
+	return ok && ti < w
+}
+
+// filterLive drops pending-tombstone-retracted entries from a canonical
+// list, returning l itself when nothing is retracted.
+func (s *storeState) filterLive(l []int32) []int32 {
+	if len(s.tombs) == 0 {
+		return l
+	}
+	for i, ti := range l {
+		if s.killed(ti) {
+			out := make([]int32, 0, len(l)-1)
+			out = append(out, l[:i]...)
+			for _, tj := range l[i+1:] {
+				if !s.killed(tj) {
+					out = append(out, tj)
+				}
+			}
+			return out
+		}
+	}
+	return l
+}
+
+// liveKeyCount counts the frozen segments' surviving copies of key k.
+func (s *storeState) liveKeyCount(k [3]ID) int {
+	n := 0
+	count := func(po *postings) {
+		for _, ti := range po.view(famSPO, po.bySPO[k]) {
+			if !s.killed(ti) {
+				n++
+			}
+		}
+	}
+	count(s.post)
+	if s.l1 != nil {
+		count(s.l1)
+	}
+	return n
+}
 
 // NewStore returns an empty store using the given dictionary (or a fresh one
 // if dict is nil).
@@ -176,7 +280,8 @@ func (st *Store) Freeze() {
 	}
 	st.live.Store(&storeState{
 		triples: st.triples,
-		post:    buildPostings(st.triples, &st.residualComputes),
+		post:    buildPostings(st.triples, 0, nil, nil, &st.residualComputes),
+		ops:     uint64(len(st.triples)),
 	})
 	st.frozen = true
 }
@@ -208,6 +313,57 @@ func (st *Store) effectiveHeadLimit() int {
 	return st.headLimit
 }
 
+// SetL1Limit configures tiered compaction: a positive n makes automatic head
+// merges build a small frozen L1 tier, folded into the main arena once the
+// tier covers at least n triples — bounding merge amplification under
+// sustained churn (every head triple is re-sorted twice instead of once per
+// head merge). 0 (the default) restores single-level merges. Explicit
+// Compact always merges everything into the main arena regardless.
+func (st *Store) SetL1Limit(n int) {
+	st.mu.Lock()
+	st.l1Limit = n
+	st.mu.Unlock()
+}
+
+// L1Len reports the number of physical triple slots the L1 tier currently
+// covers (0 without tiering).
+func (st *Store) L1Len() int {
+	if s := st.live.Load(); s != nil && s.l1 != nil {
+		return len(s.l1.triples) - int(s.l1.lo)
+	}
+	return 0
+}
+
+// Tombstones reports the number of pending (unresolved) tombstones. Full
+// compaction resolves every tombstone whose delete it covers.
+func (st *Store) Tombstones() int {
+	if s := st.live.Load(); s != nil {
+		return len(s.tombs)
+	}
+	return 0
+}
+
+// Ops reports the number of applied mutation operations: the triple count at
+// Freeze, plus one per Insert or Delete and two per Update since. The
+// durability layer uses it as the store-side mirror of the WAL sequence —
+// unlike Len it keeps counting when a delete retracts without appending.
+func (st *Store) Ops() uint64 {
+	if s := st.live.Load(); s != nil {
+		return s.ops
+	}
+	return uint64(len(st.triples))
+}
+
+// LiveLen reports the number of live (non-retracted) triples. Len counts
+// physical slots — retracted triples keep theirs for index stability — so
+// LiveLen <= Len, with equality until the first Delete.
+func (st *Store) LiveLen() int {
+	if s := st.live.Load(); s != nil {
+		return len(s.triples) - s.dead
+	}
+	return len(st.triples)
+}
+
 // HeadLen reports the number of triples currently in the mutable head (0 on
 // an unfrozen or freshly compacted store).
 func (st *Store) HeadLen() int {
@@ -218,8 +374,10 @@ func (st *Store) HeadLen() int {
 }
 
 // Version reports the store's logical content version: 0 until the first
-// live Insert, +1 per insert. Compaction does not move it — the visible
-// triple set is unchanged — so version-keyed caches survive merges.
+// live mutation, +1 per Insert, Delete or Update. Compaction does not move
+// it — the visible triple set is unchanged — so version-keyed caches survive
+// merges; any mutation (deletes included) moves it, so no cache can serve a
+// retracted fact.
 func (st *Store) Version() uint64 { return st.version.Load() }
 
 // Compactions reports how many head merges the store has performed.
@@ -286,7 +444,8 @@ func (st *Store) insert(t Triple) (needCompact bool, err error) {
 
 	dup := s.headDup
 	if !dup {
-		if s.post.bySPO[[3]ID{t.S, t.P, t.O}].n > 0 {
+		k := [3]ID{t.S, t.P, t.O}
+		if s.post.bySPO[k].n > 0 || (s.l1 != nil && s.l1.bySPO[k].n > 0) {
 			dup = true
 		} else {
 			for _, hi := range s.headSorted {
@@ -299,18 +458,205 @@ func (st *Store) insert(t Triple) (needCompact bool, err error) {
 		}
 	}
 
-	ns := &storeState{triples: triples, post: s.post, headSorted: head, headDup: dup}
+	ns := &storeState{
+		triples: triples, post: s.post, l1: s.l1, headSorted: head,
+		tombs: s.tombs, ops: s.ops + 1, dead: s.dead,
+		headDup: dup, crossDup: s.crossDup,
+	}
 	st.live.Store(ns)
 	st.version.Add(1)
 	limit := st.effectiveHeadLimit()
 	return limit > 0 && len(head) >= limit, nil
 }
 
+// ErrNotLive is returned by Delete and Update before Freeze: retractions and
+// re-scores are live operations over an indexed store (pre-freeze staging is
+// append-only — simply don't Add what you don't want).
+var ErrNotLive = errors.New("kg: store must be frozen before Delete/Update")
+
+// Delete retracts every live copy of the (s,p,o) key — frozen, L1 and head —
+// and returns how many were removed. The retraction is visible to every
+// subsequent read the moment Delete returns: head copies leave the overlay
+// physically, frozen copies are masked by a tombstone that the next merge
+// covering them annihilates into the arena rebuild, so a compacted segment
+// never contains a retracted fact. A later Insert of the same key is
+// unaffected (the tombstone's watermark orders before it). Deleting a key
+// with no live copies is a no-op that still counts as one operation. Safe
+// for concurrent use with readers and other mutators; returns ErrNotLive
+// before Freeze.
+func (st *Store) Delete(s, p, o ID) (int, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.deleteLocked([3]ID{s, p, o})
+}
+
+// deleteLocked applies a delete under st.mu.
+func (st *Store) deleteLocked(k [3]ID) (int, error) {
+	if !st.frozen {
+		return 0, ErrNotLive
+	}
+	s := st.live.Load()
+	removed := s.liveKeyCount(k)
+	head := s.headSorted
+	if dropped := countHeadKey(s, k); dropped > 0 {
+		head = dropHeadKey(s, k, dropped)
+		removed += dropped
+	}
+	ns := &storeState{
+		triples: s.triples, post: s.post, l1: s.l1, headSorted: head,
+		tombs: s.tombs, ops: s.ops + 1, dead: s.dead + removed,
+		headDup: s.headDup, crossDup: s.crossDup,
+	}
+	if removed > 0 {
+		ns.tombs = withTombstone(s.tombs, k, int32(len(s.triples)))
+	}
+	st.live.Store(ns)
+	st.version.Add(1)
+	return removed, nil
+}
+
+// DeleteSPO retracts every live copy of the key named by the three terms.
+// Unknown terms mean the key never existed: DeleteSPO returns (0, nil)
+// without interning them (and without consuming an operation).
+func (st *Store) DeleteSPO(s, p, o string) (int, error) {
+	sid, ok := st.dict.Lookup(s)
+	if !ok {
+		return 0, nil
+	}
+	pid, ok := st.dict.Lookup(p)
+	if !ok {
+		return 0, nil
+	}
+	oid, ok := st.dict.Lookup(o)
+	if !ok {
+		return 0, nil
+	}
+	return st.Delete(sid, pid, oid)
+}
+
+// countHeadKey counts head entries carrying key k.
+func countHeadKey(s *storeState, k [3]ID) int {
+	n := 0
+	for _, hi := range s.headSorted {
+		t := s.triples[hi]
+		if t.S == k[0] && t.P == k[1] && t.O == k[2] {
+			n++
+		}
+	}
+	return n
+}
+
+// dropHeadKey rebuilds the head overlay without key k's entries (canonical
+// order is preserved — dropping never reorders).
+func dropHeadKey(s *storeState, k [3]ID, dropped int) []int32 {
+	head := make([]int32, 0, len(s.headSorted)-dropped)
+	for _, hi := range s.headSorted {
+		t := s.triples[hi]
+		if t.S == k[0] && t.P == k[1] && t.O == k[2] {
+			continue
+		}
+		head = append(head, hi)
+	}
+	return head
+}
+
+// withTombstone copies the tombstone map with k's watermark set to w.
+// Watermarks only grow per key — a later delete supersedes an earlier one.
+func withTombstone(tombs map[[3]ID]int32, k [3]ID, w int32) map[[3]ID]int32 {
+	out := make(map[[3]ID]int32, len(tombs)+1)
+	for kk, ww := range tombs {
+		out[kk] = ww
+	}
+	out[k] = w
+	return out
+}
+
+// Update re-scores the (s,p,o) key, latest-wins: every live copy is
+// retracted and one copy with t.Score is inserted, in a single atomically
+// published snapshot — no read can observe the key half-updated or doubled.
+// It counts as two operations (the WAL logs it as a tombstone plus an
+// insert). Updating an absent key inserts it. Returns ErrNotLive before
+// Freeze.
+func (st *Store) Update(t Triple) error {
+	compact, err := st.UpdateDeferred(t)
+	if compact != nil {
+		compact()
+	}
+	return err
+}
+
+// UpdateDeferred is Update with any triggered automatic compaction split out
+// (see InsertDeferred for why the durability layer needs this).
+func (st *Store) UpdateDeferred(t Triple) (compact func(), err error) {
+	need, err := st.update(t)
+	if err == nil && need {
+		return st.compactIfNeeded, nil
+	}
+	return nil, err
+}
+
+// update applies a latest-wins re-score under st.mu and reports whether the
+// head crossed the automatic-compaction limit.
+func (st *Store) update(t Triple) (needCompact bool, err error) {
+	if err := validScore(t.Score); err != nil {
+		return false, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.frozen {
+		return false, ErrNotLive
+	}
+	s := st.live.Load()
+	k := [3]ID{t.S, t.P, t.O}
+	removed := s.liveKeyCount(k)
+	head := s.headSorted
+	if dropped := countHeadKey(s, k); dropped > 0 {
+		head = dropHeadKey(s, k, dropped)
+		removed += dropped
+	}
+	idx := int32(len(s.triples))
+	triples := append(s.triples, t)
+	pos := sort.Search(len(head), func(i int) bool {
+		return s.triples[head[i]].Score < t.Score
+	})
+	nh := make([]int32, 0, len(head)+1)
+	nh = append(nh, head[:pos]...)
+	nh = append(nh, idx)
+	nh = append(nh, head[pos:]...)
+
+	ns := &storeState{
+		triples: triples, post: s.post, l1: s.l1, headSorted: nh,
+		tombs: s.tombs, ops: s.ops + 2, dead: s.dead + removed,
+		headDup: s.headDup, crossDup: s.crossDup,
+	}
+	if removed > 0 {
+		// The watermark predates the fresh copy's index, so it retracts
+		// every old copy and leaves the new one live.
+		ns.tombs = withTombstone(s.tombs, k, idx)
+	}
+	st.live.Store(ns)
+	st.version.Add(1)
+	limit := st.effectiveHeadLimit()
+	return limit > 0 && len(nh) >= limit, nil
+}
+
+// UpdateSPO encodes the three terms and applies a latest-wins re-score.
+func (st *Store) UpdateSPO(s, p, o string, score float64) error {
+	return st.Update(Triple{
+		S:     st.dict.Encode(s),
+		P:     st.dict.Encode(p),
+		O:     st.dict.Encode(o),
+		Score: score,
+	})
+}
+
 // compactIfNeeded re-checks the head against the limit and merges if it
 // still qualifies (a concurrent Compact may have emptied it since the
 // triggering insert returned). The compacting flag bounds automatic merges
 // to one in flight: under a sustained insert burst every insert past the
-// limit would otherwise kick off its own redundant rebuild.
+// limit would otherwise kick off its own redundant rebuild. With tiering
+// enabled the head merges into the L1 tier, and the L1 folds into the main
+// arena only once it crosses its own (larger) threshold.
 func (st *Store) compactIfNeeded() {
 	if !st.compacting.CompareAndSwap(false, true) {
 		return
@@ -323,12 +669,20 @@ func (st *Store) compactIfNeeded() {
 	}
 	s := st.live.Load()
 	limit := st.effectiveHeadLimit()
+	l1Limit := st.l1Limit
 	if limit <= 0 || len(s.headSorted) < limit {
 		st.mu.Unlock()
 		return
 	}
 	st.mu.Unlock()
-	st.compactFrom(s)
+	if l1Limit <= 0 {
+		st.runMerge(true)
+		return
+	}
+	st.runMerge(false)
+	if s := st.live.Load(); s.l1 != nil && len(s.l1.triples)-int(s.l1.lo) >= l1Limit {
+		st.runMerge(true)
+	}
 }
 
 // InsertSPO encodes the three terms and inserts the triple live.
@@ -341,15 +695,17 @@ func (st *Store) InsertSPO(s, p, o string, score float64) error {
 	})
 }
 
-// Compact merges the mutable head into the frozen segment: the full triple
-// sequence is re-laid into the counting-sort posting arenas (reusing the
-// parallel per-bucket sort worker pool), and a fresh all-frozen snapshot is
-// published. Neither readers nor writers are blocked for the rebuild — the
-// expensive posting build runs outside the mutex against an immutable
-// snapshot, and triples inserted meanwhile are folded back in as the new
-// head at publish time. The visible triple set is unchanged throughout, so
-// answers before and after a compaction are bit-identical. No-op on an
-// unfrozen store or an empty head.
+// Compact merges everything into the main frozen segment: the full triple
+// sequence — head, L1 tier and all — is re-laid into the counting-sort
+// posting arenas (reusing the parallel per-bucket sort worker pool), every
+// covered tombstone is annihilated (its victims leave the arenas for good),
+// and a fresh all-frozen snapshot is published. Neither readers nor writers
+// are blocked for the rebuild — the expensive posting build runs outside the
+// mutex against an immutable snapshot, and triples mutated meanwhile are
+// folded back in as the new head at publish time. The visible triple set is
+// unchanged throughout, so answers before and after a compaction are
+// bit-identical. No-op on an unfrozen store or when there is nothing to
+// merge (empty head, no L1, no pending tombstones).
 func (st *Store) Compact() {
 	st.mu.Lock()
 	if !st.frozen {
@@ -357,31 +713,78 @@ func (st *Store) Compact() {
 		return
 	}
 	s := st.live.Load()
-	if len(s.headSorted) == 0 {
+	if s.fastRead() {
 		st.mu.Unlock()
 		return
 	}
 	st.mu.Unlock()
-	st.compactFrom(s)
+	st.runMerge(true)
 }
 
-// compactFrom rebuilds the postings over snapshot s's full triple sequence
-// off-lock, then publishes under the mutex: any triples inserted during the
-// rebuild stay in the (now smaller) head of the published state, and a
-// concurrent compaction that already covered at least this prefix wins.
-func (st *Store) compactFrom(s *storeState) {
-	post := buildPostings(s.triples, &st.residualComputes)
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	cur := st.live.Load()
-	if len(cur.post.triples) >= len(post.triples) {
+// runMerge performs one merge step under mergeMu: full folds everything into
+// the main arena; !full (tiered) re-freezes the head into the L1 tier and
+// leaves the main arena untouched. The snapshot is loaded after mergeMu is
+// acquired, so the build input always extends the published frozen coverage;
+// concurrent mutations during the build land beyond it and stay in the head
+// of the published state.
+func (st *Store) runMerge(full bool) {
+	st.mergeMu.Lock()
+	defer st.mergeMu.Unlock()
+	s := st.live.Load()
+	if full {
+		if s.fastRead() {
+			return
+		}
+	} else if len(s.headSorted) == 0 {
 		return
 	}
-	ns := &storeState{triples: cur.triples, post: post}
+	prevDead := s.post.dead
+	if s.l1 != nil {
+		prevDead = s.l1.dead
+	}
+	var post, l1 *postings
+	if full {
+		post = buildPostings(s.triples, 0, prevDead, s.tombs, &st.residualComputes)
+	} else {
+		post = s.post
+		l1 = buildPostings(s.triples, int32(len(s.post.triples)), prevDead, s.tombs, &st.residualComputes)
+	}
+	coverage := len(s.triples)
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	// Merges never race each other (mergeMu), and mutators only extend
+	// triples/head/tombs — so cur differs from s only by mutations applied
+	// during the build.
+	cur := st.live.Load()
+	ns := &storeState{
+		triples: cur.triples, post: post, l1: l1,
+		ops: cur.ops, dead: cur.dead,
+	}
+	if full {
+		// Tombstones the build consumed are resolved — their victims are in
+		// the dead bitmap. Ones that arrived (or were re-armed at a new
+		// watermark) during the build stay pending, masking any arena
+		// entries they cover until the next merge.
+		for k, w := range cur.tombs {
+			if s.tombs[k] != w {
+				if ns.tombs == nil {
+					ns.tombs = make(map[[3]ID]int32)
+				}
+				ns.tombs[k] = w
+			}
+		}
+	} else {
+		// Tiered merges never resolve tombstones: a key's main-segment
+		// copies are still in the untouched main arena, so dropping its
+		// tombstone would resurrect them. Resolution waits for a full merge.
+		ns.tombs = cur.tombs
+		ns.crossDup = crossDupFor(post, l1)
+	}
 	// cur's head is in canonical order; dropping the entries the new
 	// postings absorbed preserves it.
 	for _, hi := range cur.headSorted {
-		if int(hi) >= len(post.triples) {
+		if int(hi) >= coverage {
 			ns.headSorted = append(ns.headSorted, hi)
 		}
 	}
@@ -396,7 +799,8 @@ func (st *Store) compactFrom(s *storeState) {
 func headDupFor(s *storeState) bool {
 	for i, hi := range s.headSorted {
 		t := s.triples[hi]
-		if s.post.bySPO[[3]ID{t.S, t.P, t.O}].n > 0 {
+		k := [3]ID{t.S, t.P, t.O}
+		if s.post.bySPO[k].n > 0 || (s.l1 != nil && s.l1.bySPO[k].n > 0) {
 			return true
 		}
 		for _, hj := range s.headSorted[:i] {
@@ -409,13 +813,29 @@ func headDupFor(s *storeState) bool {
 	return false
 }
 
-// HasDuplicates reports whether any (s,p,o) key was added more than once
-// (with the same or different scores), in the frozen segment or the head.
-// Operators use this to skip binding deduplication when a match list
-// provably cannot repeat a binding.
+// crossDupFor reports whether any L1 (s,p,o) key also has main-segment
+// entries — a merged match list could then repeat a binding across segments.
+func crossDupFor(post, l1 *postings) bool {
+	for k := range l1.bySPO {
+		if post.bySPO[k].n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// HasDuplicates reports whether any (s,p,o) key may appear more than once
+// (with the same or different scores) across the frozen segments and the
+// head. Operators use this to skip binding deduplication when a match list
+// provably cannot repeat a binding; after deletes it may over-approximate
+// (the surviving copy could be unique), which costs a dedup map, never
+// correctness.
 func (st *Store) HasDuplicates() bool {
 	if s := st.live.Load(); s != nil {
-		return s.post.hasDuplicates || s.headDup
+		if s.post.hasDuplicates || s.headDup || s.crossDup {
+			return true
+		}
+		return s.l1 != nil && s.l1.hasDuplicates
 	}
 	return false
 }
@@ -444,7 +864,7 @@ func (st *Store) MatchList(p Pattern) []int32 {
 }
 
 func (s *storeState) matchList(p Pattern) []int32 {
-	if len(s.headSorted) == 0 {
+	if s.fastRead() {
 		return s.post.matchList(p)
 	}
 	c := s.merged.Load()
@@ -457,36 +877,50 @@ func (s *storeState) matchList(p Pattern) []int32 {
 	return c.get(p.Key(), func() []int32 { return s.computeMerged(p) })
 }
 
-// computeMerged two-way merges the frozen match list with the head's matches
-// in canonical order. Head indexes all exceed frozen indexes, so on equal
-// scores the index tiebreak keeps every frozen entry ahead of every head
-// entry, and each source's internal order is already canonical.
+// computeMerged merges the main segment's (tombstone-masked) match list with
+// the L1 tier's and the head's matches, in canonical order. Each source's
+// internal order is already canonical, and sources are index-disjoint, so a
+// pairwise canonical merge is exact: on equal scores the index tiebreak
+// interleaves them deterministically.
 func (s *storeState) computeMerged(p Pattern) []int32 {
-	frozen := s.post.matchList(p)
+	merged := s.filterLive(s.post.matchList(p))
+	if s.l1 != nil {
+		merged = s.merge2(merged, s.filterLive(s.l1.matchList(p)))
+	}
 	var head []int32
 	for _, hi := range s.headSorted {
 		if p.Matches(s.triples[hi]) {
 			head = append(head, hi)
 		}
 	}
-	if len(head) == 0 {
-		return frozen
+	return s.merge2(merged, head)
+}
+
+// merge2 merges two canonically-ordered (score descending, index ascending)
+// index-disjoint lists, returning one of them unchanged when the other is
+// empty.
+func (s *storeState) merge2(a, b []int32) []int32 {
+	if len(b) == 0 {
+		return a
 	}
-	out := make([]int32, 0, len(frozen)+len(head))
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]int32, 0, len(a)+len(b))
 	i, j := 0, 0
-	for i < len(frozen) && j < len(head) {
-		a, b := frozen[i], head[j]
-		ta, tb := s.triples[a], s.triples[b]
-		if ta.Score > tb.Score || (ta.Score == tb.Score && a < b) {
-			out = append(out, a)
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
+		tx, ty := s.triples[x], s.triples[y]
+		if tx.Score > ty.Score || (tx.Score == ty.Score && x < y) {
+			out = append(out, x)
 			i++
 		} else {
-			out = append(out, b)
+			out = append(out, y)
 			j++
 		}
 	}
-	out = append(out, frozen[i:]...)
-	out = append(out, head[j:]...)
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
 	return out
 }
 
@@ -496,12 +930,30 @@ func (st *Store) Cardinality(p Pattern) int {
 	return st.state().cardinality(p)
 }
 
-// cardinality counts the snapshot's matches of p without materialising a
-// merged list.
+// cardinality counts the snapshot's live matches of p without materialising
+// a merged list.
 func (s *storeState) cardinality(p Pattern) int {
-	n := len(s.post.matchList(p))
+	n := s.countLive(s.post.matchList(p))
+	if s.l1 != nil {
+		n += s.countLive(s.l1.matchList(p))
+	}
 	for _, hi := range s.headSorted {
 		if p.Matches(s.triples[hi]) {
+			n++
+		}
+	}
+	return n
+}
+
+// countLive counts a canonical list's entries not retracted by a pending
+// tombstone, allocation-free.
+func (s *storeState) countLive(l []int32) int {
+	if len(s.tombs) == 0 {
+		return len(l)
+	}
+	n := 0
+	for _, ti := range l {
+		if !s.killed(ti) {
 			n++
 		}
 	}
@@ -516,11 +968,24 @@ func (st *Store) MaxScore(p Pattern) float64 {
 	return st.state().maxScore(p)
 }
 
-// maxScore computes the snapshot's Definition 5 normalisation constant.
+// maxScore computes the snapshot's Definition 5 normalisation constant. Each
+// source is score-sorted, so only its first live match matters; the head is
+// physically delete-free, so its first match is live by construction.
 func (s *storeState) maxScore(p Pattern) float64 {
 	max := 0.0
-	if l := s.post.matchList(p); len(l) > 0 {
-		max = s.triples[l[0]].Score
+	firstLive := func(l []int32) {
+		for _, ti := range l {
+			if !s.killed(ti) {
+				if sc := s.triples[ti].Score; sc > max {
+					max = sc
+				}
+				return
+			}
+		}
+	}
+	firstLive(s.post.matchList(p))
+	if s.l1 != nil {
+		firstLive(s.l1.matchList(p))
 	}
 	for _, hi := range s.headSorted {
 		if p.Matches(s.triples[hi]) {

@@ -144,6 +144,68 @@ func TestLiveStoreScanZeroAllocsWithEmptyHead(t *testing.T) {
 	}
 }
 
+// TestMutatedStoreScanZeroAllocsAfterCompact extends the empty-head guard to
+// full mutability: a store that has absorbed deletes and latest-wins updates
+// and then compacted (tombstones GC'd, dead rows dropped) must serve the same
+// zero-allocation MatchList and scan steady state — the liveness filtering
+// that deletes introduce costs nothing once no tombstone is pending.
+func TestMutatedStoreScanZeroAllocsAfterCompact(t *testing.T) {
+	st := dupFreeStore(t)
+	for i := 0; i < 32; i++ {
+		s := []string{"f1", "f2", "f3", "f4"}[i%4]
+		o := fmt.Sprintf("E%d", i/4)
+		if err := st.InsertSPO(s, "type", o, float64(200-i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Retract a frozen-segment fact and a head fact, re-score another.
+	d := st.Dict()
+	del := func(s, p, o string) {
+		t.Helper()
+		if _, err := st.Delete(d.Encode(s), d.Encode("type"), d.Encode(o)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	del("e1", "type", "A")
+	del("f2", "type", "E3")
+	if err := st.Update(kg.Triple{S: d.Encode("e2"), P: d.Encode("type"), O: d.Encode("B"), Score: 77}); err != nil {
+		t.Fatal(err)
+	}
+	st.Compact()
+	if st.Tombstones() != 0 || st.HeadLen() != 0 {
+		t.Fatalf("Compact left %d tombstones, %d head triples", st.Tombstones(), st.HeadLen())
+	}
+	if st.HasDuplicates() {
+		t.Fatal("mutations unexpectedly created duplicates")
+	}
+	ty, _ := st.Dict().Lookup("type")
+	pat := kg.NewPattern(kg.Var("s"), kg.Const(ty), kg.Var("o"))
+	if allocs := testing.AllocsPerRun(100, func() {
+		if len(st.MatchList(pat)) == 0 {
+			t.Fatal("empty match list")
+		}
+	}); allocs != 0 {
+		t.Fatalf("post-delete compacted MatchList: %v allocs, want 0", allocs)
+	}
+	vs := kg.NewVarSet(kg.NewQuery(pat))
+	s := NewListScan(st, vs, pat, 1, 0, nil)
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		s.Reset()
+		for {
+			if _, ok := s.Next(); !ok {
+				return
+			}
+		}
+	}); allocs != 0 {
+		t.Fatalf("steady-state scan over mutated compacted store: %v allocs per drain, want 0", allocs)
+	}
+}
+
 // TestListScanSkipsDedupMap asserts the fast-path predicate itself: no seen
 // map on provably duplicate-free patterns, a seen map as soon as duplicates
 // or out-of-varset variables make one necessary.

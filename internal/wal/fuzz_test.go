@@ -10,7 +10,9 @@ import (
 // length, and — the round-trip half — always recover an exact prefix of
 // whatever valid records the input starts with.
 func FuzzWALReplay(f *testing.F) {
-	// Seeds: a clean two-record log, a truncated one, and pure garbage.
+	// Seeds: a clean two-record log, a truncated one, pure garbage, and a
+	// delete-bearing log — insert, tombstone, re-insert, plus an update's
+	// tombstone+insert pair — whole and cut mid-tombstone.
 	var clean []byte
 	clean = appendRecord(clean, Record{Seq: 1, Kind: KindInsert, S: "alice", P: "knows", O: "bob", Score: 0.75})
 	clean = appendRecord(clean, Record{Seq: 2, Kind: KindInsert, S: "bob", P: "type", O: "person", Score: 2})
@@ -18,6 +20,14 @@ func FuzzWALReplay(f *testing.F) {
 	f.Add(clean[:len(clean)-5])
 	f.Add([]byte("\xff\xff\xff\x7fgarbage"))
 	f.Add([]byte{})
+	var mutated []byte
+	mutated = appendRecord(mutated, Record{Seq: 1, Kind: KindInsert, S: "alice", P: "knows", O: "bob", Score: 0.75})
+	mutated = appendRecord(mutated, Record{Seq: 2, Kind: KindTombstone, S: "alice", P: "knows", O: "bob"})
+	mutated = appendRecord(mutated, Record{Seq: 3, Kind: KindInsert, S: "alice", P: "knows", O: "bob", Score: 1.5})
+	mutated = appendRecord(mutated, Record{Seq: 4, Kind: KindTombstone, S: "bob", P: "type", O: "person"})
+	mutated = appendRecord(mutated, Record{Seq: 5, Kind: KindInsert, S: "bob", P: "type", O: "person", Score: 9})
+	f.Add(mutated)
+	f.Add(mutated[:len(mutated)-30])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var got []Record

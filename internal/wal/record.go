@@ -25,14 +25,14 @@ import (
 // continuity across segment boundaries and a snapshot's position in the log
 // is just "the last sequence number it covers".
 
-// Kind identifiers. KindInsert is the only kind written today; tombstones
-// (deletes) are the reserved seam — the reader fails loudly on kinds it does
-// not understand rather than skipping records whose semantics it would
-// silently drop.
+// Kind identifiers. The reader fails loudly on kinds it does not understand
+// rather than skipping records whose semantics it would silently drop.
 const (
+	// KindInsert logs one triple insertion; Score carries the triple score.
 	KindInsert = byte(1)
-	// KindTombstone is reserved for the delete extension (see ROADMAP); no
-	// writer emits it yet and replay rejects it.
+	// KindTombstone logs a retraction of every live copy of the (S,P,O)
+	// key; Score is ignored and written as 0. An update logs as a tombstone
+	// followed by an insert of the new score.
 	KindTombstone = byte(2)
 )
 
@@ -90,7 +90,7 @@ func appendRecord(buf []byte, r Record) []byte {
 // record that passes CRC at replay but violates them is reported as
 // corruption rather than applied.
 func validRecord(r Record) error {
-	if r.Kind != KindInsert {
+	if r.Kind != KindInsert && r.Kind != KindTombstone {
 		return fmt.Errorf("wal: unsupported record kind %d", r.Kind)
 	}
 	if len(r.S) > MaxTermLen || len(r.P) > MaxTermLen || len(r.O) > MaxTermLen {

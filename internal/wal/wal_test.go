@@ -73,6 +73,61 @@ func TestAppendCloseReopenReplaysAll(t *testing.T) {
 	}
 }
 
+// TestTombstoneRecordRoundTrip pins the KindTombstone wire format: tombstone
+// records interleaved with inserts must survive append → close → recover
+// field-for-field, and a torn tail must cut at a record boundary so a
+// tombstone is never half-applied.
+func TestTombstoneRecordRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	initManifest(t, fs, 0)
+	l, _, err := Open(fs, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{Kind: KindInsert, S: "alice", P: "knows", O: "bob", Score: 0.75},
+		{Kind: KindTombstone, S: "alice", P: "knows", O: "bob"},
+		{Kind: KindInsert, S: "alice", P: "knows", O: "bob", Score: 1.5},
+		{Kind: KindTombstone, S: "never", P: "seen", O: "key"},
+		{Kind: KindInsert, S: "bob", P: "type", O: "person", Score: 9},
+	}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("append %+v: %v", r, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l1, rec, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), len(want))
+	}
+	for i, got := range rec.Records {
+		w := want[i]
+		if got.Seq != uint64(i+1) || got.Kind != w.Kind || got.S != w.S || got.P != w.P || got.O != w.O || got.Score != w.Score {
+			t.Fatalf("record %d = %+v, want %+v at seq %d", i, got, w, i+1)
+		}
+	}
+	if err := l1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A tombstone with a junk score must be rejected at the source, same as
+	// an insert — recovery treating score as "ignored" does not license the
+	// writer to frame garbage.
+	l2, _, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if err := l2.Append(Record{Kind: KindTombstone, S: "s", P: "p", O: "o", Score: -1}); err == nil {
+		t.Fatal("append accepted tombstone with negative score")
+	}
+}
+
 // TestTornTailTruncatesAndChains crashes with a partially-surviving unsynced
 // tail, recovers the valid prefix, appends more, and proves a second
 // recovery chains the post-crash segment across the torn one.
@@ -388,7 +443,7 @@ func TestAppendValidation(t *testing.T) {
 	}
 	defer l.Close()
 	bad := []Record{
-		{Kind: KindTombstone, S: "s", P: "p", O: "o", Score: 1},
+		{Kind: 3, S: "s", P: "p", O: "o", Score: 1},
 		{Kind: KindInsert, S: "s", P: "p", O: "o", Score: -1},
 	}
 	for _, r := range bad {

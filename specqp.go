@@ -190,6 +190,14 @@ type Options struct {
 	// 0 selects kg.DefaultHeadLimit, a negative value disables automatic
 	// compaction entirely (call Engine.Compact explicitly).
 	HeadLimit int
+	// L1Limit turns on tiered compaction: a head crossing HeadLimit merges
+	// into a small frozen L1 tier instead of rebuilding the segment's main
+	// posting arenas, and the L1 tier folds into the main arenas only once
+	// it holds L1Limit triples. 0 (the default) keeps single-level
+	// compaction — every merge rebuilds the full segment. Under churn-heavy
+	// mixed workloads tiering trades a second frozen probe per read for
+	// merge cost proportional to the L1 size rather than the store size.
+	L1Limit int
 	// WALDir selects the durable write-ahead-log directory. It is consumed
 	// exclusively by OpenDurable/OpenDurableWith (as the default for their
 	// dir argument); NewEngineWith panics when it is set, because a non-nil
@@ -307,9 +315,12 @@ func newEngineOver(graph kg.Graph, store *Store, rules *RuleSet, opts Options) *
 	if ss, ok := graph.(*ShardedStore); ok && ss.NumShards() > 1 {
 		ex.Parallel = true
 	}
-	if opts.HeadLimit != 0 {
-		if lg, ok := graph.(kg.LiveGraph); ok {
+	if lg, ok := graph.(kg.LiveGraph); ok {
+		if opts.HeadLimit != 0 {
 			lg.SetHeadLimit(opts.HeadLimit)
+		}
+		if opts.L1Limit > 0 {
+			lg.SetL1Limit(opts.L1Limit)
 		}
 	}
 	return &Engine{
@@ -458,6 +469,68 @@ func (e *Engine) Insert(t Triple) error {
 func (e *Engine) InsertSPO(s, p, o string, score float64) error {
 	d := e.graph.Dict()
 	return e.Insert(Triple{S: d.Encode(s), P: d.Encode(p), O: d.Encode(o), Score: score})
+}
+
+// Delete retracts every live copy of the 〈s p o〉 key from the engine's
+// store — frozen copies, L1-tier copies and head copies alike — and returns
+// how many were removed. The retraction is immediately visible to every
+// subsequent query (cached plans and statistics invalidate through the
+// content version); pinned snapshots taken before the delete keep seeing the
+// old state. Deleting a key with no live copies is a no-op that still
+// returns (0, nil). Requires a frozen store, like Insert.
+//
+// On a durable engine the tombstone is framed into the write-ahead log
+// before the retraction applies, with the same acknowledgement contract as
+// Insert: when Delete returns nil the retraction survives a crash, and a
+// deleted fact is never resurrected by recovery.
+func (e *Engine) Delete(s, p, o ID) (int, error) {
+	lg, ok := e.graph.(kg.LiveGraph)
+	if !ok {
+		return 0, fmt.Errorf("specqp: %T does not support live deletes", e.graph)
+	}
+	if e.wal != nil {
+		return e.wal.delete(lg, s, p, o)
+	}
+	return lg.Delete(s, p, o)
+}
+
+// DeleteSPO looks the three terms up in the engine's dictionary and deletes
+// the key. Unknown terms cannot name a stored fact, so they short-circuit to
+// (0, nil) without touching the store — or, on a durable engine, the log.
+func (e *Engine) DeleteSPO(s, p, o string) (int, error) {
+	d := e.graph.Dict()
+	si, ok1 := d.Lookup(s)
+	pi, ok2 := d.Lookup(p)
+	oi, ok3 := d.Lookup(o)
+	if !ok1 || !ok2 || !ok3 {
+		return 0, nil
+	}
+	return e.Delete(si, pi, oi)
+}
+
+// Update re-scores the 〈s p o〉 key latest-wins: every live copy is retracted
+// and one copy with t.Score takes its place, atomically from the point of
+// view of concurrent queries (no interleaving observes the key absent or
+// doubled). Updating a key with no live copies inserts it.
+//
+// On a durable engine the update logs as a tombstone followed by an insert;
+// Update returns nil only once both records are durable.
+func (e *Engine) Update(t Triple) error {
+	lg, ok := e.graph.(kg.LiveGraph)
+	if !ok {
+		return fmt.Errorf("specqp: %T does not support live updates", e.graph)
+	}
+	if e.wal != nil {
+		return e.wal.update(lg, t)
+	}
+	return lg.Update(t)
+}
+
+// UpdateSPO encodes the three terms against the engine's dictionary and
+// applies the latest-wins re-score.
+func (e *Engine) UpdateSPO(s, p, o string, score float64) error {
+	d := e.graph.Dict()
+	return e.Update(Triple{S: d.Encode(s), P: d.Encode(p), O: d.Encode(o), Score: score})
 }
 
 // Compact merges every pending mutable head into its frozen segment
