@@ -41,32 +41,35 @@ func main() {
 	log.SetPrefix("specqp-experiments: ")
 
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table2, table3, table4, fig6, fig7, fig8, fig9, ablations")
-		dataset = flag.String("dataset", "both", "dataset: xkg, twitter or both")
-		seed    = flag.Int64("seed", 1, "random seed for dataset generation")
-		scale   = flag.Float64("scale", 1.0, "dataset size multiplier")
-		load    = flag.String("load", "", "directory with pre-generated datasets (from specqp-datagen)")
-		buckets = flag.Int("buckets", 2, "histogram buckets (paper uses 2)")
-		csvDir  = flag.String("csv", "", "also write per-figure and per-outcome CSV files into this directory")
-		runs    = flag.Int("runs", 1, "measurement runs per query; 5 reproduces the paper's warm-cache protocol (average of the last 3)")
-		batch   = flag.Int("batch", 0, "also time the workload through Engine.QueryBatch with this many workers vs sequential Engine.Query (0 = skip)")
-		shards  = flag.Int("shards", 1, "store segments for the batch/sharding comparisons (1 = flat, -1 = one per CPU); >1 also times sharded vs flat sequential execution")
-		ingest  = flag.Int("ingest", 0, "live-ingest comparison: hold out this many triples, stream them back in batches, and time live Insert+query against a full rebuild per batch (0 = skip)")
-		churn   = flag.Int("churn", 0, "mixed-churn comparison: hold out this many triples, replay them as an insert/delete/update mix with probe queries per batch, and time single-level vs tiered (L1) compaction (0 = skip)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file (go tool pprof)")
-		memProf = flag.String("memprofile", "", "write a heap profile taken at exit to this file (go tool pprof)")
+		exp       = flag.String("exp", "all", "experiment: all, table2, table3, table4, fig6, fig7, fig8, fig9, ablations")
+		dataset   = flag.String("dataset", "both", "dataset: xkg, twitter or both")
+		seed      = flag.Int64("seed", 1, "random seed for dataset generation")
+		scale     = flag.Float64("scale", 1.0, "dataset size multiplier")
+		load      = flag.String("load", "", "directory with pre-generated datasets (from specqp-datagen)")
+		buckets   = flag.Int("buckets", 2, "histogram buckets (paper uses 2)")
+		csvDir    = flag.String("csv", "", "also write per-figure and per-outcome CSV files into this directory")
+		runs      = flag.Int("runs", 1, "measurement runs per query; 5 reproduces the paper's warm-cache protocol (average of the last 3)")
+		batch     = flag.Int("batch", 0, "also time the workload through Engine.QueryBatch with this many workers vs sequential Engine.Query (0 = skip)")
+		shards    = flag.Int("shards", 1, "store segments for the batch/sharding comparisons (1 = flat, -1 = one per CPU); >1 also times sharded vs flat sequential execution")
+		ingest    = flag.Int("ingest", 0, "live-ingest comparison: hold out this many triples, stream them back in batches, and time live Insert+query against a full rebuild per batch (0 = skip)")
+		churn     = flag.Int("churn", 0, "mixed-churn comparison: hold out this many triples, replay them as an insert/delete/update mix with probe queries per batch, and time single-level vs tiered (L1) compaction (0 = skip)")
+		serveload = flag.Int("serveload", 0, "serving-layer load generator: stand up the HTTP query service and drive it with this many concurrent clients running a mixed ingest/query workload, reporting p50/p99 latency and shed/degradation counts (0 = skip)")
+		servereqs = flag.Int("servereqs", 200, "requests per client for -serveload")
+		benchOut  = flag.String("benchout", "", "write the -serveload report as JSON to this file")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file (go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write a heap profile taken at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
 
 	// The experiment body runs inside run() so its profile-flushing defers
 	// execute on every exit path before main's log.Fatal can call os.Exit —
 	// a mid-run error must still leave usable -cpuprofile/-memprofile files.
-	if err := run(*exp, *dataset, *load, *csvDir, *cpuProf, *memProf, *seed, *scale, *buckets, *runs, *batch, *shards, *ingest, *churn); err != nil {
+	if err := run(*exp, *dataset, *load, *csvDir, *cpuProf, *memProf, *benchOut, *seed, *scale, *buckets, *runs, *batch, *shards, *ingest, *churn, *serveload, *servereqs); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(exp, dataset, load, csvDir, cpuProf, memProf string, seed int64, scale float64, buckets, runs, batch, shards, ingest, churn int) error {
+func run(exp, dataset, load, csvDir, cpuProf, memProf, benchOut string, seed int64, scale float64, buckets, runs, batch, shards, ingest, churn, serveload, servereqs int) error {
 	if cpuProf != "" {
 		f, err := os.Create(cpuProf)
 		if err != nil {
@@ -177,6 +180,11 @@ func run(exp, dataset, load, csvDir, cpuProf, memProf string, seed int64, scale 
 		}
 		if churn > 0 {
 			if err := runChurnComparison(ds, churn, shards); err != nil {
+				return err
+			}
+		}
+		if serveload > 0 {
+			if err := runServeLoad(ds, serveload, servereqs, shards, benchOut); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"specqp"
+	"specqp/internal/datagen"
+	"specqp/internal/metrics"
+	"specqp/internal/server"
+	"specqp/internal/sparql"
+)
+
+// serveLoadReport is the JSON written by -benchout: client-observed latency
+// quantiles plus the server's own admission/degradation counters for a mixed
+// ingest/query load against the resilient query service.
+type serveLoadReport struct {
+	Dataset       string  `json:"dataset"`
+	Clients       int     `json:"clients"`
+	ReqsPerClient int     `json:"reqs_per_client"`
+	Shards        int     `json:"shards"`
+	DurationMS    float64 `json:"duration_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	Queries struct {
+		Served  int64 `json:"served"`
+		Shed    int64 `json:"shed"`
+		Expired int64 `json:"expired"`
+		Errors  int64 `json:"errors"`
+		P50US   int64 `json:"p50_us"`
+		P90US   int64 `json:"p90_us"`
+		P99US   int64 `json:"p99_us"`
+		MeanUS  int64 `json:"mean_us"`
+	} `json:"queries"`
+
+	Mutations struct {
+		Served int64 `json:"served"`
+		Shed   int64 `json:"shed"`
+		Errors int64 `json:"errors"`
+	} `json:"mutations"`
+
+	Server struct {
+		Accepted  int64 `json:"accepted"`
+		ShedQueue int64 `json:"shed_queue"`
+		ShedRate  int64 `json:"shed_rate"`
+		Degraded  int64 `json:"degraded_responses"`
+		P50US     int64 `json:"latency_p50_us"`
+		P99US     int64 `json:"latency_p99_us"`
+	} `json:"server"`
+}
+
+// runServeLoad stands up the HTTP query service over the dataset on a
+// loopback listener and drives it with a mixed ingest/query workload from
+// concurrent clients, reporting client-observed p50/p99 latency and the
+// server's shedding/degradation counters. With benchOut non-empty the report
+// is also written there as JSON.
+func runServeLoad(ds *datagen.Dataset, clients, reqsPerClient, shards int, benchOut string) error {
+	eng := specqp.NewEngineWith(ds.Store, ds.Rules, specqp.Options{Shards: shards})
+	srv := server.New(server.Config{Backend: eng})
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Render the workload queries to SPARQL once; skip the few shapes the
+	// renderer cannot express.
+	dict := ds.Store.Dict()
+	var bodies [][]byte
+	for _, qs := range ds.Queries {
+		if !sparql.CanRender(qs.Query, dict) {
+			continue
+		}
+		b, err := json.Marshal(map[string]any{
+			"query":       sparql.Render(qs.Query, dict),
+			"k":           10,
+			"mode":        "spec-qp",
+			"deadline_ms": 5000,
+		})
+		if err != nil {
+			return err
+		}
+		bodies = append(bodies, b)
+	}
+	if len(bodies) == 0 {
+		return fmt.Errorf("serveload: no renderable queries in dataset %s", ds.Name)
+	}
+
+	var rep serveLoadReport
+	rep.Dataset = ds.Name
+	rep.Clients = clients
+	rep.ReqsPerClient = reqsPerClient
+	rep.Shards = shards
+
+	var hist metrics.Histogram
+	var qServed, qShed, qExpired, qErr atomic.Int64
+	var mServed, mShed, mErr atomic.Int64
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + c)))
+			id := fmt.Sprintf("client-%d", c)
+			for i := 0; i < reqsPerClient; i++ {
+				// Every 8th request is a live insert: the mixed workload the
+				// acceptance criterion asks for.
+				if i%8 == 7 {
+					mb, _ := json.Marshal(map[string]any{
+						"s": fmt.Sprintf("loadgen:c%d:i%d", c, i), "p": "loadgen:touched",
+						"o": "loadgen:blob", "score": rng.Float64() * 100,
+					})
+					status, err := post(client, base+"/insert", id, mb, nil)
+					switch {
+					case err != nil || status >= 500:
+						mErr.Add(1)
+					case status == http.StatusTooManyRequests:
+						mShed.Add(1)
+					default:
+						mServed.Add(1)
+					}
+					continue
+				}
+				body := bodies[rng.Intn(len(bodies))]
+				start := time.Now()
+				status, err := post(client, base+"/query", id, body, nil)
+				lat := time.Since(start)
+				switch {
+				case err != nil || status >= 500 && status != http.StatusGatewayTimeout:
+					qErr.Add(1)
+				case status == http.StatusTooManyRequests:
+					qShed.Add(1)
+				case status == http.StatusGatewayTimeout:
+					qExpired.Add(1)
+				default:
+					qServed.Add(1)
+					hist.Observe(lat)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	rep.DurationMS = float64(elapsed.Microseconds()) / 1000
+	total := qServed.Load() + qShed.Load() + qExpired.Load() + mServed.Load() + mShed.Load()
+	rep.ThroughputRPS = float64(total) / elapsed.Seconds()
+	rep.Queries.Served = qServed.Load()
+	rep.Queries.Shed = qShed.Load()
+	rep.Queries.Expired = qExpired.Load()
+	rep.Queries.Errors = qErr.Load()
+	rep.Queries.P50US = hist.Quantile(0.50).Microseconds()
+	rep.Queries.P90US = hist.Quantile(0.90).Microseconds()
+	rep.Queries.P99US = hist.Quantile(0.99).Microseconds()
+	rep.Queries.MeanUS = hist.Mean().Microseconds()
+	rep.Mutations.Served = mServed.Load()
+	rep.Mutations.Shed = mShed.Load()
+	rep.Mutations.Errors = mErr.Load()
+	m := srv.Metrics()
+	rep.Server.Accepted = m.Accepted.Load()
+	rep.Server.ShedQueue = m.ShedQueue.Load()
+	rep.Server.ShedRate = m.ShedRate.Load()
+	rep.Server.Degraded = m.Degraded.Load()
+	rep.Server.P50US = m.Latency.Quantile(0.50).Microseconds()
+	rep.Server.P99US = m.Latency.Quantile(0.99).Microseconds()
+
+	fmt.Printf("--- serve load, dataset %s: %d clients x %d reqs, shards=%d ---\n",
+		ds.Name, clients, reqsPerClient, shards)
+	fmt.Printf("  %d served / %d shed / %d expired / %d errors; %d mutations (%d shed)\n",
+		rep.Queries.Served, rep.Queries.Shed, rep.Queries.Expired, rep.Queries.Errors,
+		rep.Mutations.Served, rep.Mutations.Shed)
+	fmt.Printf("  client latency p50=%dus p90=%dus p99=%dus mean=%dus; %.0f req/s over %.0fms\n",
+		rep.Queries.P50US, rep.Queries.P90US, rep.Queries.P99US, rep.Queries.MeanUS,
+		rep.ThroughputRPS, rep.DurationMS)
+	fmt.Printf("  server: accepted=%d shed_queue=%d degraded=%d p50=%dus p99=%dus\n",
+		rep.Server.Accepted, rep.Server.ShedQueue, rep.Server.Degraded,
+		rep.Server.P50US, rep.Server.P99US)
+	if rep.Queries.Errors > 0 || rep.Mutations.Errors > 0 {
+		return fmt.Errorf("serveload: %d query / %d mutation errors under load",
+			rep.Queries.Errors, rep.Mutations.Errors)
+	}
+
+	if benchOut != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(benchOut, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", benchOut)
+	}
+	return nil
+}
+
+// post issues one JSON POST with the given client identity, draining and
+// closing the response body; when out is non-nil the body is decoded into it.
+func post(c *http.Client, url, clientID string, body []byte, out any) (int, error) {
+	req, err := http.NewRequest("POST", url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client-ID", clientID)
+	resp, err := c.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, err
+}

@@ -1,0 +1,232 @@
+// Command specqp-serve exposes a specqp engine as a resilient HTTP/JSON
+// query service (internal/server): per-client admission control, bounded
+// accept queue with fast 429 shedding, deadline propagation into the
+// operators, graceful degradation tiers under sustained overload, read-only
+// serving when the WAL wedges, and a graceful SIGTERM drain that flushes
+// in-flight requests and persists a final Sync+Checkpoint before exit.
+//
+// Example:
+//
+//	specqp-datagen -dataset xkg -out data
+//	specqp-serve -triples data/xkg.triples.tsv -rules data/xkg.rules.tsv -addr :8080
+//
+//	curl -s localhost:8080/query -d '{"query":"SELECT ?s WHERE { ?s <rdf:type> <type:g0:t1> . ?s <rdf:type> <type:g0:t2> }","k":5}'
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/metrics
+//
+// Endpoints: POST /query, /batch (JSON lines), /insert, /delete, /update;
+// GET /healthz, /metrics. Deadlines ride the X-Deadline-Ms header or the
+// body's deadline_ms field.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"specqp"
+	"specqp/internal/kg"
+	"specqp/internal/relax"
+	"specqp/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("specqp-serve: ")
+	if err := run(os.Args[1:], os.Stdout, nil, nil); err != nil {
+		if err == errBadFlags {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+var errBadFlags = fmt.Errorf("invalid command line")
+
+// run is the whole server behind a testable seam. shutdown, when non-nil,
+// substitutes for process signals (tests trigger drain by closing it);
+// ready, when non-nil, receives the bound listener address once the server
+// accepts connections.
+func run(args []string, out io.Writer, shutdown <-chan struct{}, ready chan<- string) error {
+	fs := flag.NewFlagSet("specqp-serve", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		triplesPath = fs.String("triples", "", "path to triples TSV or .bin snapshot (required unless -wal holds state)")
+		rulesPath   = fs.String("rules", "", "path to relaxation rules TSV (optional)")
+		walDir      = fs.String("wal", "", "durable WAL directory: bootstrap from -triples or recover existing state (mutations become crash-durable)")
+		walSync     = fs.String("wal-sync", "always", "WAL fsync policy: always, interval, or none")
+		shards      = fs.Int("shards", 1, "store segments (-1 = one per CPU)")
+		buckets     = fs.Int("buckets", 2, "histogram buckets for the estimator")
+		inflight    = fs.Int("max-inflight", 0, "max concurrently executing requests (0 = 2x GOMAXPROCS)")
+		queue       = fs.Int("max-queue", 0, "max requests waiting for a slot before shedding (0 = 4x max-inflight)")
+		rate        = fs.Float64("rate", 0, "per-client token-bucket rate, requests/sec (0 = unlimited)")
+		burst       = fs.Int("burst", 0, "per-client bucket capacity (0 = default)")
+		deadline    = fs.Duration("deadline", 2*time.Second, "default per-query deadline when the request carries none")
+		maxDeadline = fs.Duration("max-deadline", 30*time.Second, "upper clamp on requested deadlines")
+		degradedK   = fs.Int("degraded-k", 3, "k cap at the deepest degradation tier")
+		drainWait   = fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return errBadFlags
+	}
+
+	eng, err := buildEngine(*triplesPath, *rulesPath, *walDir, *walSync, *shards, *buckets, out)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	srv := server.New(server.Config{
+		Backend:         eng,
+		MaxInflight:     *inflight,
+		MaxQueue:        *queue,
+		RatePerClient:   *rate,
+		BurstPerClient:  *burst,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		DegradedK:       *degradedK,
+	})
+
+	hs := &http.Server{
+		Handler: srv.Handler(),
+		// Slow-loris protection: a connection that trickles its headers or
+		// body is cut, releasing whatever it holds, instead of pinning a
+		// slot forever.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * *maxDeadline,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "serving %d triples on %s\n", eng.Graph().Len(), ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	// Graceful shutdown: on SIGTERM/SIGINT (or the test shutdown channel),
+	// stop accepting, drain in-flight requests, flush durable state, exit 0.
+	sig := make(chan os.Signal, 1)
+	if shutdown == nil {
+		signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	}
+	select {
+	case err := <-serveErr:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(out, "received %v, draining\n", s)
+	case <-shutdown:
+		fmt.Fprintf(out, "shutdown requested, draining\n")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	// Drain first (stops admission, waits for in-flight, flushes the WAL),
+	// then close the HTTP layer; Shutdown reuses the same deadline.
+	if err := srv.Drain(ctx); err != nil {
+		hs.Close()
+		return err
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "drained cleanly\n")
+	return nil
+}
+
+// buildEngine loads the store exactly like the specqp CLI does: a flat or
+// sharded in-memory engine from -triples, or a durable engine bootstrapped
+// into / recovered from -wal.
+func buildEngine(triplesPath, rulesPath, walDir, walSync string, shards, buckets int, out io.Writer) (*specqp.Engine, error) {
+	syncPolicy, err := specqp.ParseSyncPolicy(walSync)
+	if err != nil {
+		return nil, err
+	}
+	opts := specqp.Options{
+		HistogramBuckets: buckets,
+		Shards:           shards,
+		SyncPolicy:       syncPolicy,
+	}
+	rules := specqp.NewRuleSet()
+	var eng *specqp.Engine
+	switch {
+	case walDir != "":
+		recovered, err := specqp.DurableStateExists(walDir)
+		if err != nil {
+			return nil, err
+		}
+		if recovered {
+			if triplesPath != "" {
+				return nil, fmt.Errorf("-wal %s already holds durable state; omit -triples", walDir)
+			}
+			if eng, err = specqp.OpenDurable(walDir, rules, opts); err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(out, "recovered %d triples from %s\n", eng.Graph().Len(), walDir)
+		} else {
+			var st *kg.Store
+			if triplesPath != "" {
+				if st, err = loadTriples(triplesPath); err != nil {
+					return nil, err
+				}
+			}
+			if eng, err = specqp.OpenDurableWith(walDir, st, rules, opts); err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(out, "bootstrapped %s (sync=%v)\n", walDir, syncPolicy)
+		}
+	default:
+		if triplesPath == "" {
+			return nil, fmt.Errorf("-triples is required (or -wal with existing durable state)")
+		}
+		st, err := loadTriples(triplesPath)
+		if err != nil {
+			return nil, err
+		}
+		eng = specqp.NewEngineWith(st, rules, opts)
+	}
+	if rulesPath != "" {
+		f, err := os.Open(rulesPath)
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		err = relax.ReadTSVInto(rules, f, eng.Graph().Dict())
+		f.Close()
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+	}
+	return eng, nil
+}
+
+func loadTriples(path string) (*kg.Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return kg.ReadBinary(f)
+	}
+	return kg.ReadTSV(f)
+}

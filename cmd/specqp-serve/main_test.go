@@ -1,0 +1,219 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// writeFixture writes a small triples TSV and rules TSV into dir.
+func writeFixture(t *testing.T, dir string) (triples, rules string) {
+	t.Helper()
+	var tb strings.Builder
+	for _, row := range []struct {
+		s, o  string
+		score float64
+	}{
+		{"shakira", "singer", 100}, {"beyonce", "singer", 90}, {"miley", "singer", 50},
+		{"prince", "vocalist", 95}, {"elton", "vocalist", 85},
+		{"shakira", "guitarist", 40}, {"prince", "guitarist", 99},
+		{"miley", "musician", 45}, {"beyonce", "musician", 70},
+	} {
+		fmt.Fprintf(&tb, "%s\trdf:type\t%s\t%g\n", row.s, row.o, row.score)
+	}
+	triples = filepath.Join(dir, "triples.tsv")
+	if err := os.WriteFile(triples, []byte(tb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// From: ?s rdf:type singer  →  To: ?s rdf:type vocalist, weight 0.8.
+	rulesTSV := "?s\trdf:type\tsinger\t?s\trdf:type\tvocalist\t0.8\n" +
+		"?s\trdf:type\tguitarist\t?s\trdf:type\tmusician\t0.7\n"
+	rules = filepath.Join(dir, "rules.tsv")
+	if err := os.WriteFile(rules, []byte(rulesTSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return triples, rules
+}
+
+const smokeQuery = `SELECT ?s WHERE { ?s 'rdf:type' <singer> . ?s 'rdf:type' <guitarist> }`
+
+// TestServeSmoke boots the full binary path through the run() seam: load a
+// store, serve queries and mutations over HTTP, weather an overload burst
+// without dropping an accepted answer, then drain cleanly on shutdown.
+func TestServeSmoke(t *testing.T) {
+	triples, rules := writeFixture(t, t.TempDir())
+	shutdown := make(chan struct{})
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-triples", triples,
+			"-rules", rules,
+			"-max-inflight", "2",
+			"-max-queue", "2",
+		}, io.Discard, shutdown, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	// A straight query works and answers.
+	body := fmt.Sprintf(`{"query":%q,"k":3,"mode":"trinit"}`, smokeQuery)
+	resp, err := http.Post(base+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(raw), `"prince"`) {
+		t.Fatalf("query: %d %s", resp.StatusCode, raw)
+	}
+
+	// A mutation round-trips.
+	resp, err = http.Post(base+"/insert", "application/json",
+		strings.NewReader(`{"s":"bowie","p":"rdf:type","o":"singer","score":97}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert: %d", resp.StatusCode)
+	}
+
+	// Overload burst against the tiny (2-slot, 2-queue) server: every
+	// response is either a served answer or a clean 429 — never a dropped
+	// connection or a 5xx.
+	var wg sync.WaitGroup
+	var served, shed, other int64
+	var mu sync.Mutex
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(base+"/query", "application/json", strings.NewReader(body))
+			if err != nil {
+				mu.Lock()
+				other++
+				mu.Unlock()
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			mu.Lock()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				served++
+			case http.StatusTooManyRequests:
+				shed++
+			default:
+				other++
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if other != 0 {
+		t.Fatalf("burst: %d requests neither served nor shed (served=%d shed=%d)", other, served, shed)
+	}
+	if served == 0 {
+		t.Fatal("burst: nothing served")
+	}
+
+	// /healthz and /metrics respond.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d", path, resp.StatusCode)
+		}
+	}
+
+	// Graceful drain: shutdown exits cleanly.
+	close(shutdown)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain")
+	}
+}
+
+// TestServeDurableRecovery: mutations served over HTTP into a WAL-backed
+// engine survive a restart of the whole server.
+func TestServeDurableRecovery(t *testing.T) {
+	dir := t.TempDir()
+	triples, rules := writeFixture(t, dir)
+	wal := filepath.Join(dir, "wal")
+
+	boot := func(args []string) (string, chan struct{}, chan error) {
+		shutdown := make(chan struct{})
+		ready := make(chan string, 1)
+		done := make(chan error, 1)
+		go func() { done <- run(args, io.Discard, shutdown, ready) }()
+		select {
+		case addr := <-ready:
+			return "http://" + addr, shutdown, done
+		case err := <-done:
+			t.Fatalf("server exited before ready: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("server never became ready")
+		}
+		panic("unreachable")
+	}
+
+	base, shutdown, done := boot([]string{
+		"-addr", "127.0.0.1:0", "-triples", triples, "-rules", rules, "-wal", wal,
+	})
+	resp, err := http.Post(base+"/insert", "application/json",
+		strings.NewReader(`{"s":"bowie","p":"rdf:type","o":"guitarist","score":97}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert: %d", resp.StatusCode)
+	}
+	close(shutdown)
+	if err := <-done; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Restart from the WAL directory alone; the served insert must be there.
+	base, shutdown, done = boot([]string{"-addr", "127.0.0.1:0", "-wal", wal})
+	body := fmt.Sprintf(`{"query":%q,"k":5,"mode":"naive"}`,
+		`SELECT ?s WHERE { ?s 'rdf:type' <guitarist> }`)
+	resp, err = http.Post(base+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(raw), `"bowie"`) {
+		t.Fatalf("recovered query: %d %s", resp.StatusCode, raw)
+	}
+	close(shutdown)
+	if err := <-done; err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}

@@ -271,15 +271,16 @@ func printResult(out io.Writer, eng *specqp.Engine, q specqp.Query, mode specqp.
 
 func parseMode(s string) (specqp.Mode, error) {
 	switch strings.ToLower(s) {
-	case "spec-qp", "specqp", "s":
+	case "s":
 		return specqp.ModeSpecQP, nil
-	case "trinit", "t":
+	case "t":
 		return specqp.ModeTriniT, nil
-	case "naive", "n":
+	case "n":
 		return specqp.ModeNaive, nil
-	default:
-		return 0, fmt.Errorf("unknown mode %q (want spec-qp, trinit or naive)", s)
+	case "e":
+		return specqp.ModeExact, nil
 	}
+	return specqp.ParseMode(strings.ToLower(s))
 }
 
 func loadTriples(path string) (*kg.Store, error) {

@@ -57,6 +57,22 @@ const (
 // ParseSyncPolicy parses "always", "interval" or "none".
 func ParseSyncPolicy(s string) (SyncPolicy, error) { return wal.ParseSyncPolicy(s) }
 
+// ErrWedged is the typed, errors.Is-able marker of a wedged write-ahead log:
+// after any WAL I/O failure every later Insert/Delete/Update (and Sync,
+// Checkpoint) on the durable engine fails with an error matching
+// errors.Is(err, ErrWedged), unwrapping to the original fault. Queries are
+// unaffected — the engine keeps serving reads from the last applied state,
+// which is the library-level read-only degradation the serving layer builds
+// on (see Engine.Wedged).
+var ErrWedged = wal.ErrWedged
+
+// Wedged reports whether the engine's write-ahead log has entered the sticky
+// failure state: mutations fail fast with ErrWedged while queries keep
+// serving. Always false on non-durable engines — they have no log to wedge.
+func (e *Engine) Wedged() bool {
+	return e.wal != nil && e.wal.log.Wedged()
+}
+
 // DefaultCheckpointBytes is the WAL size at which a durable engine
 // checkpoints automatically when Options.CheckpointBytes is zero.
 const DefaultCheckpointBytes = int64(64 << 20)

@@ -9,13 +9,19 @@ import (
 	"specqp/internal/planner"
 )
 
-// RunContext executes plan p like Run but honours ctx between answer pulls:
-// when the context is cancelled, the partial result gathered so far is
-// returned together with ctx.Err(). Cancellation granularity is one top-k
-// answer (operators run to the next emission before the check fires), which
-// bounds the overshoot to a single rank-join pull chain.
+// RunContext executes plan p like Run but honours ctx *inside* the operator
+// pull loops, not just between answer pulls: the counter's abort hook is
+// polled by the rank joins and Incremental Merges every
+// operators.AbortStride input pulls, so a cancelled query returns within a
+// bounded number of probes even when a single Next() would otherwise drain
+// its inputs (a selective join with no matches, a deep dedup run). On
+// cancellation the partial result gathered so far is returned together with
+// ctx.Err().
 func (ex *Executor) RunContext(ctx context.Context, p planner.Plan) (Result, error) {
 	c := &operators.Counter{}
+	// Installed before buildStream so the prefetch goroutines observe the
+	// hook through their creation edge; ctx.Err is safe for concurrent use.
+	c.SetAbort(func() bool { return ctx.Err() != nil })
 	start := time.Now()
 	root, _, stop := ex.buildStream(p, c)
 	defer stop()
@@ -29,6 +35,12 @@ func (ex *Executor) RunContext(ctx context.Context, p planner.Plan) (Result, err
 		}
 		e, ok := root.Next()
 		if !ok {
+			// An aborted operator reports exhaustion; distinguish a genuinely
+			// drained stream from a cancelled one so callers always see the
+			// context error alongside the partial top-k. A run that filled k
+			// answers never reaches this check — completion beats a
+			// cancellation that lands after the last answer.
+			err = ctx.Err()
 			break
 		}
 		answers = append(answers, kg.Answer{Binding: e.Binding, Score: e.Score, Relaxed: e.Relaxed})
@@ -44,6 +56,11 @@ func (ex *Executor) RunContext(ctx context.Context, p planner.Plan) (Result, err
 // TriniTContext is TriniT with context support.
 func (ex *Executor) TriniTContext(ctx context.Context, q kg.Query, k int) (Result, error) {
 	return ex.RunContext(ctx, planner.TriniTPlan(q, k))
+}
+
+// ExactContext is Exact with context support.
+func (ex *Executor) ExactContext(ctx context.Context, q kg.Query, k int) (Result, error) {
+	return ex.RunContext(ctx, planner.ExactPlan(q, k))
 }
 
 // SpecQPContext is SpecQP with context support. Planning itself is not

@@ -200,6 +200,15 @@ func (ex *Executor) TriniT(q kg.Query, k int) Result {
 	return ex.Run(planner.TriniTPlan(q, k))
 }
 
+// Exact executes q with no relaxations at all: every pattern joins as a
+// plain sorted scan, so the result is the exact top-k of the unrelaxed
+// query. This is the graceful-degradation plan a saturated server falls back
+// to — the paper's own semantics make "serve the exact answer only" a
+// principled cheaper tier rather than an error.
+func (ex *Executor) Exact(q kg.Query, k int) Result {
+	return ex.Run(planner.ExactPlan(q, k))
+}
+
 // PlanSource is anything that yields a speculative plan for a query: a bare
 // planner.Planner or a planner.PlanCache.
 type PlanSource interface {

@@ -1,0 +1,125 @@
+// Server-side observability for the query service (internal/server): cheap
+// atomic counters for the admission/shedding/degradation pipeline and a
+// log-bucketed latency histogram with quantile estimation. Everything here is
+// lock-free on the hot path — one atomic add per event — so instrumentation
+// never becomes the bottleneck it is supposed to measure.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log2 latency buckets: bucket i counts
+// observations in [2^i, 2^(i+1)) microseconds, covering sub-microsecond to
+// ~18 minutes, far beyond any serving deadline.
+const histBuckets = 31
+
+// Histogram is a fixed log2-bucketed latency histogram safe for concurrent
+// use. The zero value is ready.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // microseconds
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	i := bits.Len64(uint64(us)) // 0 for 0us, else floor(log2)+1
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(us)
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the average observed latency (0 with no samples).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load()/n) * time.Microsecond
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of the
+// bucket where the cumulative count crosses q — a conservative estimate whose
+// error is bounded by the 2x bucket width. Returns 0 with no samples.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	target := int64(q * float64(n))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			// Bucket i holds [2^(i-1), 2^i) us (bucket 0 is exactly 0us).
+			return time.Duration(int64(1)<<uint(i)) * time.Microsecond
+		}
+	}
+	return time.Duration(int64(1)<<uint(histBuckets)) * time.Microsecond
+}
+
+// ServerMetrics aggregates the query service's counters. All fields are
+// atomics; the zero value is ready. The names mirror the /metrics exposition.
+type ServerMetrics struct {
+	// Admission pipeline.
+	Requests     atomic.Int64 // requests that reached admission control
+	Accepted     atomic.Int64 // requests that acquired an execution slot
+	ShedRate     atomic.Int64 // shed by a per-client token bucket (429)
+	ShedQueue    atomic.Int64 // shed because the accept queue was full (429)
+	ShedDraining atomic.Int64 // refused because the server is draining (503)
+
+	// Execution.
+	EngineQueries atomic.Int64 // queries actually handed to the engine
+	QueryErrors   atomic.Int64 // non-deadline query failures
+	Expired       atomic.Int64 // queries that hit their deadline mid-flight
+	Degraded      atomic.Int64 // queries served at a degraded tier (>=1)
+
+	// Mutations.
+	Mutations      atomic.Int64 // mutations handed to the engine
+	MutationErrors atomic.Int64 // failed mutations (incl. wedged-log refusals)
+
+	// Latency of accepted queries, admission to response.
+	Latency Histogram
+}
+
+// WriteText renders the counters in Prometheus text exposition format.
+func (m *ServerMetrics) WriteText(w io.Writer) {
+	c := func(name string, v int64) { fmt.Fprintf(w, "specqp_%s %d\n", name, v) }
+	c("requests_total", m.Requests.Load())
+	c("accepted_total", m.Accepted.Load())
+	c("shed_rate_total", m.ShedRate.Load())
+	c("shed_queue_total", m.ShedQueue.Load())
+	c("shed_draining_total", m.ShedDraining.Load())
+	c("engine_queries_total", m.EngineQueries.Load())
+	c("query_errors_total", m.QueryErrors.Load())
+	c("query_deadline_exceeded_total", m.Expired.Load())
+	c("degraded_responses_total", m.Degraded.Load())
+	c("mutations_total", m.Mutations.Load())
+	c("mutation_errors_total", m.MutationErrors.Load())
+	c("query_latency_count", m.Latency.Count())
+	fmt.Fprintf(w, "specqp_query_latency_mean_us %d\n", m.Latency.Mean().Microseconds())
+	for _, q := range []struct {
+		name string
+		q    float64
+	}{{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}} {
+		fmt.Fprintf(w, "specqp_query_latency_%s_us %d\n", q.name, m.Latency.Quantile(q.q).Microseconds())
+	}
+}

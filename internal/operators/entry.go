@@ -33,8 +33,42 @@ func (e Entry) String() string {
 
 // Counter tallies answer objects created by the operators. A nil *Counter is
 // legal and counts nothing, so operators can be used without instrumentation.
+//
+// A Counter also carries the execution's abort hook (SetAbort): the shared
+// per-execution object every operator already receives is the natural channel
+// for cancellation, and operators with unbounded internal pull loops — the
+// rank joins and the Incremental Merge — poll it at a bounded stride so a
+// cancelled query stops mid-join instead of running one full Next() chain to
+// completion.
 type Counter struct {
 	n atomic.Int64
+	// abort reports whether the execution should stop early. It is set once,
+	// before any operator goroutine starts (RunContext does this ahead of
+	// stream construction), and only read afterwards — the goroutine-creation
+	// happens-before edge makes the plain field safe under the prefetchers'
+	// concurrent reads.
+	abort func() bool
+}
+
+// AbortStride is the pull-loop polling interval for the abort hook: operators
+// with unbounded internal iteration check Aborted every AbortStride input
+// pulls, bounding a cancelled query's overshoot to a few hundred probes per
+// operator instead of a full input drain.
+const AbortStride = 64
+
+// SetAbort installs the abort hook. Call it before the operator tree is built
+// (and before any prefetch goroutine starts); f must be safe for concurrent
+// use, like ctx.Err.
+func (c *Counter) SetAbort(f func() bool) {
+	if c != nil {
+		c.abort = f
+	}
+}
+
+// Aborted reports whether the abort hook fired. Nil counters and counters
+// without a hook never abort.
+func (c *Counter) Aborted() bool {
+	return c != nil && c.abort != nil && c.abort()
 }
 
 // Inc records the creation of one answer object.

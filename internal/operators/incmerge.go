@@ -29,6 +29,8 @@ type IncrementalMerge struct {
 	seen          map[kg.BindingKey]bool
 	keyer         *kg.Keyer
 	counter       *Counter
+	pulls         int  // input pulls since the last abort poll
+	aborted       bool // sticky: once aborted, the stream stays exhausted
 	top           float64
 	last          float64
 	primed        bool
@@ -96,9 +98,25 @@ func (m *IncrementalMerge) Bound() float64 {
 }
 
 // Next implements Stream.
+//
+// Dedup-heavy inputs can make one Next call pull many entries before an
+// unseen binding surfaces, so the loop polls the counter's abort hook every
+// AbortStride pulls (see RankJoin.Next) and reports exhaustion when it fires.
 func (m *IncrementalMerge) Next() (Entry, bool) {
 	m.prime()
 	for len(m.heads) > 0 {
+		if m.aborted {
+			return Entry{}, false
+		}
+		if m.pulls >= AbortStride {
+			m.pulls = 0
+			if m.counter.Aborted() {
+				m.aborted = true
+				m.last = 0
+				return Entry{}, false
+			}
+		}
+		m.pulls++
 		h := m.heads[0]
 		if e, ok := m.inputs[h.src].Next(); ok {
 			m.heads[0] = mergeHead{entry: e, src: h.src}

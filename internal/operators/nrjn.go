@@ -25,6 +25,8 @@ type NRJN struct {
 	queue     []Entry
 	emitted   map[kg.BindingKey]bool
 	done      bool
+	pulls     int // inner pulls since the last abort poll
+	aborted   bool
 	top       float64
 	last      float64
 	primed    bool
@@ -87,6 +89,14 @@ func (n *NRJN) step() bool {
 	key := n.joinKeyer.Key(o.Binding)
 	n.inner.Reset()
 	for {
+		if n.pulls >= AbortStride {
+			n.pulls = 0
+			if n.counter.Aborted() {
+				n.aborted = true
+				return false
+			}
+		}
+		n.pulls++
 		ie, ok := n.inner.Next()
 		if !ok {
 			break
@@ -107,10 +117,15 @@ func (n *NRJN) step() bool {
 	return true
 }
 
-// Next implements Stream.
+// Next implements Stream. Like RankJoin.Next it polls the counter's abort
+// hook at a bounded stride inside the re-scan loop, so a cancelled query
+// stops mid-scan instead of completing every remaining inner pass.
 func (n *NRJN) Next() (Entry, bool) {
 	n.prime()
 	for {
+		if n.aborted {
+			return Entry{}, false
+		}
 		if len(n.queue) > 0 && n.queue[0].Score >= n.threshold()-1e-12 {
 			e := heapPop(&n.queue)
 			k := n.emitKeyer.Key(e.Binding)

@@ -36,6 +36,8 @@ type RankJoin struct {
 	leftDone          bool
 	rightDone         bool
 	pullLeft          bool // alternation state
+	pulls             int  // input pulls since the last abort poll
+	aborted           bool // sticky: once aborted, the stream stays exhausted
 	top               float64
 	last              float64
 	primed            bool
@@ -185,9 +187,27 @@ func (rj *RankJoin) enqueue(l, r Entry) {
 }
 
 // Next implements Stream.
+//
+// One Next call can pull an unbounded number of input entries before a join
+// result becomes provably final (a join with few or no matches drains both
+// inputs inside a single call), so the pull loop polls the counter's abort
+// hook every AbortStride pulls: a cancelled query makes the stream report
+// exhaustion promptly instead of holding its executor worker for the full
+// drain. Results already proven final are still emitted first — cancellation
+// never reorders or corrupts the stream, it only truncates it.
 func (rj *RankJoin) Next() (Entry, bool) {
 	rj.prime()
 	for {
+		if rj.aborted {
+			return Entry{}, false
+		}
+		if rj.pulls >= AbortStride {
+			rj.pulls = 0
+			if rj.counter.Aborted() {
+				rj.aborted = true
+				return Entry{}, false
+			}
+		}
 		if len(rj.queue) > 0 && rj.queue[0].Score >= rj.threshold()-1e-12 {
 			e := heapPop(&rj.queue)
 			key := rj.emitKeyer.Key(e.Binding)
@@ -198,6 +218,7 @@ func (rj *RankJoin) Next() (Entry, bool) {
 			rj.last = e.Score
 			return e, true
 		}
+		rj.pulls++
 		if !rj.pullOne() {
 			// Inputs exhausted: flush the queue.
 			for len(rj.queue) > 0 {

@@ -260,3 +260,16 @@ func TriniTPlan(q kg.Query, k int) Plan {
 	}
 	return p
 }
+
+// ExactPlan returns the relaxation-free plan for q: every pattern is in the
+// join group, so execution is a pure rank join over the original patterns'
+// sorted lists and the answers are the exact (unrelaxed) top-k. It is the
+// cheapest of the three plan shapes — no Incremental Merge, no relaxed scans
+// — which makes it the degraded tier an overloaded server falls back to.
+func ExactPlan(q kg.Query, k int) Plan {
+	p := Plan{Query: q.Clone(), K: k}
+	for i := range q.Patterns {
+		p.JoinGroup = append(p.JoinGroup, i)
+	}
+	return p
+}

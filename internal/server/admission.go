@@ -1,0 +1,97 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// bucketTable is the per-client token-bucket rate limiter: each client ID
+// owns one bucket refilled at rate tokens/sec up to burst. The table itself
+// is bounded (maxClients) so an attacker cycling client IDs cannot grow it
+// without limit — when full, idle buckets are evicted first and, if every
+// bucket is busy, the unknown newcomer is simply refused admission (the
+// conservative failure: an overloaded table is itself an overload signal).
+type bucketTable struct {
+	mu         sync.Mutex
+	rate       float64 // tokens per second; <= 0 disables rate limiting
+	burst      float64
+	maxClients int
+	buckets    map[string]*bucket
+	now        func() time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newBucketTable(rate float64, burst, maxClients int, now func() time.Time) *bucketTable {
+	if burst < 1 {
+		burst = 1
+	}
+	if maxClients < 1 {
+		maxClients = 1
+	}
+	return &bucketTable{
+		rate:       rate,
+		burst:      float64(burst),
+		maxClients: maxClients,
+		buckets:    make(map[string]*bucket),
+		now:        now,
+	}
+}
+
+// take attempts to consume n tokens from client's bucket. On refusal it
+// returns the duration after which the client should retry (the Retry-After
+// hint), always at least one second so well-behaved clients back off
+// meaningfully.
+func (t *bucketTable) take(client string, n int) (ok bool, retryAfter time.Duration) {
+	if t.rate <= 0 {
+		return true, 0
+	}
+	need := float64(n)
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.buckets[client]
+	if b == nil {
+		if len(t.buckets) >= t.maxClients && !t.evictIdle(now) {
+			// Table saturated with active clients: refuse the newcomer with a
+			// flat one-second backoff instead of growing without bound.
+			return false, time.Second
+		}
+		b = &bucket{tokens: t.burst, last: now}
+		t.buckets[client] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(t.burst, b.tokens+t.rate*dt)
+	}
+	b.last = now
+	if b.tokens >= need {
+		b.tokens -= need
+		return true, 0
+	}
+	wait := time.Duration((need - b.tokens) / t.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return false, wait
+}
+
+// evictIdle removes one bucket that has refilled to burst (its owner has been
+// quiet long enough to be indistinguishable from a new client). Caller holds
+// t.mu. Reports whether a slot was freed.
+func (t *bucketTable) evictIdle(now time.Time) bool {
+	for id, b := range t.buckets {
+		tokens := b.tokens
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			tokens = math.Min(t.burst, tokens+t.rate*dt)
+		}
+		if tokens >= t.burst {
+			delete(t.buckets, id)
+			return true
+		}
+	}
+	return false
+}

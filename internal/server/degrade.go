@@ -1,0 +1,95 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// Degradation tiers. Under sustained overload the server does not merely
+// shed harder — it makes every admitted query cheaper, exploiting the
+// paper's own semantics: the exact (unrelaxed) top-k is a principled answer,
+// not an error, so saturation degrades answer enrichment before it degrades
+// availability.
+const (
+	// TierNormal serves the requested mode and k unchanged.
+	TierNormal = 0
+	// TierExact forces ModeExact: relaxation processing (the Incremental
+	// Merges and relaxed scans) is dropped, queries answer with the exact
+	// top-k of the unrelaxed query.
+	TierExact = 1
+	// TierShrunkK additionally caps k at Config.DegradedK, shrinking the
+	// rank joins' stopping depth.
+	TierShrunkK = 2
+)
+
+// governor decides the current degradation tier from a leaky bucket of
+// queue-full shed events: every shed adds one unit of pressure, pressure
+// leaks at leakPerSec, and the tier is a threshold function of the
+// outstanding pressure. A short burst of sheds (below the threshold) never
+// degrades; sustained shedding — arrivals outpacing the leak — escalates to
+// TierExact and then TierShrunkK, and a quiet period drains the bucket back
+// to TierNormal. Time is read through the injected clock so the fault
+// harness can drive transitions deterministically.
+type governor struct {
+	mu         sync.Mutex
+	score      float64
+	last       time.Time
+	leakPerSec float64
+	t1, t2     float64
+	now        func() time.Time
+}
+
+func newGovernor(threshold, leakPerSec float64, now func() time.Time) *governor {
+	if threshold <= 0 {
+		threshold = 64
+	}
+	if leakPerSec <= 0 {
+		leakPerSec = 16
+	}
+	return &governor{leakPerSec: leakPerSec, t1: threshold, t2: 4 * threshold, now: now}
+}
+
+// decay applies the leak since the last observation. Caller holds g.mu.
+func (g *governor) decay() {
+	now := g.now()
+	if !g.last.IsZero() {
+		if dt := now.Sub(g.last).Seconds(); dt > 0 {
+			g.score -= g.leakPerSec * dt
+			if g.score < 0 {
+				g.score = 0
+			}
+		}
+	}
+	g.last = now
+}
+
+// noteShed records one queue-full shed.
+func (g *governor) noteShed() {
+	g.mu.Lock()
+	g.decay()
+	g.score++
+	g.mu.Unlock()
+}
+
+// Tier returns the current degradation tier.
+func (g *governor) Tier() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.decay()
+	switch {
+	case g.score >= g.t2:
+		return TierShrunkK
+	case g.score >= g.t1:
+		return TierExact
+	default:
+		return TierNormal
+	}
+}
+
+// Pressure returns the outstanding pressure score (observability).
+func (g *governor) Pressure() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.decay()
+	return g.score
+}

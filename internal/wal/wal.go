@@ -83,6 +83,26 @@ func (o Options) withDefaults() Options {
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: log closed")
 
+// ErrWedged marks the sticky state a log enters after any I/O failure: every
+// later append, sync or checkpoint fails, exactly like a crashed process,
+// while reads of already-applied state stay valid. Errors returned by a
+// wedged log match errors.Is(err, ErrWedged) and unwrap to the original I/O
+// error — callers degrade to read-only serving on it rather than string-
+// matching.
+var ErrWedged = errors.New("wal: log wedged by an I/O error")
+
+// wedgedError is the sticky error wrapper: it carries the original fault and
+// identifies as ErrWedged under errors.Is.
+type wedgedError struct{ cause error }
+
+func (e *wedgedError) Error() string { return "wal: log wedged: " + e.cause.Error() }
+
+// Unwrap exposes the original I/O error for errors.Is/As chains.
+func (e *wedgedError) Unwrap() error { return e.cause }
+
+// Is makes every wedged error match the ErrWedged sentinel.
+func (e *wedgedError) Is(target error) bool { return target == ErrWedged }
+
 // segment is one managed log file. first is the sequence number of its first
 // record (also encoded in its name); size counts the bytes of valid records
 // known to be in it.
@@ -322,12 +342,17 @@ func (l *Log) Size() int64 {
 	return l.totalSize + int64(len(l.buf))
 }
 
-// Err returns the sticky fatal error, if any.
+// Err returns the sticky fatal error, if any. A non-nil result matches
+// errors.Is(err, ErrWedged).
 func (l *Log) Err() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.err
 }
+
+// Wedged reports whether the log has entered the sticky failure state:
+// appends and checkpoints fail, reads keep serving.
+func (l *Log) Wedged() bool { return l.Err() != nil }
 
 // AppendAsync frames the record into the commit pipeline, assigns its
 // sequence number, and returns a wait function that blocks until the record
@@ -404,8 +429,8 @@ func (l *Log) commit(forceSync bool) error {
 					// Sticky like every other I/O failure: a background
 					// interval fsync that fails must wedge the log, or
 					// appends would keep acking writes that never reach disk.
-					lastErr = err
 					l.fail(err)
+					lastErr = l.Err()
 				}
 				l.mu.Lock()
 			}
@@ -425,8 +450,13 @@ func (l *Log) commit(forceSync bool) error {
 			err = l.syncActive()
 		}
 		if err != nil {
-			lastErr = err
+			// Wedge first, then hand the batch the canonical wrapped error:
+			// the very first failing append already reports ErrWedged, so a
+			// server can flip to read-only on the fault itself rather than on
+			// the next mutation.
 			l.fail(err)
+			err = l.Err()
+			lastErr = err
 		}
 		b.err = err
 		close(b.done)
@@ -492,8 +522,13 @@ func (l *Log) syncActive() error {
 }
 
 // fail records the sticky fatal error and releases any batch that has not
-// yet been taken by a leader, so no appender blocks on a wedged log.
+// yet been taken by a leader, so no appender blocks on a wedged log. The
+// error is wrapped once here — the single wedge point — so every later
+// surface of l.err matches errors.Is(err, ErrWedged).
 func (l *Log) fail(err error) {
+	if !errors.Is(err, ErrWedged) {
+		err = &wedgedError{cause: err}
+	}
 	l.mu.Lock()
 	if l.err == nil {
 		l.err = err

@@ -1,0 +1,87 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestWedgedErrorIsTyped pins the read-only degradation contract: the first
+// append that hits an I/O fault — and every operation after it — fails with
+// an error satisfying errors.Is(err, ErrWedged), while the underlying cause
+// stays reachable through Unwrap for diagnostics.
+func TestWedgedErrorIsTyped(t *testing.T) {
+	fs := NewMemFS()
+	initManifest(t, fs, 0)
+	l, _, err := Open(fs, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	if err := l.Append(rec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if l.Wedged() {
+		t.Fatal("healthy log reports wedged")
+	}
+
+	// Arm the byte-budget fault: the next flush dies mid-write.
+	fs.SetBudget(1)
+	first := l.Append(rec(2))
+	if first == nil {
+		t.Fatal("append past the budget succeeded")
+	}
+	if !errors.Is(first, ErrWedged) {
+		t.Fatalf("first failing append not ErrWedged: %v", first)
+	}
+	// The original cause is preserved under the wrapper.
+	var cause error
+	for e := first; e != nil; e = errors.Unwrap(e) {
+		cause = e
+	}
+	if cause == ErrWedged || cause == nil {
+		t.Fatalf("cause lost: %v", first)
+	}
+
+	if !l.Wedged() {
+		t.Fatal("log not wedged after I/O fault")
+	}
+	if !errors.Is(l.Err(), ErrWedged) {
+		t.Fatalf("Err() not ErrWedged: %v", l.Err())
+	}
+
+	// The wedge is sticky: later appends and syncs fail fast with the same
+	// typed error, even though the fault fired only once.
+	for i := 0; i < 3; i++ {
+		if err := l.Append(rec(10 + i)); !errors.Is(err, ErrWedged) {
+			t.Fatalf("append %d after wedge: %v", i, err)
+		}
+	}
+	if err := l.Sync(); !errors.Is(err, ErrWedged) {
+		t.Fatalf("sync after wedge: %v", err)
+	}
+}
+
+// TestWedgedAsyncAppend: the group-commit path reports the wedge through the
+// wait function too.
+func TestWedgedAsyncAppend(t *testing.T) {
+	fs := NewMemFS()
+	initManifest(t, fs, 0)
+	l, _, err := Open(fs, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	fs.SetBudget(1)
+	wait, err := l.AppendAsync(rec(1))
+	if err != nil {
+		if !errors.Is(err, ErrWedged) {
+			t.Fatalf("enqueue error not ErrWedged: %v", err)
+		}
+		return
+	}
+	if werr := wait(); !errors.Is(werr, ErrWedged) {
+		t.Fatalf("async wait not ErrWedged: %v", werr)
+	}
+}

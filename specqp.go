@@ -135,6 +135,12 @@ const (
 	ModeTriniT
 	// ModeNaive evaluates every relaxed query completely (strawman).
 	ModeNaive
+	// ModeExact executes the query with no relaxations at all: a pure rank
+	// join over the original patterns' sorted lists, answering with the exact
+	// unrelaxed top-k. It is the cheapest mode — no Incremental Merges, no
+	// relaxed scans, no planning — and the principled degraded tier a
+	// saturated server falls back to (see internal/server).
+	ModeExact
 )
 
 // String implements fmt.Stringer.
@@ -146,8 +152,27 @@ func (m Mode) String() string {
 		return "trinit"
 	case ModeNaive:
 		return "naive"
+	case ModeExact:
+		return "exact"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode parses a mode name as rendered by Mode.String: "spec-qp" (or
+// "specqp"), "trinit", "naive", "exact".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "spec-qp", "specqp":
+		return ModeSpecQP, nil
+	case "trinit":
+		return ModeTriniT, nil
+	case "naive":
+		return ModeNaive, nil
+	case "exact":
+		return ModeExact, nil
+	default:
+		return 0, fmt.Errorf("specqp: unknown mode %q (want spec-qp, trinit, naive or exact)", s)
 	}
 }
 
@@ -407,6 +432,8 @@ func (e *Engine) Query(q Query, k int, mode Mode) (Result, error) {
 		return e.exec.TriniT(q, k), nil
 	case ModeNaive:
 		return e.exec.Naive(q, k, e.opts.NaiveLimit), nil
+	case ModeExact:
+		return e.exec.Exact(q, k), nil
 	default:
 		return Result{}, fmt.Errorf("specqp: unknown mode %v", mode)
 	}
@@ -430,6 +457,8 @@ func (e *Engine) QueryContext(ctx context.Context, q Query, k int, mode Mode) (R
 		return e.exec.TriniTContext(ctx, q, k)
 	case ModeNaive:
 		return e.Query(q, k, mode)
+	case ModeExact:
+		return e.exec.ExactContext(ctx, q, k)
 	default:
 		return Result{}, fmt.Errorf("specqp: unknown mode %v", mode)
 	}

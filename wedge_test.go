@@ -1,0 +1,81 @@
+package specqp
+
+import (
+	"errors"
+	"testing"
+
+	"specqp/internal/wal"
+)
+
+// TestWedgedEngineDegradesReadOnly pins the library-level graceful
+// degradation contract the serving layer builds on: an I/O fault that wedges
+// the write-ahead log makes every subsequent mutation fail fast with a typed,
+// errors.Is-able ErrWedged, while queries keep serving — bit-identical to a
+// flat oracle over the triples that are actually visible.
+func TestWedgedEngineDegradesReadOnly(t *testing.T) {
+	dict, triples, rules, queries := randomLiveFixture(t, 9901)
+	base := len(triples) / 2
+	fs := wal.NewMemFS()
+	eng, err := openDurableFS(fs, buildBaseStore(t, dict, triples, base), rules, Options{
+		Shards:     2,
+		SyncPolicy: SyncAlways,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	if eng.Wedged() {
+		t.Fatal("fresh engine reports wedged")
+	}
+
+	// Ingest a few triples cleanly, then arm the byte-budget fault so the
+	// next commit dies mid-write.
+	pos := base
+	for ; pos < base+3; pos++ {
+		if err := eng.Insert(triples[pos]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.SetBudget(1)
+
+	// Insert until the wedge fires; the failing insert itself must already
+	// carry the typed error.
+	var werr error
+	for ; pos < len(triples); pos++ {
+		if werr = eng.Insert(triples[pos]); werr != nil {
+			break
+		}
+	}
+	if werr == nil {
+		t.Fatal("no insert failed despite exhausted byte budget")
+	}
+	if !errors.Is(werr, ErrWedged) {
+		t.Fatalf("failing insert not ErrWedged: %v", werr)
+	}
+	if !eng.Wedged() {
+		t.Fatal("engine not wedged after failed commit")
+	}
+
+	// Read-only: every mutation kind fails fast with the same typed error.
+	if err := eng.Insert(triples[len(triples)-1]); !errors.Is(err, ErrWedged) {
+		t.Fatalf("insert after wedge: %v", err)
+	}
+	tr := triples[0]
+	if _, err := eng.Delete(tr.S, tr.P, tr.O); !errors.Is(err, ErrWedged) {
+		t.Fatalf("delete after wedge: %v", err)
+	}
+	if err := eng.Update(Triple{S: tr.S, P: tr.P, O: tr.O, Score: 123}); !errors.Is(err, ErrWedged) {
+		t.Fatalf("update after wedge: %v", err)
+	}
+
+	// Queries keep serving. The failing insert is indeterminate (it may or
+	// may not be visible), so the oracle covers whatever prefix the engine
+	// actually holds — which must still be a coherent fixture prefix.
+	visible := eng.Graph().Len()
+	if visible < base+3 || visible > len(triples) {
+		t.Fatalf("visible triples %d out of range [%d, %d]", visible, base+3, len(triples))
+	}
+	assertTriplePrefix(t, "wedged", eng.Graph(), dict, triples, visible)
+	assertOracleEqual(t, "wedged", eng, flatOracle(t, dict, triples, visible, rules), queries)
+}
