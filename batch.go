@@ -27,6 +27,22 @@ type BatchResult struct {
 // fail fast with ctx.Err() and in-flight queries return their partial top-k
 // exactly like QueryContext.
 func (e *Engine) QueryBatch(ctx context.Context, queries []Query, k int, mode Mode) ([]BatchResult, error) {
+	return e.QueryBatchStream(ctx, queries, k, mode, nil)
+}
+
+// QueryBatchStream is QueryBatch with incremental emission: emit receives
+// (query index, answer) pairs the moment each query's operators prove the
+// answer final, so a consumer multiplexing many queries — the server's
+// streaming /batch endpoint — can forward early answers while slower queries
+// are still joining. Emissions from different queries interleave; within one
+// query index they arrive in rank order. Because the pool runs queries on
+// multiple goroutines, emit is called concurrently and must serialise its own
+// side effects. An emit returning false stops that query early (its
+// BatchResult keeps the emitted prefix) without affecting the others.
+//
+// A nil emit reproduces QueryBatch verbatim — the batch path is expressed on
+// the streaming one, so both observe identical per-query answer sequences.
+func (e *Engine) QueryBatchStream(ctx context.Context, queries []Query, k int, mode Mode, emit func(int, Answer) bool) ([]BatchResult, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("specqp: k must be >= 1, got %d", k)
 	}
@@ -61,7 +77,12 @@ func (e *Engine) QueryBatch(ctx context.Context, queries []Query, k int, mode Mo
 					results[qi].Err = err
 					continue
 				}
-				results[qi].Result, results[qi].Err = e.queryOne(ctx, queries[qi], k, mode)
+				var perQuery AnswerEmitter
+				if emit != nil {
+					qi := qi
+					perQuery = func(a Answer) bool { return emit(qi, a) }
+				}
+				results[qi].Result, results[qi].Err = e.queryOne(ctx, queries[qi], k, mode, perQuery)
 			}
 		}()
 	}
@@ -69,15 +90,15 @@ func (e *Engine) QueryBatch(ctx context.Context, queries []Query, k int, mode Mo
 	return results, nil
 }
 
-// queryOne executes a single query for QueryBatch. ModeSpecQP goes through
-// the plan cache; the other modes have no planning stage to share and
-// delegate to QueryContext.
-func (e *Engine) queryOne(ctx context.Context, q Query, k int, mode Mode) (Result, error) {
+// queryOne executes a single query for QueryBatchStream. ModeSpecQP goes
+// through the plan cache; the other modes have no planning stage to share and
+// delegate to QueryStream.
+func (e *Engine) queryOne(ctx context.Context, q Query, k int, mode Mode, emit AnswerEmitter) (Result, error) {
 	if len(q.Patterns) == 0 {
 		return Result{}, fmt.Errorf("specqp: empty query")
 	}
 	if mode != ModeSpecQP {
-		return e.QueryContext(ctx, q, k, mode)
+		return e.QueryStream(ctx, q, k, mode, emit)
 	}
-	return e.exec.SpecQPContext(ctx, e.livePlans(), q, k)
+	return e.exec.SpecQPContextStream(ctx, e.livePlans(), q, k, emit)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +44,23 @@ type serveLoadReport struct {
 		MeanUS  int64 `json:"mean_us"`
 	} `json:"queries"`
 
+	// Streaming covers the NDJSON arm of the workload: a share of queries is
+	// issued with "stream":true and the client clocks the first answer line
+	// separately from the full drain. The first-answer-vs-drain gap is the
+	// streaming payoff, measured at the client through real HTTP flushing.
+	Streaming struct {
+		Served            int64 `json:"served"`
+		Answers           int64 `json:"answers"`
+		Errors            int64 `json:"errors"`
+		FirstAnswerP50US  int64 `json:"first_answer_p50_us"`
+		FirstAnswerP90US  int64 `json:"first_answer_p90_us"`
+		FirstAnswerP99US  int64 `json:"first_answer_p99_us"`
+		FirstAnswerMeanUS int64 `json:"first_answer_mean_us"`
+		DrainP50US        int64 `json:"drain_p50_us"`
+		DrainP99US        int64 `json:"drain_p99_us"`
+		DrainMeanUS       int64 `json:"drain_mean_us"`
+	} `json:"streaming"`
+
 	Mutations struct {
 		Served int64 `json:"served"`
 		Shed   int64 `json:"shed"`
@@ -49,21 +68,24 @@ type serveLoadReport struct {
 	} `json:"mutations"`
 
 	Server struct {
-		Accepted  int64 `json:"accepted"`
-		ShedQueue int64 `json:"shed_queue"`
-		ShedRate  int64 `json:"shed_rate"`
-		Degraded  int64 `json:"degraded_responses"`
-		P50US     int64 `json:"latency_p50_us"`
-		P99US     int64 `json:"latency_p99_us"`
+		Accepted         int64 `json:"accepted"`
+		ShedQueue        int64 `json:"shed_queue"`
+		ShedRate         int64 `json:"shed_rate"`
+		Degraded         int64 `json:"degraded_responses"`
+		P50US            int64 `json:"latency_p50_us"`
+		P99US            int64 `json:"latency_p99_us"`
+		FirstAnswerP50US int64 `json:"first_answer_p50_us"`
+		FirstAnswerP99US int64 `json:"first_answer_p99_us"`
+		StreamedAnswers  int64 `json:"streamed_answers"`
 	} `json:"server"`
 }
 
-// runServeLoad stands up the HTTP query service over the dataset on a
-// loopback listener and drives it with a mixed ingest/query workload from
-// concurrent clients, reporting client-observed p50/p99 latency and the
-// server's shedding/degradation counters. With benchOut non-empty the report
-// is also written there as JSON.
-func runServeLoad(ds *datagen.Dataset, clients, reqsPerClient, shards int, benchOut string) error {
+// serveLoadRun stands up the HTTP query service over the dataset on a
+// loopback listener, drives it with a mixed ingest/query workload (every 8th
+// request a live insert, every 3rd query streamed as NDJSON) from concurrent
+// clients, and returns the measured report. Split from runServeLoad so the
+// smoke test can assert on the report without capturing stdout.
+func serveLoadRun(ds *datagen.Dataset, clients, reqsPerClient, shards int) (*serveLoadReport, error) {
 	eng := specqp.NewEngineWith(ds.Store, ds.Rules, specqp.Options{Shards: shards})
 	srv := server.New(server.Config{Backend: eng})
 	hs := &http.Server{
@@ -72,43 +94,51 @@ func runServeLoad(ds *datagen.Dataset, clients, reqsPerClient, shards int, bench
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	go hs.Serve(ln)
 	defer hs.Close()
 	base := "http://" + ln.Addr().String()
 
 	// Render the workload queries to SPARQL once; skip the few shapes the
-	// renderer cannot express.
+	// renderer cannot express. Each query gets a buffered and a streamed body.
 	dict := ds.Store.Dict()
-	var bodies [][]byte
+	var bodies, streamBodies [][]byte
 	for _, qs := range ds.Queries {
 		if !sparql.CanRender(qs.Query, dict) {
 			continue
 		}
-		b, err := json.Marshal(map[string]any{
+		req := map[string]any{
 			"query":       sparql.Render(qs.Query, dict),
 			"k":           10,
 			"mode":        "spec-qp",
 			"deadline_ms": 5000,
-		})
+		}
+		b, err := json.Marshal(req)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		bodies = append(bodies, b)
+		req["stream"] = true
+		sb, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		streamBodies = append(streamBodies, sb)
 	}
 	if len(bodies) == 0 {
-		return fmt.Errorf("serveload: no renderable queries in dataset %s", ds.Name)
+		return nil, fmt.Errorf("serveload: no renderable queries in dataset %s", ds.Name)
 	}
 
-	var rep serveLoadReport
+	rep := &serveLoadReport{}
 	rep.Dataset = ds.Name
 	rep.Clients = clients
 	rep.ReqsPerClient = reqsPerClient
 	rep.Shards = shards
 
-	var hist metrics.Histogram
+	var hist, firstHist, drainHist metrics.Histogram
 	var qServed, qShed, qExpired, qErr atomic.Int64
+	var sServed, sAnswers, sErr atomic.Int64
 	var mServed, mShed, mErr atomic.Int64
 
 	client := &http.Client{Timeout: 30 * time.Second}
@@ -139,9 +169,33 @@ func runServeLoad(ds *datagen.Dataset, clients, reqsPerClient, shards int, bench
 					}
 					continue
 				}
-				body := bodies[rng.Intn(len(bodies))]
+				qi := rng.Intn(len(bodies))
+				// Every 3rd query rides the streaming arm: same query, NDJSON
+				// delivery, first answer and full drain clocked separately.
+				if i%3 == 0 {
+					status, ttfa, drain, answers, err := postStream(client, base+"/query", id, streamBodies[qi])
+					switch {
+					case err != nil || status >= 500 && status != http.StatusGatewayTimeout:
+						qErr.Add(1)
+						sErr.Add(1)
+					case status == http.StatusTooManyRequests:
+						qShed.Add(1)
+					case status == http.StatusGatewayTimeout:
+						qExpired.Add(1)
+					default:
+						qServed.Add(1)
+						sServed.Add(1)
+						sAnswers.Add(int64(answers))
+						hist.Observe(drain)
+						drainHist.Observe(drain)
+						if answers > 0 {
+							firstHist.Observe(ttfa)
+						}
+					}
+					continue
+				}
 				start := time.Now()
-				status, err := post(client, base+"/query", id, body, nil)
+				status, err := post(client, base+"/query", id, bodies[qi], nil)
 				lat := time.Since(start)
 				switch {
 				case err != nil || status >= 500 && status != http.StatusGatewayTimeout:
@@ -171,6 +225,16 @@ func runServeLoad(ds *datagen.Dataset, clients, reqsPerClient, shards int, bench
 	rep.Queries.P90US = hist.Quantile(0.90).Microseconds()
 	rep.Queries.P99US = hist.Quantile(0.99).Microseconds()
 	rep.Queries.MeanUS = hist.Mean().Microseconds()
+	rep.Streaming.Served = sServed.Load()
+	rep.Streaming.Answers = sAnswers.Load()
+	rep.Streaming.Errors = sErr.Load()
+	rep.Streaming.FirstAnswerP50US = firstHist.Quantile(0.50).Microseconds()
+	rep.Streaming.FirstAnswerP90US = firstHist.Quantile(0.90).Microseconds()
+	rep.Streaming.FirstAnswerP99US = firstHist.Quantile(0.99).Microseconds()
+	rep.Streaming.FirstAnswerMeanUS = firstHist.Mean().Microseconds()
+	rep.Streaming.DrainP50US = drainHist.Quantile(0.50).Microseconds()
+	rep.Streaming.DrainP99US = drainHist.Quantile(0.99).Microseconds()
+	rep.Streaming.DrainMeanUS = drainHist.Mean().Microseconds()
 	rep.Mutations.Served = mServed.Load()
 	rep.Mutations.Shed = mShed.Load()
 	rep.Mutations.Errors = mErr.Load()
@@ -181,6 +245,19 @@ func runServeLoad(ds *datagen.Dataset, clients, reqsPerClient, shards int, bench
 	rep.Server.Degraded = m.Degraded.Load()
 	rep.Server.P50US = m.Latency.Quantile(0.50).Microseconds()
 	rep.Server.P99US = m.Latency.Quantile(0.99).Microseconds()
+	rep.Server.FirstAnswerP50US = m.FirstAnswer.Quantile(0.50).Microseconds()
+	rep.Server.FirstAnswerP99US = m.FirstAnswer.Quantile(0.99).Microseconds()
+	rep.Server.StreamedAnswers = m.StreamedAnswers.Load()
+	return rep, nil
+}
+
+// runServeLoad executes serveLoadRun, prints the report, and with benchOut
+// non-empty also writes it there as JSON.
+func runServeLoad(ds *datagen.Dataset, clients, reqsPerClient, shards int, benchOut string) error {
+	rep, err := serveLoadRun(ds, clients, reqsPerClient, shards)
+	if err != nil {
+		return err
+	}
 
 	fmt.Printf("--- serve load, dataset %s: %d clients x %d reqs, shards=%d ---\n",
 		ds.Name, clients, reqsPerClient, shards)
@@ -190,9 +267,13 @@ func runServeLoad(ds *datagen.Dataset, clients, reqsPerClient, shards int, bench
 	fmt.Printf("  client latency p50=%dus p90=%dus p99=%dus mean=%dus; %.0f req/s over %.0fms\n",
 		rep.Queries.P50US, rep.Queries.P90US, rep.Queries.P99US, rep.Queries.MeanUS,
 		rep.ThroughputRPS, rep.DurationMS)
-	fmt.Printf("  server: accepted=%d shed_queue=%d degraded=%d p50=%dus p99=%dus\n",
+	fmt.Printf("  streaming: %d served, %d answers; first-answer p50=%dus p99=%dus vs drain p50=%dus p99=%dus\n",
+		rep.Streaming.Served, rep.Streaming.Answers,
+		rep.Streaming.FirstAnswerP50US, rep.Streaming.FirstAnswerP99US,
+		rep.Streaming.DrainP50US, rep.Streaming.DrainP99US)
+	fmt.Printf("  server: accepted=%d shed_queue=%d degraded=%d p50=%dus p99=%dus first-answer p50=%dus\n",
 		rep.Server.Accepted, rep.Server.ShedQueue, rep.Server.Degraded,
-		rep.Server.P50US, rep.Server.P99US)
+		rep.Server.P50US, rep.Server.P99US, rep.Server.FirstAnswerP50US)
 	if rep.Queries.Errors > 0 || rep.Mutations.Errors > 0 {
 		return fmt.Errorf("serveload: %d query / %d mutation errors under load",
 			rep.Queries.Errors, rep.Mutations.Errors)
@@ -230,4 +311,67 @@ func post(c *http.Client, url, clientID string, body []byte, out any) (int, erro
 	}
 	_, err = io.Copy(io.Discard, resp.Body)
 	return resp.StatusCode, err
+}
+
+// postStream issues one streamed query and reads the NDJSON response line by
+// line, clocking the first answer line (time-to-first-answer as a real client
+// sees it, flush included) and the full drain. A trailer carrying an error
+// counts as a failed request.
+func postStream(c *http.Client, url, clientID string, body []byte) (status int, ttfa, drain time.Duration, answers int, err error) {
+	req, err := http.NewRequest("POST", url, bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client-ID", clientID)
+	start := time.Now()
+	resp, err := c.Do(req)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, 0, 0, 0, nil
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	var trailerErr string
+	var trailerPartial bool
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.Contains(line, `"answer"`) {
+			if answers == 0 {
+				ttfa = time.Since(start)
+			}
+			answers++
+			continue
+		}
+		var tr struct {
+			Trailer struct {
+				Error   string `json:"error"`
+				Partial bool   `json:"partial"`
+			} `json:"trailer"`
+		}
+		if jerr := json.Unmarshal([]byte(line), &tr); jerr == nil && tr.Trailer.Error != "" {
+			trailerErr = tr.Trailer.Error
+			trailerPartial = tr.Trailer.Partial
+		}
+	}
+	drain = time.Since(start)
+	if err := sc.Err(); err != nil {
+		return resp.StatusCode, ttfa, drain, answers, err
+	}
+	if trailerErr != "" {
+		// A partial trailer is the streamed spelling of a deadline expiry —
+		// the buffered path would have returned 504; report it the same way.
+		if trailerPartial {
+			return http.StatusGatewayTimeout, ttfa, drain, answers, nil
+		}
+		return resp.StatusCode, ttfa, drain, answers, fmt.Errorf("stream trailer: %s", trailerErr)
+	}
+	return resp.StatusCode, ttfa, drain, answers, nil
 }

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+
+	"specqp/internal/datagen"
+)
+
+// TestServeLoadSmoke drives the serveload workload — buffered queries,
+// streamed queries and live inserts — against a small dataset and asserts
+// the report carries the streaming arm's measurements: streamed queries were
+// served, answers arrived, and first-answer latency is reported and no later
+// than the full drain (per request TTFA <= drain, which survives the
+// histogram's monotone bucketing).
+func TestServeLoadSmoke(t *testing.T) {
+	ds, err := datagen.Twitter(datagen.TwitterConfig{Seed: 7, Tweets: 600, Terms: 60, Queries: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := serveLoadRun(ds, 2, 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries.Errors != 0 || rep.Mutations.Errors != 0 || rep.Streaming.Errors != 0 {
+		t.Fatalf("errors under smoke load: %d query / %d mutation / %d stream",
+			rep.Queries.Errors, rep.Mutations.Errors, rep.Streaming.Errors)
+	}
+	if rep.Queries.Served == 0 || rep.Mutations.Served == 0 {
+		t.Fatalf("smoke load served nothing: %+v", rep)
+	}
+	if rep.Streaming.Served == 0 || rep.Streaming.Answers == 0 {
+		t.Fatalf("streaming arm served nothing: %+v", rep.Streaming)
+	}
+	if rep.Streaming.FirstAnswerP50US <= 0 {
+		t.Fatalf("first-answer latency not reported: %+v", rep.Streaming)
+	}
+	if rep.Streaming.FirstAnswerP50US > rep.Streaming.DrainP50US {
+		t.Fatalf("first-answer p50 %dus exceeds drain p50 %dus",
+			rep.Streaming.FirstAnswerP50US, rep.Streaming.DrainP50US)
+	}
+	if rep.Server.FirstAnswerP50US <= 0 || rep.Server.StreamedAnswers == 0 {
+		t.Fatalf("server-side streaming metrics missing: %+v", rep.Server)
+	}
+}

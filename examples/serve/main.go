@@ -1,9 +1,10 @@
 // Command serve is a self-contained transcript of the resilient query
 // service: it boots the HTTP front end (internal/server) over a small
 // musicians graph on a loopback port, then plays the part of the clients —
-// a query, a live insert, an overload burst against a deliberately tiny
-// executor (watch the 429s), a health check, a metrics excerpt — and
-// finally drains the server the way a SIGTERM would.
+// a query, a live insert, the same query streamed as NDJSON (one line per
+// proven-final answer plus a trailer), an overload burst against a
+// deliberately tiny executor (watch the 429s), a health check, a metrics
+// excerpt — and finally drains the server the way a SIGTERM would.
 //
 // The same server ships as a binary: see cmd/specqp-serve.
 package main
@@ -85,7 +86,19 @@ func main() {
 	fmt.Printf("         ->  %s\n", post(base+"/insert",
 		`{"s":"bowie","p":"rdf:type","o":"singer","score":97}`))
 
-	// 3. An overload burst: one client fires 16 concurrent requests, but its
+	// 3. The same query streamed: "stream":true turns the response into
+	// NDJSON, one line per answer flushed the moment the rank join proves it
+	// final (the corner bound can no longer be outranked), then a trailer
+	// with the metrics a buffered envelope would have carried. A client
+	// reads answers as they land instead of waiting for the full drain.
+	streamBody := fmt.Sprintf(`{"query":%q,"k":3,"mode":"spec-qp","deadline_ms":2000,"stream":true}`, query)
+	fmt.Printf("POST /query  %s\n", streamBody)
+	for _, line := range strings.Split(post(base+"/query", streamBody), "\n") {
+		fmt.Printf("         ->  %s\n", line)
+	}
+	fmt.Println()
+
+	// 4. An overload burst: one client fires 16 concurrent requests, but its
 	// token bucket holds 10. Every request is answered — served, or shed with
 	// a fast 429 and a Retry-After header — never hung, never errored.
 	var wg sync.WaitGroup
@@ -116,16 +129,18 @@ func main() {
 	wg.Wait()
 	fmt.Printf("\nburst of 16 from one client (bucket of 10): %d served, %d shed with 429\n\n", served, shed)
 
-	// 4. Health and metrics.
+	// 5. Health and metrics — including the time-to-first-answer histogram
+	// the streamed query above just populated.
 	fmt.Printf("GET /healthz ->  %s\n", get(base+"/healthz"))
 	fmt.Printf("GET /metrics ->  (excerpt)\n")
 	for _, line := range strings.Split(get(base+"/metrics"), "\n") {
-		if strings.HasPrefix(line, "specqp_requests_") || strings.HasPrefix(line, "specqp_shed_") {
+		if strings.HasPrefix(line, "specqp_requests_") || strings.HasPrefix(line, "specqp_shed_") ||
+			strings.HasPrefix(line, "specqp_streamed_") || strings.HasPrefix(line, "specqp_first_answer_latency_p") {
 			fmt.Printf("    %s\n", line)
 		}
 	}
 
-	// 5. Graceful drain: stop admitting, flush in-flight work, then close.
+	// 6. Graceful drain: stop admitting, flush in-flight work, then close.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Drain(ctx); err != nil {

@@ -2,10 +2,8 @@ package exec
 
 import (
 	"context"
-	"time"
 
 	"specqp/internal/kg"
-	"specqp/internal/operators"
 	"specqp/internal/planner"
 )
 
@@ -17,40 +15,12 @@ import (
 // its inputs (a selective join with no matches, a deep dedup run). On
 // cancellation the partial result gathered so far is returned together with
 // ctx.Err().
+//
+// RunContext is RunContextStream with no emission hook — the batch drain is
+// expressed on the streaming core, so both paths produce one answer sequence
+// by construction.
 func (ex *Executor) RunContext(ctx context.Context, p planner.Plan) (Result, error) {
-	c := &operators.Counter{}
-	// Installed before buildStream so the prefetch goroutines observe the
-	// hook through their creation edge; ctx.Err is safe for concurrent use.
-	c.SetAbort(func() bool { return ctx.Err() != nil })
-	start := time.Now()
-	root, _, stop := ex.buildStream(p, c)
-	defer stop()
-
-	answers := make([]kg.Answer, 0, p.K)
-	var err error
-	for len(answers) < p.K {
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			err = ctxErr
-			break
-		}
-		e, ok := root.Next()
-		if !ok {
-			// An aborted operator reports exhaustion; distinguish a genuinely
-			// drained stream from a cancelled one so callers always see the
-			// context error alongside the partial top-k. A run that filled k
-			// answers never reaches this check — completion beats a
-			// cancellation that lands after the last answer.
-			err = ctx.Err()
-			break
-		}
-		answers = append(answers, kg.Answer{Binding: e.Binding, Score: e.Score, Relaxed: e.Relaxed})
-	}
-	return Result{
-		Answers:       answers,
-		MemoryObjects: c.Value(),
-		ExecTime:      time.Since(start),
-		Plan:          p,
-	}, err
+	return ex.RunContextStream(ctx, p, nil)
 }
 
 // TriniTContext is TriniT with context support.
@@ -67,13 +37,5 @@ func (ex *Executor) ExactContext(ctx context.Context, q kg.Query, k int) (Result
 // interruptible (it is bounded by one exact join count plus histogram
 // convolutions); cancellation applies to execution.
 func (ex *Executor) SpecQPContext(ctx context.Context, pl PlanSource, q kg.Query, k int) (Result, error) {
-	if err := ctx.Err(); err != nil {
-		return Result{Plan: planner.Plan{Query: q.Clone(), K: k}}, err
-	}
-	t0 := time.Now()
-	p := pl.Plan(q, k)
-	planTime := time.Since(t0)
-	res, err := ex.RunContext(ctx, p)
-	res.PlanTime = planTime
-	return res, err
+	return ex.SpecQPContextStream(ctx, pl, q, k, nil)
 }

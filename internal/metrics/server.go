@@ -85,6 +85,7 @@ type ServerMetrics struct {
 	ShedRate     atomic.Int64 // shed by a per-client token bucket (429)
 	ShedQueue    atomic.Int64 // shed because the accept queue was full (429)
 	ShedDraining atomic.Int64 // refused because the server is draining (503)
+	ShedCanceled atomic.Int64 // client gave up while waiting in the accept queue (503)
 
 	// Execution.
 	EngineQueries atomic.Int64 // queries actually handed to the engine
@@ -92,12 +93,20 @@ type ServerMetrics struct {
 	Expired       atomic.Int64 // queries that hit their deadline mid-flight
 	Degraded      atomic.Int64 // queries served at a degraded tier (>=1)
 
+	// Streaming.
+	StreamedAnswers atomic.Int64 // answers flushed as individual NDJSON lines
+
 	// Mutations.
 	Mutations      atomic.Int64 // mutations handed to the engine
 	MutationErrors atomic.Int64 // failed mutations (incl. wedged-log refusals)
 
 	// Latency of accepted queries, admission to response.
 	Latency Histogram
+	// FirstAnswer is the time-to-first-answer of streamed queries: admission
+	// to the first proven-final answer hitting the wire. Comparing its
+	// quantiles against Latency's is the streaming payoff made observable —
+	// the gap is the drain time a streaming client no longer waits through.
+	FirstAnswer Histogram
 }
 
 // WriteText renders the counters in Prometheus text exposition format.
@@ -108,18 +117,27 @@ func (m *ServerMetrics) WriteText(w io.Writer) {
 	c("shed_rate_total", m.ShedRate.Load())
 	c("shed_queue_total", m.ShedQueue.Load())
 	c("shed_draining_total", m.ShedDraining.Load())
+	c("shed_canceled_total", m.ShedCanceled.Load())
 	c("engine_queries_total", m.EngineQueries.Load())
 	c("query_errors_total", m.QueryErrors.Load())
 	c("query_deadline_exceeded_total", m.Expired.Load())
 	c("degraded_responses_total", m.Degraded.Load())
+	c("streamed_answers_total", m.StreamedAnswers.Load())
 	c("mutations_total", m.Mutations.Load())
 	c("mutation_errors_total", m.MutationErrors.Load())
-	c("query_latency_count", m.Latency.Count())
-	fmt.Fprintf(w, "specqp_query_latency_mean_us %d\n", m.Latency.Mean().Microseconds())
+	writeHistText(w, "query_latency", &m.Latency)
+	writeHistText(w, "first_answer_latency", &m.FirstAnswer)
+}
+
+// writeHistText renders one histogram's count, mean and quantiles under the
+// given metric stem.
+func writeHistText(w io.Writer, stem string, h *Histogram) {
+	fmt.Fprintf(w, "specqp_%s_count %d\n", stem, h.Count())
+	fmt.Fprintf(w, "specqp_%s_mean_us %d\n", stem, h.Mean().Microseconds())
 	for _, q := range []struct {
 		name string
 		q    float64
 	}{{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}} {
-		fmt.Fprintf(w, "specqp_query_latency_%s_us %d\n", q.name, m.Latency.Quantile(q.q).Microseconds())
+		fmt.Fprintf(w, "specqp_%s_%s_us %d\n", stem, q.name, h.Quantile(q.q).Microseconds())
 	}
 }

@@ -138,16 +138,52 @@ func Drain(s Stream) []Entry {
 	}
 }
 
-// DrainK pulls at most k entries from the stream.
-func DrainK(s Stream, k int) []Entry {
-	out := make([]Entry, 0, k)
-	for len(out) < k {
+// Certified is implemented by streams that can certify their emissions: after
+// a successful Next, Certificate returns the corner-bound threshold that held
+// at the instant the entry was released — an upper bound on the score of any
+// entry the stream had not yet surfaced at that moment. The streaming contract
+// is exactly `entry.Score >= Certificate() - eps`: no future entry can outrank
+// an emitted one, which is what lets a caller forward answers to a client
+// before the top-k fills. RankJoin implements it; the streaming oracle asserts
+// it at every emission.
+type Certified interface {
+	Stream
+	Certificate() float64
+}
+
+// EmitFunc receives entries the moment the producing stream proves them final.
+// Returning false stops the drain early (a disconnected client, a satisfied
+// prefix); the producer makes no further pulls after a false return.
+type EmitFunc func(Entry) bool
+
+// EmitK pulls at most k entries from the stream, handing each to emit as soon
+// as Next proves it final — for the rank joins that is the instant the corner
+// bound drops to the entry's score, long before the remaining k-1 are known.
+// It returns the number of entries emitted. EmitK is the streaming primitive
+// DrainK is expressed on, so batch and streaming consumers observe the same
+// entry sequence by construction.
+func EmitK(s Stream, k int, emit EmitFunc) int {
+	n := 0
+	for n < k {
 		e, ok := s.Next()
 		if !ok {
 			break
 		}
-		out = append(out, e)
+		n++
+		if !emit(e) {
+			break
+		}
 	}
+	return n
+}
+
+// DrainK pulls at most k entries from the stream.
+func DrainK(s Stream, k int) []Entry {
+	out := make([]Entry, 0, k)
+	EmitK(s, k, func(e Entry) bool {
+		out = append(out, e)
+		return true
+	})
 	return out
 }
 

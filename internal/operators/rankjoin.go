@@ -40,6 +40,7 @@ type RankJoin struct {
 	aborted           bool // sticky: once aborted, the stream stays exhausted
 	top               float64
 	last              float64
+	cert              float64 // corner bound at the moment of the last emission
 	primed            bool
 }
 
@@ -104,6 +105,7 @@ func (rj *RankJoin) prime() {
 	rj.primed = true
 	rj.top = rj.left.TopScore() + rj.right.TopScore()
 	rj.last = rj.top
+	rj.cert = rj.top
 }
 
 // TopScore implements Stream.
@@ -123,6 +125,15 @@ func (rj *RankJoin) Bound() float64 {
 		t = rj.last
 	}
 	return t
+}
+
+// Certificate implements Certified: it returns the corner-bound threshold
+// that held at the instant the most recent entry was emitted — the proof that
+// no entry surfaced later can outrank it (entry.Score >= Certificate()-eps).
+// Before the first emission it returns the initial top-score bound.
+func (rj *RankJoin) Certificate() float64 {
+	rj.prime()
+	return rj.cert
 }
 
 // pullOne advances one input (alternating, skipping exhausted sides), probes
@@ -208,7 +219,7 @@ func (rj *RankJoin) Next() (Entry, bool) {
 				return Entry{}, false
 			}
 		}
-		if len(rj.queue) > 0 && rj.queue[0].Score >= rj.threshold()-1e-12 {
+		if t := rj.threshold(); len(rj.queue) > 0 && rj.queue[0].Score >= t-1e-12 {
 			e := heapPop(&rj.queue)
 			key := rj.emitKeyer.Key(e.Binding)
 			if rj.emitted[key] {
@@ -216,11 +227,14 @@ func (rj *RankJoin) Next() (Entry, bool) {
 			}
 			rj.emitted[key] = true
 			rj.last = e.Score
+			rj.cert = t
 			return e, true
 		}
 		rj.pulls++
 		if !rj.pullOne() {
-			// Inputs exhausted: flush the queue.
+			// Inputs exhausted: flush the queue. The corner bound over unseen
+			// results has collapsed (no unseen inputs remain), so every flushed
+			// entry certifies at zero.
 			for len(rj.queue) > 0 {
 				e := heapPop(&rj.queue)
 				key := rj.emitKeyer.Key(e.Binding)
@@ -229,6 +243,7 @@ func (rj *RankJoin) Next() (Entry, bool) {
 				}
 				rj.emitted[key] = true
 				rj.last = e.Score
+				rj.cert = 0
 				return e, true
 			}
 			rj.last = 0

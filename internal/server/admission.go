@@ -46,11 +46,22 @@ func newBucketTable(rate float64, burst, maxClients int, now func() time.Time) *
 // returns the duration after which the client should retry (the Retry-After
 // hint), always at least one second so well-behaved clients back off
 // meaningfully.
+//
+// The effective cost is clamped to the bucket capacity: a request priced
+// beyond burst (a /batch with more lines than BurstPerClient) would otherwise
+// wait for a token level the bucket can never reach — the refill saturates at
+// burst — so every retry would see the same refusal and the advertised
+// Retry-After would be a lie. Charging a full bucket is the strongest penalty
+// the limiter can express; admission of oversized batches is still bounded by
+// MaxBatchQueries and the accept queue.
 func (t *bucketTable) take(client string, n int) (ok bool, retryAfter time.Duration) {
 	if t.rate <= 0 {
 		return true, 0
 	}
 	need := float64(n)
+	if need > t.burst {
+		need = t.burst
+	}
 	now := t.now()
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -49,7 +49,9 @@ import (
 type Backend interface {
 	ParseSPARQL(src string) (specqp.Query, error)
 	QueryContext(ctx context.Context, q specqp.Query, k int, mode specqp.Mode) (specqp.Result, error)
+	QueryStream(ctx context.Context, q specqp.Query, k int, mode specqp.Mode, emit specqp.AnswerEmitter) (specqp.Result, error)
 	QueryBatch(ctx context.Context, queries []specqp.Query, k int, mode specqp.Mode) ([]specqp.BatchResult, error)
+	QueryBatchStream(ctx context.Context, queries []specqp.Query, k int, mode specqp.Mode, emit func(int, specqp.Answer) bool) ([]specqp.BatchResult, error)
 	DecodeAnswer(q specqp.Query, a specqp.Answer) map[string]string
 	InsertSPO(s, p, o string, score float64) error
 	DeleteSPO(s, p, o string) (int, error)
@@ -288,8 +290,12 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, n int) (release f
 			s.waiting.Add(-1)
 		case <-r.Context().Done():
 			// The client gave up while queued; it holds no slot and the
-			// engine never saw it.
+			// engine never saw it. Counted separately from the sheds the
+			// server initiated — queue abandonment is a client-side signal
+			// (deadlines shorter than queue wait) that would otherwise be
+			// invisible in the admission accounting.
 			s.waiting.Add(-1)
+			s.m.ShedCanceled.Add(1)
 			errorBody(w, http.StatusServiceUnavailable, "canceled while queued")
 			done()
 			return nil, false
@@ -345,6 +351,11 @@ type queryRequest struct {
 	K          int    `json:"k,omitempty"`
 	Mode       string `json:"mode,omitempty"`
 	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+	// Stream selects incremental NDJSON delivery: one line per answer as the
+	// rank join proves it final, then a trailer line. Equivalent to sending
+	// Accept: application/x-ndjson. On /batch the first line's value governs
+	// the whole response, like k/mode/deadline.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // answerJSON is one decoded answer.
@@ -440,6 +451,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	s.m.EngineQueries.Add(1)
+	if wantsStream(r, req) {
+		s.streamQuery(ctx, w, q, k, mode, tier, start)
+		return
+	}
 	res, qerr := s.eng.QueryContext(ctx, q, k, mode)
 	s.m.Latency.Observe(s.cfg.now().Sub(start))
 
@@ -533,6 +548,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	s.m.EngineQueries.Add(int64(len(valid)))
+	if wantsStream(r, reqs[0]) {
+		s.streamBatch(ctx, w, reqs, queries, parseErrs, valid, k, mode, tier, start)
+		return
+	}
 	results, berr := s.eng.QueryBatch(ctx, valid, k, mode)
 	s.m.Latency.Observe(s.cfg.now().Sub(start))
 	if berr != nil {
@@ -541,9 +560,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Results align positionally with the valid (parsed) queries; lines that
-	// failed to parse report their error in place.
+	// failed to parse report their error in place. Every line write is
+	// error-checked and flushed: a mid-response write failure stops the body
+	// at the last complete line instead of silently truncating under the
+	// already-committed 200, and no encode work is spent on a dead pipe.
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	enc := json.NewEncoder(w)
+	lw := newLineWriter(w)
 	ri := 0
 	for i := range reqs {
 		var line queryResponse
@@ -558,7 +580,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				s.m.Expired.Add(1)
 			}
 		}
-		enc.Encode(line)
+		if !lw.writeLine(line) {
+			return
+		}
 	}
 }
 

@@ -1,0 +1,231 @@
+// Streaming top-k delivery: the rank-join operators prove an answer final —
+// corner bound at or below the answer's score — long before the full top-k
+// fills, and this file puts that proof on the wire. A streaming request
+// (`"stream": true` in the body, or `Accept: application/x-ndjson`) receives
+// one NDJSON line per answer the moment the engine emits it, flushed through
+// http.Flusher so it leaves the process immediately, followed by one trailer
+// line per query carrying the metrics, tier and error that a buffered
+// response would have carried in its envelope.
+//
+// Wire shape, one JSON object per line:
+//
+//	{"index":0,"answer":{"binding":{...},"score":1.87,"relaxed":2}}   answer
+//	{"index":0,"trailer":{"answers":3,"k":3,"mode":"spec-qp",...}}    trailer
+//
+// index is the query's position in a /batch request (always 0 on /query);
+// batch answer lines interleave across queries as each proves answers final,
+// so clients demultiplex by index. The status is committed as 200 when the
+// first line is written; failures after that point are reported in the
+// trailer (error/partial), never as a silent truncation — every line write is
+// error-checked and the stream stops at the first failed write.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"specqp"
+)
+
+// lineWriter serialises NDJSON lines, flushing after every line so streamed
+// answers reach the client immediately, and latching the first encode/write
+// error so a failed connection stops the stream instead of silently
+// truncating the body under an already-committed 200.
+type lineWriter struct {
+	enc *json.Encoder
+	fl  http.Flusher
+	err error
+}
+
+func newLineWriter(w http.ResponseWriter) *lineWriter {
+	fl, _ := w.(http.Flusher)
+	return &lineWriter{enc: json.NewEncoder(w), fl: fl}
+}
+
+// writeLine encodes v as one NDJSON line and flushes it. It reports whether
+// the line reached the transport; after the first failure every call is a
+// cheap no-op returning false.
+func (lw *lineWriter) writeLine(v any) bool {
+	if lw.err != nil {
+		return false
+	}
+	if err := lw.enc.Encode(v); err != nil {
+		lw.err = err
+		return false
+	}
+	if lw.fl != nil {
+		lw.fl.Flush()
+	}
+	return true
+}
+
+// failed reports whether a line write has failed; once true the connection is
+// dead and no further engine or encode work should be spent on it.
+func (lw *lineWriter) failed() bool { return lw.err != nil }
+
+// wantsStream reports whether the request asked for incremental NDJSON
+// delivery, by body flag or Accept header.
+func wantsStream(r *http.Request, req queryRequest) bool {
+	return req.Stream || strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// streamAnswer is one streamed answer line.
+type streamAnswer struct {
+	Index  int        `json:"index"`
+	Answer answerJSON `json:"answer"`
+}
+
+// streamTrailer is the per-query final line of a stream.
+type streamTrailer struct {
+	Index   int         `json:"index"`
+	Trailer trailerBody `json:"trailer"`
+}
+
+// trailerBody carries what a buffered queryResponse carries minus the answers
+// themselves (already on the wire): result metrics, the served tier, and the
+// error/partial outcome that arrived too late for the status line.
+type trailerBody struct {
+	Answers int    `json:"answers"`
+	K       int    `json:"k"`
+	Mode    string `json:"mode"`
+	Tier    int    `json:"tier"`
+	ExecUS  int64  `json:"exec_us"`
+	PlanUS  int64  `json:"plan_us,omitempty"`
+	Partial bool   `json:"partial,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// trailerFor builds the trailer line body for one executed query.
+func trailerFor(res specqp.Result, err error, answers, k int, mode specqp.Mode, tier int) trailerBody {
+	tb := trailerBody{
+		Answers: answers,
+		K:       k,
+		Mode:    mode.String(),
+		Tier:    tier,
+		ExecUS:  res.ExecTime.Microseconds(),
+		PlanUS:  res.PlanTime.Microseconds(),
+	}
+	if err != nil {
+		tb.Error = err.Error()
+		tb.Partial = errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+	}
+	return tb
+}
+
+// streamQuery serves one /query request incrementally: each proven-final
+// answer is encoded and flushed as its own line, then the trailer reports the
+// outcome. Deadline and cancellation semantics are QueryContext's — an expiry
+// mid-stream stops the operators within AbortStride pulls and the answers
+// already streamed stand, marked partial in the trailer.
+func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, q specqp.Query, k int, mode specqp.Mode, tier int, start time.Time) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	lw := newLineWriter(w)
+
+	n := 0
+	res, qerr := s.eng.QueryStream(ctx, q, k, mode, func(a specqp.Answer) bool {
+		if n == 0 {
+			s.m.FirstAnswer.Observe(s.cfg.now().Sub(start))
+		}
+		n++
+		s.m.StreamedAnswers.Add(1)
+		return lw.writeLine(streamAnswer{Answer: answerJSON{
+			Binding: s.eng.DecodeAnswer(q, a),
+			Score:   a.Score,
+			Relaxed: a.Relaxed,
+		}})
+	})
+	s.m.Latency.Observe(s.cfg.now().Sub(start))
+	switch {
+	case qerr == nil:
+	case errors.Is(qerr, context.DeadlineExceeded):
+		s.m.Expired.Add(1)
+	case errors.Is(qerr, context.Canceled):
+	default:
+		s.m.QueryErrors.Add(1)
+	}
+	if lw.failed() {
+		return
+	}
+	lw.writeLine(streamTrailer{Trailer: trailerFor(res, qerr, n, k, mode, tier)})
+}
+
+// streamBatch serves one /batch request incrementally over the shared worker
+// pool: answer lines from different queries interleave as each query proves
+// answers final (clients demultiplex by index), then one trailer line per
+// input line reports each query's outcome in input order. queries and
+// parseErrs align with reqs; valid holds the parsed queries in input order.
+func (s *Server) streamBatch(ctx context.Context, w http.ResponseWriter, reqs []queryRequest, queries []specqp.Query, parseErrs []error, valid []specqp.Query, k int, mode specqp.Mode, tier int, start time.Time) {
+	// origIdx maps a valid-query index back to its input line.
+	origIdx := make([]int, 0, len(valid))
+	for i := range reqs {
+		if parseErrs[i] == nil {
+			origIdx = append(origIdx, i)
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	lw := newLineWriter(w)
+
+	// The pool calls emit from concurrent workers; the mutex serialises line
+	// writes and the first-answer observation. A dead connection turns every
+	// later emit into a false return, stopping each in-flight query at its
+	// next proven answer instead of draining k for a client that left.
+	var mu sync.Mutex
+	counts := make([]int, len(valid))
+	first := true
+	emit := func(vi int, a specqp.Answer) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if first {
+			first = false
+			s.m.FirstAnswer.Observe(s.cfg.now().Sub(start))
+		}
+		counts[vi]++
+		s.m.StreamedAnswers.Add(1)
+		oi := origIdx[vi]
+		return lw.writeLine(streamAnswer{Index: oi, Answer: answerJSON{
+			Binding: s.eng.DecodeAnswer(queries[oi], a),
+			Score:   a.Score,
+			Relaxed: a.Relaxed,
+		}})
+	}
+
+	results, berr := s.eng.QueryBatchStream(ctx, valid, k, mode, emit)
+	s.m.Latency.Observe(s.cfg.now().Sub(start))
+	if berr != nil {
+		// Batch-level misuse; the queries never ran. One terminal trailer.
+		s.m.QueryErrors.Add(1)
+		if !lw.failed() {
+			lw.writeLine(streamTrailer{Index: -1, Trailer: trailerBody{
+				K: k, Mode: mode.String(), Tier: tier, Error: "batch: " + berr.Error(),
+			}})
+		}
+		return
+	}
+
+	ri := 0
+	for i := range reqs {
+		if lw.failed() {
+			return
+		}
+		if parseErrs[i] != nil {
+			lw.writeLine(streamTrailer{Index: i, Trailer: trailerBody{
+				K: k, Mode: mode.String(), Tier: tier, Error: "parse: " + parseErrs[i].Error(),
+			}})
+			continue
+		}
+		br := results[ri]
+		if br.Err != nil && errors.Is(br.Err, context.DeadlineExceeded) {
+			s.m.Expired.Add(1)
+		}
+		lw.writeLine(streamTrailer{Index: i, Trailer: trailerFor(br.Result, br.Err, counts[ri], k, mode, tier)})
+		ri++
+	}
+}

@@ -464,6 +464,57 @@ func (e *Engine) QueryContext(ctx context.Context, q Query, k int, mode Mode) (R
 	}
 }
 
+// AnswerEmitter receives streamed answers in rank order the moment the
+// operators prove them final. Returning false stops the query early with the
+// answers emitted so far and a nil error.
+type AnswerEmitter = exec.AnswerEmitFunc
+
+// QueryStream executes q like QueryContext but hands each answer to emit the
+// instant the rank join's corner bound proves no future answer can outrank
+// it — for selective joins that is typically long before the full top-k is
+// known, so a streaming client sees its first answer at a fraction of the
+// full-drain latency. The returned Result carries the same answers passed to
+// emit (streamed and batch consumers observe one sequence by construction;
+// QueryContext is exactly QueryStream with a nil emitter).
+//
+// Cancellation keeps QueryContext's contract: a context expiring mid-stream
+// stops the operators within a bounded number of probes (AbortStride) and
+// returns the emitted prefix together with ctx.Err(). ModeNaive evaluates
+// exhaustively and cannot prove finality incrementally; it computes the full
+// top-k first and then replays it through emit, so the wire protocol is
+// uniform across modes even though Naive gains no latency.
+func (e *Engine) QueryStream(ctx context.Context, q Query, k int, mode Mode, emit AnswerEmitter) (Result, error) {
+	if k < 1 {
+		return Result{}, fmt.Errorf("specqp: k must be >= 1, got %d", k)
+	}
+	if len(q.Patterns) == 0 {
+		return Result{}, fmt.Errorf("specqp: empty query")
+	}
+	switch mode {
+	case ModeSpecQP:
+		return e.exec.SpecQPContextStream(ctx, e.planner, q, k, emit)
+	case ModeTriniT:
+		return e.exec.TriniTContextStream(ctx, q, k, emit)
+	case ModeExact:
+		return e.exec.ExactContextStream(ctx, q, k, emit)
+	case ModeNaive:
+		res, err := e.Query(q, k, mode)
+		if err != nil {
+			return res, err
+		}
+		if emit != nil {
+			for _, a := range res.Answers {
+				if !emit(a) {
+					break
+				}
+			}
+		}
+		return res, nil
+	default:
+		return Result{}, fmt.Errorf("specqp: unknown mode %v", mode)
+	}
+}
+
 // Insert adds a scored triple to the engine's live store: the triple lands
 // in its segment's mutable head, is immediately visible to every subsequent
 // query, and is merged into the frozen posting arenas when the head crosses
