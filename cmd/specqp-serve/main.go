@@ -20,6 +20,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -30,12 +31,15 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"specqp"
 	"specqp/internal/kg"
+	"specqp/internal/metrics"
 	"specqp/internal/relax"
+	"specqp/internal/repl"
 	"specqp/internal/server"
 )
 
@@ -75,6 +79,9 @@ func run(args []string, out io.Writer, shutdown <-chan struct{}, ready chan<- st
 		maxDeadline = fs.Duration("max-deadline", 30*time.Second, "upper clamp on requested deadlines")
 		degradedK   = fs.Int("degraded-k", 3, "k cap at the deepest degradation tier")
 		drainWait   = fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+
+		listenRepl    = fs.String("listen-repl", "", "ship the WAL to read replicas on this address (requires -wal)")
+		replicateFrom = fs.String("replicate-from", "", "run as a read-only follower tailing the primary's -listen-repl address (excludes -wal and -triples; -rules still applies locally)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -83,14 +90,75 @@ func run(args []string, out io.Writer, shutdown <-chan struct{}, ready chan<- st
 		return errBadFlags
 	}
 
-	eng, err := buildEngine(*triplesPath, *rulesPath, *walDir, *walSync, *shards, *buckets, out)
-	if err != nil {
-		return err
+	var backend server.Backend
+	var replMetrics *metrics.ReplicationMetrics
+	switch {
+	case *replicateFrom != "":
+		// Follower mode: no store of its own, no log of its own — state
+		// arrives exclusively through log shipping, mutations answer 503. The
+		// flags that would build or persist local state are refused rather
+		// than silently ignored.
+		if *walDir != "" {
+			return fmt.Errorf("-replicate-from runs a read-only follower; it owns no log, so -wal does not apply")
+		}
+		if *triplesPath != "" {
+			return fmt.Errorf("-replicate-from runs a read-only follower; its state ships from the primary, so -triples does not apply")
+		}
+		if *listenRepl != "" {
+			return fmt.Errorf("-listen-repl requires a primary's WAL; a follower cannot re-ship")
+		}
+		rep := specqp.NewReplica(nil, specqp.Options{HistogramBuckets: *buckets, Shards: *shards})
+		if *rulesPath != "" {
+			// Relaxation rules are query configuration, not shipped state: the
+			// follower loads its own copy, re-encoded against each installed
+			// snapshot's dictionary (snapshot installs rebuild it).
+			rulesData, err := os.ReadFile(*rulesPath)
+			if err != nil {
+				return err
+			}
+			rep.SetRulesLoader(func(d *kg.Dict) (*specqp.RuleSet, error) {
+				rs := specqp.NewRuleSet()
+				if err := relax.ReadTSVInto(rs, bytes.NewReader(rulesData), d); err != nil {
+					return nil, err
+				}
+				return rs, nil
+			})
+		}
+		replMetrics = &metrics.ReplicationMetrics{}
+		client := repl.NewNetClient(*replicateFrom, repl.NetClientOptions{Metrics: replMetrics})
+		fol := repl.NewFollower(client, rep, repl.FollowerOptions{Metrics: replMetrics})
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { defer wg.Done(); fol.Run(stop) }()
+		defer func() { close(stop); wg.Wait(); client.Close() }()
+		fmt.Fprintf(out, "following %s\n", *replicateFrom)
+		backend = rep
+	default:
+		eng, err := buildEngine(*triplesPath, *rulesPath, *walDir, *walSync, *shards, *buckets, out)
+		if err != nil {
+			return err
+		}
+		defer eng.Close()
+		if *listenRepl != "" {
+			feed := eng.WALFeed()
+			if feed == nil {
+				return fmt.Errorf("-listen-repl requires -wal: without a write-ahead log there is nothing to ship")
+			}
+			prim := repl.NewPrimary(feed, repl.PrimaryOptions{})
+			rln, err := net.Listen("tcp", *listenRepl)
+			if err != nil {
+				return err
+			}
+			go prim.Serve(rln)
+			defer prim.Close()
+			fmt.Fprintf(out, "replicating on %s\n", rln.Addr())
+		}
+		backend = eng
 	}
-	defer eng.Close()
 
 	srv := server.New(server.Config{
-		Backend:         eng,
+		Backend:         backend,
 		MaxInflight:     *inflight,
 		MaxQueue:        *queue,
 		RatePerClient:   *rate,
@@ -98,6 +166,7 @@ func run(args []string, out io.Writer, shutdown <-chan struct{}, ready chan<- st
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
 		DegradedK:       *degradedK,
+		Replication:     replMetrics,
 	})
 
 	hs := &http.Server{
@@ -114,7 +183,11 @@ func run(args []string, out io.Writer, shutdown <-chan struct{}, ready chan<- st
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "serving %d triples on %s\n", eng.Graph().Len(), ln.Addr())
+	if eng, ok := backend.(*specqp.Engine); ok {
+		fmt.Fprintf(out, "serving %d triples on %s\n", eng.Graph().Len(), ln.Addr())
+	} else {
+		fmt.Fprintf(out, "serving read-only replica on %s\n", ln.Addr())
+	}
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

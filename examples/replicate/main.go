@@ -1,0 +1,202 @@
+// Command replicate is a self-contained transcript of WAL log shipping: a
+// durable primary serving reads and writes, and a read-only follower that
+// owns no log and no triples file — its entire state arrives over a loopback
+// TCP link as the primary's checkpoint snapshot plus the record tail, applied
+// with the same replay discipline crash recovery uses. The transcript plays
+// the clients: writes land on the primary, the follower's health converges to
+// zero lag, both processes answer a relaxed query identically, a write sent
+// to the follower sheds with 503, and the follower's metrics export the
+// replication gauges.
+//
+// The same topology ships as binaries:
+//
+//	specqp-serve -triples data.tsv -rules rules.tsv -wal wal -listen-repl :7070
+//	specqp-serve -replicate-from primary:7070 -rules rules.tsv -addr :8081
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"specqp"
+	"specqp/internal/kg"
+	"specqp/internal/metrics"
+	"specqp/internal/relax"
+	"specqp/internal/repl"
+	"specqp/internal/server"
+)
+
+// One relaxation rule, in the same TSV dialect the binaries load: both sides
+// hold a copy, because rules are query configuration, not shipped state.
+const rulesTSV = "?s\trdf:type\tsinger\t?s\trdf:type\tvocalist\t0.8\n"
+
+func main() {
+	// --- The primary: a WAL-backed engine over a small musicians graph. ---
+	walDir, err := os.MkdirTemp("", "specqp-replicate-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(walDir)
+
+	st := specqp.NewStore()
+	for _, row := range []struct {
+		s, o  string
+		score float64
+	}{
+		{"shakira", "singer", 100}, {"beyonce", "singer", 90}, {"miley", "singer", 50},
+		{"prince", "vocalist", 95}, {"elton", "vocalist", 85},
+		{"shakira", "guitarist", 40}, {"prince", "guitarist", 99},
+	} {
+		st.AddSPO(row.s, "rdf:type", row.o, row.score)
+	}
+	rules := specqp.NewRuleSet()
+	eng, err := specqp.OpenDurableWith(walDir, st, rules, specqp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	if err := relax.ReadTSVInto(rules, strings.NewReader(rulesTSV), eng.Graph().Dict()); err != nil {
+		log.Fatal(err)
+	}
+
+	// Ship the WAL: the feed serves positional pulls and checkpoint
+	// snapshots; the primary frames them over TCP.
+	prim := repl.NewPrimary(eng.WALFeed(), repl.PrimaryOptions{})
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go prim.Serve(rln)
+	defer prim.Close()
+
+	primSrv := server.New(server.Config{Backend: eng})
+	primHTTP := &http.Server{Handler: primSrv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go primHTTP.Serve(pln)
+	primBase := "http://" + pln.Addr().String()
+	fmt.Printf("primary: serving %d triples on %s, shipping the WAL on %s\n",
+		eng.Graph().Len(), pln.Addr(), rln.Addr())
+
+	// --- The follower: no store, no log — just an address to tail. ---
+	rep := specqp.NewReplica(nil, specqp.Options{})
+	rep.SetRulesLoader(func(d *kg.Dict) (*specqp.RuleSet, error) {
+		// Re-encoded against each installed snapshot's dictionary, exactly
+		// what -rules does in follower mode.
+		rs := specqp.NewRuleSet()
+		if err := relax.ReadTSVInto(rs, strings.NewReader(rulesTSV), d); err != nil {
+			return nil, err
+		}
+		return rs, nil
+	})
+	rm := &metrics.ReplicationMetrics{}
+	client := repl.NewNetClient(rln.Addr().String(), repl.NetClientOptions{Metrics: rm})
+	defer client.Close()
+	fol := repl.NewFollower(client, rep, repl.FollowerOptions{Metrics: rm})
+	stop := make(chan struct{})
+	folDone := make(chan struct{})
+	go func() { defer close(folDone); fol.Run(stop) }()
+
+	folSrv := server.New(server.Config{Backend: rep, Replication: rm})
+	folHTTP := &http.Server{Handler: folSrv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	fln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go folHTTP.Serve(fln)
+	folBase := "http://" + fln.Addr().String()
+	fmt.Printf("follower: read-only replica on %s, tailing %s\n\n", fln.Addr(), rln.Addr())
+
+	// 1. Writes land on the primary — the only process that takes them.
+	fmt.Printf("POST primary /insert {\"s\":\"bowie\",...}\n")
+	fmt.Printf("          ->  %s\n", post(primBase+"/insert",
+		`{"s":"bowie","p":"rdf:type","o":"singer","score":97}`))
+	fmt.Printf("POST primary /insert {\"s\":\"bowie\",...}\n")
+	fmt.Printf("          ->  %s\n", post(primBase+"/insert",
+		`{"s":"bowie","p":"rdf:type","o":"guitarist","score":88}`))
+
+	// 2. The follower converges: lag drops to zero as the shipped records
+	// apply. /healthz carries the replica position gauges.
+	var health string
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		health = get(folBase + "/healthz")
+		if strings.Contains(health, `"replica_lag_seq":0`) &&
+			strings.Contains(health, `"replica_applied_seq":2`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("follower never caught up: %s", health)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("\nGET follower /healthz ->  %s\n\n", health)
+
+	// 3. Both processes answer the relaxed query identically — prince only
+	// matches because singer relaxes to vocalist, and the follower holds its
+	// own copy of that rule.
+	query := `SELECT ?s WHERE { ?s 'rdf:type' <singer> . ?s 'rdf:type' <guitarist> }`
+	body := fmt.Sprintf(`{"query":%q,"k":3,"mode":"spec-qp"}`, query)
+	fmt.Printf("POST /query  %s\n", body)
+	fmt.Printf("primary   ->  %s\n", post(primBase+"/query", body))
+	fmt.Printf("follower  ->  %s\n\n", post(folBase+"/query", body))
+
+	// 4. A write sent to the follower sheds fast with 503: replicas are
+	// read-only, same discipline as a wedged primary.
+	resp, err := http.Post(folBase+"/insert", "application/json",
+		strings.NewReader(`{"s":"elvis","p":"rdf:type","o":"singer","score":99}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("POST follower /insert -> %d %s\n", resp.StatusCode, strings.TrimSpace(string(raw)))
+
+	// 5. The follower's metrics export the replication gauges.
+	fmt.Printf("GET follower /metrics ->  (excerpt)\n")
+	for _, line := range strings.Split(get(folBase+"/metrics"), "\n") {
+		if strings.HasPrefix(line, "specqp_replica_") {
+			fmt.Printf("    %s\n", line)
+		}
+	}
+
+	// 6. Shut down: follower loop first, then both HTTP fronts.
+	close(stop)
+	<-folDone
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	folSrv.Drain(ctx)
+	folHTTP.Shutdown(ctx)
+	primSrv.Drain(ctx)
+	primHTTP.Shutdown(ctx)
+	fmt.Printf("\ndrained cleanly\n")
+}
+
+func post(url, body string) string {
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return strings.TrimSpace(string(raw))
+}
+
+func get(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return strings.TrimSpace(string(raw))
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// ReplicationMetrics is the follower-side observability of WAL log shipping
+// (internal/repl): position gauges the health surface derives lag from, plus
+// event counters for deliveries, redials and rejected frames. All fields are
+// atomics; the zero value is ready. A nil-checked pointer to this struct is
+// how the serving layer knows it is fronting a replica at all.
+type ReplicationMetrics struct {
+	// Position gauges. appliedSeq is the last WAL sequence number applied to
+	// the local store; primarySeq is the newest sequence number the primary
+	// reported. Both are set monotonically — a reordered or replayed delivery
+	// carries stale positions and must not rewind the gauges.
+	appliedSeq atomic.Uint64
+	primarySeq atomic.Uint64
+	// connected is 1 while the tailing loop's last round trip succeeded.
+	connected atomic.Bool
+
+	// Event counters.
+	Deliveries         atomic.Int64 // deliveries parsed successfully
+	RecordsApplied     atomic.Int64 // records applied to the local store
+	SnapshotsInstalled atomic.Int64 // full snapshot installs (bootstrap + truncation fallback)
+	Redials            atomic.Int64 // reconnects after a transport failure
+	Corrupt            atomic.Int64 // deliveries rejected as torn or corrupt
+}
+
+// SetApplied advances the applied-position gauge, monotonically.
+func (m *ReplicationMetrics) SetApplied(seq uint64) { storeMax(&m.appliedSeq, seq) }
+
+// SetPrimary advances the primary-position gauge, monotonically.
+func (m *ReplicationMetrics) SetPrimary(seq uint64) { storeMax(&m.primarySeq, seq) }
+
+// SetConnected records whether the last round trip to the primary succeeded.
+func (m *ReplicationMetrics) SetConnected(ok bool) { m.connected.Store(ok) }
+
+// AppliedSeq returns the last applied WAL sequence number.
+func (m *ReplicationMetrics) AppliedSeq() uint64 { return m.appliedSeq.Load() }
+
+// PrimarySeq returns the newest primary position observed.
+func (m *ReplicationMetrics) PrimarySeq() uint64 { return m.primarySeq.Load() }
+
+// Connected reports whether the last round trip to the primary succeeded.
+func (m *ReplicationMetrics) Connected() bool { return m.connected.Load() }
+
+// Lag returns the replication lag in WAL sequence numbers: how far the
+// primary's newest observed position is ahead of the locally applied one.
+func (m *ReplicationMetrics) Lag() uint64 {
+	p, a := m.primarySeq.Load(), m.appliedSeq.Load()
+	if p <= a {
+		return 0
+	}
+	return p - a
+}
+
+// storeMax advances g to v unless it is already at or past it.
+func storeMax(g *atomic.Uint64, v uint64) {
+	for {
+		cur := g.Load()
+		if v <= cur || g.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// WriteText renders the replication gauges and counters in Prometheus text
+// exposition format, alongside ServerMetrics.WriteText on a follower.
+func (m *ReplicationMetrics) WriteText(w io.Writer) {
+	c := func(name string, v int64) { fmt.Fprintf(w, "specqp_%s %d\n", name, v) }
+	fmt.Fprintf(w, "specqp_replica_applied_seq %d\n", m.AppliedSeq())
+	fmt.Fprintf(w, "specqp_replica_primary_seq %d\n", m.PrimarySeq())
+	fmt.Fprintf(w, "specqp_replica_lag_seq %d\n", m.Lag())
+	connected := 0
+	if m.Connected() {
+		connected = 1
+	}
+	fmt.Fprintf(w, "specqp_replica_connected %d\n", connected)
+	c("repl_deliveries_total", m.Deliveries.Load())
+	c("repl_records_applied_total", m.RecordsApplied.Load())
+	c("repl_snapshots_installed_total", m.SnapshotsInstalled.Load())
+	c("repl_redials_total", m.Redials.Load())
+	c("repl_corrupt_deliveries_total", m.Corrupt.Load())
+}

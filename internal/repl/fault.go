@@ -1,0 +1,144 @@
+package repl
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+)
+
+// This file is the network fault injector — the transport analogue of
+// wal.MemFS's crash injection. A FaultClient wraps any Client and, driven by
+// a seeded deterministic RNG, drops deliveries, replays old ones, delays and
+// reorders them, truncates them mid-frame, and kills the connection once a
+// byte budget is spent. The follower's contract under all of it: applied
+// state always equals some record-level prefix of the primary's log, no
+// record applies twice, and the applied position never rewinds.
+
+// ErrInjected marks every failure the injector fabricates (drops, delays,
+// budget kills), distinguishable from real transport errors.
+var ErrInjected = errors.New("repl: injected fault")
+
+func injectedf(kind string) error { return &injectedError{kind: kind} }
+
+type injectedError struct{ kind string }
+
+func (e *injectedError) Error() string        { return "repl: injected fault: " + e.kind }
+func (e *injectedError) Is(target error) bool { return target == ErrInjected }
+
+// FaultOptions sets the per-delivery fault probabilities (each in [0,1],
+// rolled independently in the order documented on FaultClient.do) and the
+// connection byte budget.
+type FaultOptions struct {
+	Seed int64
+	// Drop loses the delivery outright: the follower sees an error.
+	Drop float64
+	// Duplicate re-delivers the previous delivery's bytes instead of pulling
+	// a fresh one — a replayed shipment answering a stale position.
+	Duplicate float64
+	// Delay holds a freshly fetched delivery back (the follower sees an
+	// error) and releases it on a later round — combined with the rounds in
+	// between, that is an out-of-order delivery.
+	Delay float64
+	// Truncate cuts the delivered bytes at a random offset — torn mid-frame,
+	// mid-header or mid-body.
+	Truncate float64
+	// ByteBudget kills the connection (one injected error) every time
+	// roughly this many bytes have been delivered; 0 disables.
+	ByteBudget int64
+}
+
+// FaultCounts reports how many of each fault actually fired, so harnesses
+// can assert the schedule exercised what it claims to.
+type FaultCounts struct {
+	Drops, Duplicates, Delays, Reorders, Truncations, Kills int
+}
+
+// FaultClient wraps a Client with deterministic fault injection. Safe for
+// concurrent use (serialised internally, like a single flaky link).
+type FaultClient struct {
+	inner Client
+	opts  FaultOptions
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	prev   []byte   // last delivery successfully handed to the follower's side of the link
+	held   [][]byte // deliveries delayed in flight, oldest first
+	spent  int64
+	counts FaultCounts
+}
+
+// NewFaultClient wraps inner with the given fault schedule.
+func NewFaultClient(inner Client, opts FaultOptions) *FaultClient {
+	return &FaultClient{inner: inner, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// Counts returns how many faults have fired so far.
+func (c *FaultClient) Counts() FaultCounts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts
+}
+
+// Pull implements Client.
+func (c *FaultClient) Pull(afterSeq uint64) ([]byte, error) {
+	return c.do(func() ([]byte, error) { return c.inner.Pull(afterSeq) })
+}
+
+// Bootstrap implements Client.
+func (c *FaultClient) Bootstrap() ([]byte, error) {
+	return c.do(func() ([]byte, error) { return c.inner.Bootstrap() })
+}
+
+// Close implements Client.
+func (c *FaultClient) Close() error { return c.inner.Close() }
+
+// do runs one faulted round trip. Order of hazards:
+//
+//  1. budget kill — the connection dies once ByteBudget bytes shipped
+//  2. drop — the delivery is lost
+//  3. duplicate — the previous delivery is replayed verbatim
+//  4. release — a delayed delivery from an earlier round arrives instead of
+//     the answer to this request (the reorder)
+//  5. delay — the fresh delivery is held back; the follower sees an error
+//  6. truncate — the delivered bytes are cut mid-frame
+func (c *FaultClient) do(fetch func() ([]byte, error)) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.opts.ByteBudget > 0 && c.spent >= c.opts.ByteBudget {
+		c.spent = 0
+		c.counts.Kills++
+		return nil, injectedf("connection killed on byte budget")
+	}
+	if c.rng.Float64() < c.opts.Drop {
+		c.counts.Drops++
+		return nil, injectedf("delivery dropped")
+	}
+	var data []byte
+	switch {
+	case c.prev != nil && c.rng.Float64() < c.opts.Duplicate:
+		c.counts.Duplicates++
+		data = append([]byte(nil), c.prev...)
+	case len(c.held) > 0 && c.rng.Float64() < 0.5:
+		c.counts.Reorders++
+		data = c.held[0]
+		c.held = c.held[1:]
+	default:
+		fresh, err := fetch()
+		if err != nil {
+			return nil, err
+		}
+		if c.rng.Float64() < c.opts.Delay {
+			c.counts.Delays++
+			c.held = append(c.held, fresh)
+			return nil, injectedf("delivery delayed in flight")
+		}
+		data = fresh
+	}
+	c.prev = append(c.prev[:0], data...)
+	if len(data) > 1 && c.rng.Float64() < c.opts.Truncate {
+		c.counts.Truncations++
+		data = data[:1+c.rng.Intn(len(data)-1)]
+	}
+	c.spent += int64(len(data))
+	return data, nil
+}

@@ -1,0 +1,83 @@
+package repl
+
+import (
+	"bytes"
+	"hash/crc32"
+	"testing"
+
+	"specqp/internal/wal"
+)
+
+// FuzzReplFrame feeds hostile bytes to the follower's single ingest point.
+// ParseDelivery must never panic, never allocate proportionally to a claimed
+// length (bodies are parsed from bytes actually present), and — the
+// round-trip half, the same contract as FuzzWALReplay — any records it
+// recovers must re-frame to a byte prefix of the delivery body: exactly the
+// valid prefix, nothing reordered, nothing invented.
+func FuzzReplFrame(f *testing.F) {
+	// Seeds: a clean records delivery, the same cut mid-frame and mid-header,
+	// a snapshot delivery whole and torn, an empty caught-up delivery, a
+	// hostile bodyLen claim, and raw garbage.
+	var body []byte
+	body = wal.FrameRecord(body, wal.Record{Seq: 4, Kind: wal.KindInsert, S: "alice", P: "knows", O: "bob", Score: 0.75})
+	body = wal.FrameRecord(body, wal.Record{Seq: 5, Kind: wal.KindTombstone, S: "alice", P: "knows", O: "bob"})
+	body = wal.FrameRecord(body, wal.Record{Seq: 6, Kind: wal.KindInsert, S: "alice", P: "knows", O: "carol", Score: 2})
+	recsDelivery := appendDeliveryHeader(nil, DeliveryRecords, uint64(len(body)), crc32.Checksum(body, castagnoli), 6, 9)
+	recsDelivery = append(recsDelivery, body...)
+	f.Add(append([]byte(nil), recsDelivery...))
+	f.Add(append([]byte(nil), recsDelivery[:len(recsDelivery)-7]...))
+	f.Add(append([]byte(nil), recsDelivery[:HeaderFrameLen-3]...))
+
+	snapBody := []byte("not a real snapshot, just CRC-covered bytes")
+	snapDelivery := appendDeliveryHeader(nil, DeliverySnapshot, uint64(len(snapBody)), crc32.Checksum(snapBody, castagnoli), 12, 20)
+	snapDelivery = append(snapDelivery, snapBody...)
+	f.Add(append([]byte(nil), snapDelivery...))
+	f.Add(append([]byte(nil), snapDelivery[:len(snapDelivery)-5]...))
+
+	empty := appendDeliveryHeader(nil, DeliveryRecords, 0, 0, 7, 7)
+	f.Add(empty)
+
+	hostile := appendDeliveryHeader(nil, DeliveryRecords, 1<<60, 0, 1, 1)
+	f.Add(hostile)
+	f.Add([]byte("\xff\xff\xff\x7fgarbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ParseDelivery(data)
+		if err != nil {
+			return // rejected is always a legal outcome for hostile bytes
+		}
+		switch d.Type {
+		case DeliveryRecords:
+			if d.Snapshot != nil {
+				t.Fatalf("records delivery carries snapshot bytes")
+			}
+			var reframed []byte
+			for _, r := range d.Records {
+				reframed = wal.FrameRecord(reframed, r)
+			}
+			if !bytes.HasPrefix(data[HeaderFrameLen:], reframed) {
+				t.Fatalf("recovered records do not re-frame to a body prefix")
+			}
+		case DeliverySnapshot:
+			if d.Records != nil {
+				t.Fatalf("snapshot delivery carries records")
+			}
+			// The accepted body must be exactly the CRC-covered bytes the
+			// header claims — an accepted torn snapshot would install half a
+			// store.
+			h, err := ParseHeader(data)
+			if err != nil {
+				t.Fatalf("ParseDelivery accepted what ParseHeader rejects: %v", err)
+			}
+			if uint64(len(d.Snapshot)) != h.BodyLen {
+				t.Fatalf("snapshot body %d bytes, header claims %d", len(d.Snapshot), h.BodyLen)
+			}
+			if crc32.Checksum(d.Snapshot, castagnoli) != h.BodyCRC {
+				t.Fatalf("accepted snapshot fails its own CRC")
+			}
+		default:
+			t.Fatalf("ParseDelivery accepted unknown type %d", d.Type)
+		}
+	})
+}

@@ -1,0 +1,236 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"specqp/internal/wal"
+)
+
+// PrimaryOptions tunes the shipping side.
+type PrimaryOptions struct {
+	// MaxBatchBytes bounds the framed records per delivery (default 1 MiB).
+	MaxBatchBytes int
+	// PollWait is how long a caught-up pull blocks waiting for new records
+	// before answering with an empty delivery — the long-poll window that
+	// keeps follower lag at one round trip without a busy wire (default
+	// 250ms; negative disables waiting).
+	PollWait time.Duration
+	// PollInterval is the primary's position re-check period inside the
+	// long-poll window (default 2ms).
+	PollInterval time.Duration
+}
+
+func (o PrimaryOptions) withDefaults() PrimaryOptions {
+	if o.MaxBatchBytes <= 0 {
+		o.MaxBatchBytes = 1 << 20
+	}
+	if o.PollWait == 0 {
+		o.PollWait = 250 * time.Millisecond
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 2 * time.Millisecond
+	}
+	return o
+}
+
+// Primary ships one WAL feed to any number of followers. It is purely a
+// reader of the feed — the engine keeps writing, checkpointing and truncating
+// underneath it, and every truncation race surfaces as a snapshot delivery.
+type Primary struct {
+	feed *wal.Feed
+	opts PrimaryOptions
+
+	mu     sync.Mutex
+	lns    map[net.Listener]struct{}
+	conns  map[net.Conn]struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// NewPrimary returns a Primary shipping feed.
+func NewPrimary(feed *wal.Feed, opts PrimaryOptions) *Primary {
+	return &Primary{
+		feed:  feed,
+		opts:  opts.withDefaults(),
+		lns:   make(map[net.Listener]struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// DeliverRecords builds the delivery answering a pull after the given
+// position: a contiguous batch of records from afterSeq+1, or — when a
+// checkpoint truncated that position away — the current snapshot, which is
+// the restart rule a crashed-and-recovered follower would follow too. n is
+// the number of records in the batch (a snapshot counts as 1, an empty
+// caught-up delivery as 0).
+func (p *Primary) DeliverRecords(afterSeq uint64) (data []byte, n int, err error) {
+	recs, err := p.feed.ReadAfter(afterSeq, p.opts.MaxBatchBytes)
+	if errors.Is(err, wal.ErrPositionTruncated) {
+		return p.DeliverSnapshot()
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	var body []byte
+	seq := afterSeq
+	for _, r := range recs {
+		body = wal.FrameRecord(body, r)
+		seq = r.Seq
+	}
+	data = appendDeliveryHeader(make([]byte, 0, HeaderFrameLen+len(body)),
+		DeliveryRecords, uint64(len(body)), crc32.Checksum(body, castagnoli), seq, p.feed.LastSeq())
+	return append(data, body...), len(recs), nil
+}
+
+// DeliverSnapshot builds a snapshot delivery from the current checkpoint —
+// the bootstrap shipment for a blank follower and the fallback for a
+// truncated position.
+func (p *Primary) DeliverSnapshot() (data []byte, n int, err error) {
+	rc, seq, err := p.feed.OpenSnapshot()
+	if err != nil {
+		return nil, 0, err
+	}
+	body, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		return nil, 0, err
+	}
+	data = appendDeliveryHeader(make([]byte, 0, HeaderFrameLen+len(body)),
+		DeliverySnapshot, uint64(len(body)), crc32.Checksum(body, castagnoli), seq, p.feed.LastSeq())
+	return append(data, body...), 1, nil
+}
+
+// Serve accepts follower connections on ln until Close (or the listener
+// fails). Each connection runs a request loop: length-prefixed pull requests
+// in, deliveries out. Call it on its own goroutine.
+func (p *Primary) Serve(ln net.Listener) error {
+	p.mu.Lock()
+	if p.closed.Load() {
+		p.mu.Unlock()
+		ln.Close()
+		return errors.New("repl: primary closed")
+	}
+	p.lns[ln] = struct{}{}
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.lns, ln)
+		p.mu.Unlock()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if p.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		p.mu.Lock()
+		if p.closed.Load() {
+			p.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		p.conns[conn] = struct{}{}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go func() {
+			defer p.wg.Done()
+			p.serveConn(conn)
+			p.mu.Lock()
+			delete(p.conns, conn)
+			p.mu.Unlock()
+		}()
+	}
+}
+
+// serveConn runs one follower's request loop until the connection errors or
+// the primary closes.
+func (p *Primary) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	var req [8 + reqPayloadLen]byte
+	for !p.closed.Load() {
+		if _, err := io.ReadFull(br, req[:]); err != nil {
+			return
+		}
+		op, after, err := ParseRequest(req[:])
+		if err != nil {
+			return // a client speaking garbage gets a hangup, not a guess
+		}
+		var data []byte
+		if op == opSnapshot {
+			data, _, err = p.DeliverSnapshot()
+		} else {
+			data, err = p.buildWithPoll(after)
+		}
+		if err != nil {
+			return
+		}
+		if _, err := conn.Write(data); err != nil {
+			return
+		}
+	}
+}
+
+// buildWithPoll answers a pull, blocking up to PollWait when the follower is
+// already caught up so new records ship the moment they land.
+func (p *Primary) buildWithPoll(after uint64) ([]byte, error) {
+	deadline := time.Now().Add(p.opts.PollWait)
+	for {
+		data, n, err := p.DeliverRecords(after)
+		if err != nil || n > 0 {
+			return data, err
+		}
+		if p.closed.Load() || !time.Now().Before(deadline) {
+			return data, nil // empty delivery: "caught up at primarySeq"
+		}
+		time.Sleep(p.opts.PollInterval)
+	}
+}
+
+// Close stops serving: listeners and live connections are shut and every
+// per-connection goroutine is awaited. The feed itself is untouched — it
+// belongs to the engine.
+func (p *Primary) Close() error {
+	if !p.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	p.mu.Lock()
+	for ln := range p.lns {
+		ln.Close()
+	}
+	for conn := range p.conns {
+		conn.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return nil
+}
+
+// LocalClient is the in-process Client over a Primary — the transport the
+// oracle and fault-injection harnesses drive, and the degenerate case proving
+// the protocol does not depend on TCP semantics.
+type LocalClient struct{ Primary *Primary }
+
+// Pull answers a positional pull without any long-poll wait.
+func (c *LocalClient) Pull(afterSeq uint64) ([]byte, error) {
+	data, _, err := c.Primary.DeliverRecords(afterSeq)
+	return data, err
+}
+
+// Bootstrap answers a snapshot request.
+func (c *LocalClient) Bootstrap() ([]byte, error) {
+	data, _, err := c.Primary.DeliverSnapshot()
+	return data, err
+}
+
+// Close is a no-op; the Primary is owned by the caller.
+func (c *LocalClient) Close() error { return nil }

@@ -63,6 +63,11 @@ type Backend interface {
 
 var _ Backend = (*specqp.Engine)(nil)
 
+// A read replica fed by WAL log shipping serves the same surface: queries
+// from the last applied state, mutations refused with the wedged-log error,
+// which the mutation handlers already render as 503 read-only.
+var _ Backend = (*specqp.Replica)(nil)
+
 // Config tunes the server's admission and degradation behavior. The zero
 // value of every field selects a production-safe default.
 type Config struct {
@@ -107,6 +112,11 @@ type Config struct {
 
 	// Metrics receives the server counters; allocated internally when nil.
 	Metrics *metrics.ServerMetrics
+
+	// Replication marks this server as fronting a read replica (a follower of
+	// WAL log shipping): /healthz reports the replication position and lag,
+	// /metrics includes the replication gauges and counters. nil on primaries.
+	Replication *metrics.ReplicationMetrics
 
 	// now is the clock seam for the admission and degradation machinery
 	// (tests inject a fake clock); nil means time.Now.
@@ -599,7 +609,11 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, op string)
 	// before spending an execution slot. Queries never take this path.
 	if s.eng.Wedged() {
 		s.m.MutationErrors.Add(1)
-		errorBody(w, http.StatusServiceUnavailable, "read-only: %v", specqp.ErrWedged)
+		if s.cfg.Replication != nil {
+			errorBody(w, http.StatusServiceUnavailable, "read-only: replica; write to the primary")
+		} else {
+			errorBody(w, http.StatusServiceUnavailable, "read-only: %v", specqp.ErrWedged)
+		}
 		return
 	}
 	release, ok := s.admit(w, r, 1)
@@ -643,14 +657,22 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, op string)
 	json.NewEncoder(w).Encode(map[string]any{"ok": true, "removed": removed})
 }
 
-// healthz is the /healthz response shape.
+// healthz is the /healthz response shape. The replica_* fields appear only on
+// followers (Config.Replication set): a replica is Wedged by construction, so
+// its steady status is "read-only", and replica_lag_seq is how far its applied
+// WAL position trails the newest one the primary reported.
 type healthz struct {
-	Status   string  `json:"status"` // ok | degraded | read-only | draining
-	Tier     int     `json:"tier"`
-	Wedged   bool    `json:"wedged"`
-	Inflight int     `json:"inflight"`
-	Waiting  int     `json:"waiting"`
-	Pressure float64 `json:"pressure"`
+	Status            string  `json:"status"` // ok | degraded | read-only | draining
+	Tier              int     `json:"tier"`
+	Wedged            bool    `json:"wedged"`
+	Inflight          int     `json:"inflight"`
+	Waiting           int     `json:"waiting"`
+	Pressure          float64 `json:"pressure"`
+	Replica           bool    `json:"replica,omitempty"`
+	ReplicaAppliedSeq *uint64 `json:"replica_applied_seq,omitempty"`
+	ReplicaPrimarySeq *uint64 `json:"replica_primary_seq,omitempty"`
+	ReplicaLagSeq     *uint64 `json:"replica_lag_seq,omitempty"`
+	ReplicaConnected  *bool   `json:"replica_connected,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -660,6 +682,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Inflight: len(s.slots),
 		Waiting:  int(s.waiting.Load()),
 		Pressure: s.gov.Pressure(),
+	}
+	if rm := s.cfg.Replication; rm != nil {
+		applied, primary, lag, connected := rm.AppliedSeq(), rm.PrimarySeq(), rm.Lag(), rm.Connected()
+		h.Replica = true
+		h.ReplicaAppliedSeq = &applied
+		h.ReplicaPrimarySeq = &primary
+		h.ReplicaLagSeq = &lag
+		h.ReplicaConnected = &connected
 	}
 	status := http.StatusOK
 	switch {
@@ -690,6 +720,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		wedged = 1
 	}
 	fmt.Fprintf(w, "specqp_wedged %d\n", wedged)
+	if rm := s.cfg.Replication; rm != nil {
+		rm.WriteText(w)
+	}
 }
 
 // Drain performs the graceful-shutdown sequence: stop admitting (new
