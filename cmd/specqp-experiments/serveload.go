@@ -77,6 +77,12 @@ type serveLoadReport struct {
 		FirstAnswerP50US int64 `json:"first_answer_p50_us"`
 		FirstAnswerP99US int64 `json:"first_answer_p99_us"`
 		StreamedAnswers  int64 `json:"streamed_answers"`
+		// SlowQueries counts the slow-query log lines the run captured (the
+		// server runs with an aggressive threshold so the load exercises the
+		// sampler); SlowQuerySample is the first captured line, a structured
+		// JSON record carrying the query, latency and execution trace.
+		SlowQueries     int64  `json:"slow_queries_logged"`
+		SlowQuerySample string `json:"slow_query_sample,omitempty"`
 	} `json:"server"`
 }
 
@@ -87,7 +93,16 @@ type serveLoadReport struct {
 // smoke test can assert on the report without capturing stdout.
 func serveLoadRun(ds *datagen.Dataset, clients, reqsPerClient, shards int) (*serveLoadReport, error) {
 	eng := specqp.NewEngineWith(ds.Store, ds.Rules, specqp.Options{Shards: shards})
-	srv := server.New(server.Config{Backend: eng})
+	// The slow-query log runs with an aggressive threshold so the load
+	// exercises the sampler end-to-end: lines land in a buffer (not stderr)
+	// and the report counts them and carries the first as a sample.
+	var slowBuf syncBuffer
+	srv := server.New(server.Config{
+		Backend:            eng,
+		SlowQueryThreshold: time.Microsecond,
+		SlowQueryInterval:  10 * time.Millisecond,
+		SlowQueryLog:       &slowBuf,
+	})
 	hs := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
@@ -248,7 +263,30 @@ func serveLoadRun(ds *datagen.Dataset, clients, reqsPerClient, shards int) (*ser
 	rep.Server.FirstAnswerP50US = m.FirstAnswer.Quantile(0.50).Microseconds()
 	rep.Server.FirstAnswerP99US = m.FirstAnswer.Quantile(0.99).Microseconds()
 	rep.Server.StreamedAnswers = m.StreamedAnswers.Load()
+	rep.Server.SlowQueries = srv.SlowQueriesLogged()
+	if lines := strings.SplitN(slowBuf.String(), "\n", 2); len(lines) > 0 && lines[0] != "" {
+		rep.Server.SlowQuerySample = lines[0]
+	}
 	return rep, nil
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer — the slow-query log writes from
+// request goroutines while the report reads it after the drain.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }
 
 // runServeLoad executes serveLoadRun, prints the report, and with benchOut

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"testing"
 
 	"specqp/internal/datagen"
@@ -40,5 +41,28 @@ func TestServeLoadSmoke(t *testing.T) {
 	}
 	if rep.Server.FirstAnswerP50US <= 0 || rep.Server.StreamedAnswers == 0 {
 		t.Fatalf("server-side streaming metrics missing: %+v", rep.Server)
+	}
+
+	// The slow-query log ran with an aggressive threshold: the load must have
+	// captured at least one structured line, and that line must be a valid
+	// JSON record naming the query with a positive latency. The trace rides
+	// along when the sampled query took the traced buffered path.
+	if rep.Server.SlowQueries == 0 {
+		t.Fatalf("slow-query log captured nothing under load: %+v", rep.Server)
+	}
+	if rep.Server.SlowQuerySample == "" {
+		t.Fatal("slow-query sample line missing despite logged > 0")
+	}
+	var entry struct {
+		Query     string          `json:"query"`
+		ElapsedUS int64           `json:"elapsed_us"`
+		Mode      string          `json:"mode"`
+		Trace     json.RawMessage `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(rep.Server.SlowQuerySample), &entry); err != nil {
+		t.Fatalf("slow-query sample is not valid JSON: %v\n%s", err, rep.Server.SlowQuerySample)
+	}
+	if entry.Query == "" || entry.ElapsedUS <= 0 {
+		t.Fatalf("slow-query sample incomplete: %s", rep.Server.SlowQuerySample)
 	}
 }

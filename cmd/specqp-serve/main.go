@@ -28,6 +28,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on DefaultServeMux; exposed only behind -pprof
 	"os"
 	"os/signal"
 	"strings"
@@ -79,6 +80,11 @@ func run(args []string, out io.Writer, shutdown <-chan struct{}, ready chan<- st
 		maxDeadline = fs.Duration("max-deadline", 30*time.Second, "upper clamp on requested deadlines")
 		degradedK   = fs.Int("degraded-k", 3, "k cap at the deepest degradation tier")
 		drainWait   = fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+
+		slowQuery         = fs.Duration("slow-query", 0, "log queries slower than this as JSON lines to stderr, with their execution trace (0 = off)")
+		slowQueryInterval = fs.Duration("slow-query-interval", time.Second, "minimum gap between slow-query log lines; crossings in between are counted, not logged")
+		degradeLatency    = fs.Duration("degrade-latency", 0, "feed the degradation governor from completion latency: queries slower than this pressure it like a shed (0 = off)")
+		pprofFlag         = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the serving address")
 
 		listenRepl    = fs.String("listen-repl", "", "ship the WAL to read replicas on this address (requires -wal)")
 		replicateFrom = fs.String("replicate-from", "", "run as a read-only follower tailing the primary's -listen-repl address (excludes -wal and -triples; -rules still applies locally)")
@@ -158,19 +164,36 @@ func run(args []string, out io.Writer, shutdown <-chan struct{}, ready chan<- st
 	}
 
 	srv := server.New(server.Config{
-		Backend:         backend,
-		MaxInflight:     *inflight,
-		MaxQueue:        *queue,
-		RatePerClient:   *rate,
-		BurstPerClient:  *burst,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDeadline,
-		DegradedK:       *degradedK,
-		Replication:     replMetrics,
+		Backend:            backend,
+		MaxInflight:        *inflight,
+		MaxQueue:           *queue,
+		RatePerClient:      *rate,
+		BurstPerClient:     *burst,
+		DefaultDeadline:    *deadline,
+		MaxDeadline:        *maxDeadline,
+		DegradedK:          *degradedK,
+		Replication:        replMetrics,
+		SlowQueryThreshold: *slowQuery,
+		SlowQueryInterval:  *slowQueryInterval,
+		DegradeLatency:     *degradeLatency,
 	})
 
+	handler := srv.Handler()
+	if *pprofFlag {
+		// The profiling routes bypass the admission pipeline on purpose — an
+		// overloaded server is exactly when a profile is needed, and a 429 on
+		// /debug/pprof/profile would make the tool useless. net/http/pprof
+		// registers on http.DefaultServeMux at import; an outer mux routes the
+		// debug prefix there and everything else to the admission-controlled
+		// handler.
+		outer := http.NewServeMux()
+		outer.Handle("/debug/pprof/", http.DefaultServeMux)
+		outer.Handle("/", handler)
+		handler = outer
+	}
+
 	hs := &http.Server{
-		Handler: srv.Handler(),
+		Handler: handler,
 		// Slow-loris protection: a connection that trickles its headers or
 		// body is cut, releasing whatever it holds, instead of pinning a
 		// slot forever.

@@ -14,6 +14,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -56,7 +57,7 @@ func run(args []string, in io.Reader, out, errOut io.Writer) error {
 		queryFile   = fs.String("queries", "", "file with one SPARQL query per line ('#' comments allowed)")
 		k           = fs.Int("k", 10, "number of answers to return")
 		modeStr     = fs.String("mode", "spec-qp", "engine: spec-qp, trinit or naive")
-		explain     = fs.Bool("explain", false, "print the speculative plan reasoning")
+		explain     = fs.Bool("explain", false, "print the speculative plan reasoning and the executed trace (per-operator pulls, emits, bound trajectory)")
 		compare     = fs.Bool("compare", false, "run all three engines and compare")
 		buckets     = fs.Int("buckets", 2, "histogram buckets for the estimator")
 		estimated   = fs.Bool("estimated-selectivity", false, "use estimated instead of exact join selectivity")
@@ -190,6 +191,22 @@ func run(args []string, in io.Reader, out, errOut io.Writer) error {
 		q, err := eng.ParseSPARQL(src)
 		if err != nil {
 			fmt.Fprintf(errOut, "parse error: %v\n", err)
+			return
+		}
+		if *explain && !*compare {
+			// The traced run IS the run: plan reasoning, then the executed
+			// operator tree with its counters, then the answers — one
+			// execution, so the trace describes exactly the result printed.
+			res, err := eng.QueryTraced(context.Background(), q, *k, mode)
+			if err != nil {
+				fmt.Fprintf(errOut, "%v\n", err)
+				return
+			}
+			if mode == specqp.ModeSpecQP {
+				fmt.Fprint(out, eng.Explain(res.Plan))
+			}
+			fmt.Fprint(out, specqp.RenderTrace(res.Trace))
+			printResult(out, eng, q, mode, res, *timings)
 			return
 		}
 		if *explain {

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"specqp/internal/kg"
 	"specqp/internal/wal"
@@ -109,6 +110,30 @@ type walState struct {
 	cpWG    sync.WaitGroup
 	spawnMu sync.Mutex
 	closed  atomic.Bool
+
+	// Group-commit observability, fed by the WAL's OnCommit hook (commit
+	// leader goroutine, outside the log mutex — see wal.Options.OnCommit).
+	commits       atomic.Int64
+	commitRecords atomic.Int64
+	fsyncCount    atomic.Int64
+	fsyncNS       atomic.Int64
+	lastFsyncNS   atomic.Int64
+	// Checkpoint observability, recorded by checkpoint() on success.
+	checkpoints    atomic.Int64
+	checkpointNS   atomic.Int64
+	lastCheckpoint atomic.Int64 // bytes of the newest snapshot
+}
+
+// noteCommit is the wal.Options.OnCommit hook: one call per group commit,
+// records = batch size, syncDur > 0 iff the batch ended in a timed fsync.
+func (w *walState) noteCommit(records int, syncDur time.Duration) {
+	w.commits.Add(1)
+	w.commitRecords.Add(int64(records))
+	if syncDur > 0 {
+		w.fsyncCount.Add(1)
+		w.fsyncNS.Add(syncDur.Nanoseconds())
+		w.lastFsyncNS.Store(syncDur.Nanoseconds())
+	}
 }
 
 // DurableStateExists reports whether dir holds a recoverable durable store
@@ -159,19 +184,21 @@ func openDurableFS(fsys wal.FS, base *Store, rules *RuleSet, opts Options) (*Eng
 	if rules == nil {
 		rules = NewRuleSet()
 	}
-	log, rec, err := wal.Open(fsys, wal.Options{
-		Policy:      opts.SyncPolicy,
-		Interval:    opts.SyncInterval,
-		SegmentSize: opts.WALSegmentSize,
-	})
-	if err != nil {
-		return nil, err
-	}
 	cpBytes := opts.CheckpointBytes
 	if cpBytes == 0 {
 		cpBytes = DefaultCheckpointBytes
 	}
-	w := &walState{fs: fsys, log: log, checkpointBytes: cpBytes}
+	w := &walState{fs: fsys, checkpointBytes: cpBytes}
+	log, rec, err := wal.Open(fsys, wal.Options{
+		Policy:      opts.SyncPolicy,
+		Interval:    opts.SyncInterval,
+		SegmentSize: opts.WALSegmentSize,
+		OnCommit:    w.noteCommit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.log = log
 
 	engOpts := opts
 	engOpts.WALDir = "" // consumed here; NewEngineWith rejects it
@@ -464,12 +491,13 @@ func (w *walState) checkpoint(g kg.Graph) error {
 		return fmt.Errorf("specqp: checkpoint refused, log is wedged: %w", err)
 	}
 
+	cpStart := time.Now()
 	const tmp = "snap.tmp"
 	f, err := w.fs.Create(tmp)
 	if err != nil {
 		return err
 	}
-	_, ops, err := kg.WriteGraphSnapshot(f, g)
+	nbytes, ops, err := kg.WriteGraphSnapshot(f, g)
 	if err != nil {
 		f.Close()
 		return err
@@ -489,6 +517,11 @@ func (w *walState) checkpoint(g kg.Graph) error {
 	if err := wal.WriteManifest(w.fs, wal.Manifest{Snapshot: name, SnapshotSeq: seq}); err != nil {
 		return err
 	}
+	// The manifest commit is the durability point: record the checkpoint as
+	// done even if the garbage collection below fails.
+	w.checkpoints.Add(1)
+	w.checkpointNS.Add(time.Since(cpStart).Nanoseconds())
+	w.lastCheckpoint.Store(int64(nbytes))
 	// Anything that fails from here on is garbage collection, not
 	// correctness: the manifest already commits the new snapshot.
 	if err := w.log.TruncateThrough(seq); err != nil {

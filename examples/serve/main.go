@@ -12,6 +12,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log"
@@ -98,7 +99,24 @@ func main() {
 	}
 	fmt.Println()
 
-	// 4. An overload burst: one client fires 16 concurrent requests, but its
+	// 4. The same query with "explain": true — the response carries a trace
+	// object: the planner's decisions (plan-cache hit, shape key, relaxation
+	// expansions) and a plan-shaped tree of per-operator counters from the
+	// actual execution. Render it the way `specqp -explain` would.
+	explainBody := fmt.Sprintf(`{"query":%q,"k":3,"mode":"spec-qp","explain":true}`, query)
+	fmt.Printf("POST /query  %s\n", explainBody)
+	var explained struct {
+		Trace *specqp.QueryTrace `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(post(base+"/query", explainBody)), &explained); err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(specqp.RenderTrace(explained.Trace), "\n"), "\n") {
+		fmt.Printf("         ->  %s\n", line)
+	}
+	fmt.Println()
+
+	// 5. An overload burst: one client fires 16 concurrent requests, but its
 	// token bucket holds 10. Every request is answered — served, or shed with
 	// a fast 429 and a Retry-After header — never hung, never errored.
 	var wg sync.WaitGroup
@@ -129,18 +147,20 @@ func main() {
 	wg.Wait()
 	fmt.Printf("\nburst of 16 from one client (bucket of 10): %d served, %d shed with 429\n\n", served, shed)
 
-	// 5. Health and metrics — including the time-to-first-answer histogram
-	// the streamed query above just populated.
+	// 6. Health and metrics — including the time-to-first-answer histogram
+	// the streamed query above just populated and the engine-internals block
+	// (store occupancy, cache hit ratios) the explain run touched.
 	fmt.Printf("GET /healthz ->  %s\n", get(base+"/healthz"))
 	fmt.Printf("GET /metrics ->  (excerpt)\n")
 	for _, line := range strings.Split(get(base+"/metrics"), "\n") {
 		if strings.HasPrefix(line, "specqp_requests_") || strings.HasPrefix(line, "specqp_shed_") ||
-			strings.HasPrefix(line, "specqp_streamed_") || strings.HasPrefix(line, "specqp_first_answer_latency_p") {
+			strings.HasPrefix(line, "specqp_streamed_") || strings.HasPrefix(line, "specqp_first_answer_latency_p") ||
+			strings.HasPrefix(line, "specqp_engine_live_") || strings.HasPrefix(line, "specqp_engine_plan_cache_") {
 			fmt.Printf("    %s\n", line)
 		}
 	}
 
-	// 6. Graceful drain: stop admitting, flush in-flight work, then close.
+	// 7. Graceful drain: stop admitting, flush in-flight work, then close.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Drain(ctx); err != nil {

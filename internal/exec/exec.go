@@ -20,6 +20,7 @@ import (
 	"specqp/internal/operators"
 	"specqp/internal/planner"
 	"specqp/internal/relax"
+	"specqp/internal/trace"
 )
 
 // Result carries an execution's answers and its efficiency metrics.
@@ -34,6 +35,9 @@ type Result struct {
 	ExecTime time.Duration
 	// Plan is the executed plan.
 	Plan planner.Plan
+	// Trace is the per-operator execution trace — nil unless the run was
+	// traced (RunContextTraced); untraced runs pay nothing for it.
+	Trace *trace.Trace
 }
 
 // Executor runs plans against one store + rule set.
@@ -118,6 +122,17 @@ func (ex *Executor) buildStream(p planner.Plan, c *operators.Counter) (operators
 	legs := make([]leg, len(p.JoinGroup)+len(p.Singletons))
 	build := func(slot int, patIdx int, single bool) {
 		legs[slot] = ex.buildLeg(g, q, vs, patIdx, single, c)
+	}
+	if c.Tracing() {
+		// Traced executions additionally stamp each leg's construction wall
+		// time on its root trace node; the untraced path takes no time.Now
+		// calls and builds the exact same closures.
+		inner := build
+		build = func(slot int, patIdx int, single bool) {
+			t0 := time.Now()
+			inner(slot, patIdx, single)
+			operators.StampBuild(legs[slot].stream, time.Since(t0).Microseconds())
+		}
 	}
 	if ex.Parallel && len(legs) > 1 {
 		var wg sync.WaitGroup

@@ -7,6 +7,7 @@ import (
 	"specqp/internal/kg"
 	"specqp/internal/operators"
 	"specqp/internal/planner"
+	"specqp/internal/trace"
 )
 
 // AnswerEmitFunc receives answers the instant the operator tree proves them
@@ -30,10 +31,29 @@ type AnswerEmitFunc func(kg.Answer) bool
 // with ctx.Err(); an emit returning false truncates with a nil error (the
 // consumer chose to stop; nothing failed).
 func (ex *Executor) RunContextStream(ctx context.Context, p planner.Plan, emit AnswerEmitFunc) (Result, error) {
+	return ex.runContextStream(ctx, p, emit, false)
+}
+
+// RunContextTraced is RunContextStream's traced sibling: same plan, same
+// answers, same order — operators additionally record per-instance execution
+// statistics, compiled into Result.Trace as a plan-shaped tree. Tracing never
+// changes what is executed (the oracle tests assert bit-identity); it only
+// adds the recording, so traced runs are for explain requests and sampled
+// slow-query capture, not the steady-state hot path.
+func (ex *Executor) RunContextTraced(ctx context.Context, p planner.Plan, emit AnswerEmitFunc) (Result, error) {
+	return ex.runContextStream(ctx, p, emit, true)
+}
+
+func (ex *Executor) runContextStream(ctx context.Context, p planner.Plan, emit AnswerEmitFunc, traced bool) (Result, error) {
 	c := &operators.Counter{}
 	// Installed before buildStream so the prefetch goroutines observe the
 	// hook through their creation edge; ctx.Err is safe for concurrent use.
 	c.SetAbort(func() bool { return ctx.Err() != nil })
+	if traced {
+		// Also before buildStream: operators allocate their trace nodes at
+		// construction, observing the flag through the same edge.
+		c.EnableTracing()
+	}
 	start := time.Now()
 	root, _, stop := ex.buildStream(p, c)
 	defer stop()
@@ -61,12 +81,22 @@ func (ex *Executor) RunContextStream(ctx context.Context, p planner.Plan, emit A
 			break
 		}
 	}
-	return Result{
+	res := Result{
 		Answers:       answers,
 		MemoryObjects: c.Value(),
 		ExecTime:      time.Since(start),
 		Plan:          p,
-	}, err
+	}
+	if traced {
+		res.Trace = &trace.Trace{
+			K:             p.K,
+			ExecUS:        res.ExecTime.Microseconds(),
+			Answers:       len(answers),
+			MemoryObjects: res.MemoryObjects,
+			Root:          operators.TraceTree(root),
+		}
+	}
+	return res, err
 }
 
 // RunStream executes plan p without a context, emitting each answer as it is

@@ -1,6 +1,22 @@
 package kg
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// listCacheHits / listCacheMisses are process-wide tallies across every
+// listCache instance. Instances are per-snapshot and dropped wholesale on
+// version changes, so a ratio must aggregate above them; process scope is the
+// natural aggregation for the /metrics hit-ratio gauge (single-flight waiters
+// count as hits — the list was not recomputed for them).
+var listCacheHits, listCacheMisses atomic.Int64
+
+// ListCacheStats reports cumulative merged/residual list-cache hits and
+// misses across the process.
+func ListCacheStats() (hits, misses int64) {
+	return listCacheHits.Load(), listCacheMisses.Load()
+}
 
 // residualShards is the fan-out of the residual match-list cache. Sixteen
 // shards keep lock contention negligible at the concurrency levels the
@@ -57,12 +73,14 @@ func (c *listCache) get(k PatternKey, compute func() []int32) []int32 {
 	s.mu.Lock()
 	if e, ok := s.m[k]; ok {
 		s.mu.Unlock()
+		listCacheHits.Add(1)
 		<-e.ready
 		return e.list
 	}
 	e := &listEntry{ready: make(chan struct{})}
 	s.m[k] = e
 	s.mu.Unlock()
+	listCacheMisses.Add(1)
 	done := false
 	defer func() {
 		if !done {

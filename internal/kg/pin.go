@@ -115,6 +115,7 @@ func dupFor(s *storeState) bool {
 
 // pin captures the store's current snapshot as an immutable view.
 func (st *Store) pin() *pinnedStore {
+	st.pins.Add(1)
 	s := st.state()
 	return &pinnedStore{
 		dict:    st.dict,
@@ -148,6 +149,7 @@ var _ ShardedGraph = (*pinnedSharded)(nil)
 // were captured with it under the mutator lock, so the whole view is one
 // consistent content version.
 func (ss *ShardedStore) pin() *pinnedSharded {
+	ss.pins.Add(1)
 	d := ss.dir.Load()
 	if d == nil {
 		panic("kg: Pin before Freeze")

@@ -68,6 +68,25 @@ type ShardedStore struct {
 	// content version so live inserts invalidate it wholesale. The hot query
 	// path never materialises — ShardedListScan merges per-shard views.
 	merged atomic.Pointer[versionedLists]
+
+	// pins counts Pin calls (cumulative; see Store.pins).
+	pins atomic.Int64
+}
+
+// Pins reports how many snapshot views the sharded store has handed out.
+func (ss *ShardedStore) Pins() int64 { return ss.pins.Load() }
+
+// CompactionStats aggregates the per-shard tiered/full compaction counters
+// and durations (see Store.CompactionStats).
+func (ss *ShardedStore) CompactionStats() (full, tiered uint64, fullNS, tieredNS int64) {
+	for _, sh := range ss.shards {
+		f, t, fns, tns := sh.CompactionStats()
+		full += f
+		tiered += t
+		fullNS += fns
+		tieredNS += tns
+	}
+	return full, tiered, fullNS, tieredNS
 }
 
 // shardedDir is one immutable directory snapshot: the global→shard mapping

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Store is an in-memory scored triple store. Triples are added with Add and
@@ -70,10 +71,31 @@ type Store struct {
 	version atomic.Uint64
 	// compactions counts head merges (explicit and automatic).
 	compactions atomic.Uint64
+	// compactionsFull / compactionsTiered split compactions by tier (full =
+	// fold into the main arena, tiered = head → L1), and the *NS fields
+	// accumulate each tier's merge wall time — the /metrics per-tier
+	// compaction gauges.
+	compactionsFull, compactionsTiered atomic.Uint64
+	compactionFullNS, compactionTieredNS atomic.Int64
+	// pins counts Pin calls (snapshot views handed out). Views are garbage
+	// collected, not released, so this is a cumulative taken-counter.
+	pins atomic.Int64
 	// residualComputes counts residual-list computations across the store's
 	// lifetime, for tests asserting the cache's single-flight guarantee.
 	residualComputes atomic.Int64
 }
+
+// CompactionStats reports per-tier compaction counts and cumulative
+// durations: full merges fold everything into the main arena, tiered merges
+// re-freeze the head into the L1 tier.
+func (st *Store) CompactionStats() (full, tiered uint64, fullNS, tieredNS int64) {
+	return st.compactionsFull.Load(), st.compactionsTiered.Load(),
+		st.compactionFullNS.Load(), st.compactionTieredNS.Load()
+}
+
+// Pins reports how many snapshot views the store has handed out (cumulative;
+// views are reclaimed by the garbage collector, never explicitly released).
+func (st *Store) Pins() int64 { return st.pins.Load() }
 
 // storeState is one immutable read snapshot of a live store: the frozen
 // posting segment plus the mutable head's sorted overlay. Every reader loads
@@ -730,6 +752,15 @@ func (st *Store) Compact() {
 func (st *Store) runMerge(full bool) {
 	st.mergeMu.Lock()
 	defer st.mergeMu.Unlock()
+	mergeStart := time.Now()
+	defer func() {
+		ns := time.Since(mergeStart).Nanoseconds()
+		if full {
+			st.compactionFullNS.Add(ns)
+		} else {
+			st.compactionTieredNS.Add(ns)
+		}
+	}()
 	s := st.live.Load()
 	if full {
 		if s.fastRead() {
@@ -791,6 +822,11 @@ func (st *Store) runMerge(full bool) {
 	ns.headDup = headDupFor(ns)
 	st.live.Store(ns)
 	st.compactions.Add(1)
+	if full {
+		st.compactionsFull.Add(1)
+	} else {
+		st.compactionsTiered.Add(1)
+	}
 }
 
 // headDupFor recomputes the head-duplicate flag exactly for a snapshot: a

@@ -129,10 +129,39 @@ func (m *ServerMetrics) WriteText(w io.Writer) {
 	writeHistText(w, "first_answer_latency", &m.FirstAnswer)
 }
 
-// writeHistText renders one histogram's count, mean and quantiles under the
-// given metric stem.
+// writeHistText renders one histogram under the given metric stem: a
+// conformant Prometheus histogram family `specqp_<stem>_us` (cumulative
+// `_bucket{le="..."}` series over the log2 buckets, `_sum`, `_count`), plus
+// the original summary gauges (`_count`, `_mean_us`, `_p50/_p90/_p99_us`)
+// kept for scrape configs and dashboards written against the old exposition.
+//
+// Bucket i of the histogram holds integer-microsecond samples with
+// bits.Len64(us) == i — exactly [2^(i-1), 2^i) for i >= 1 and {0} for i = 0 —
+// so its inclusive upper bound is 2^i - 1, which is what each `le` label
+// carries. Earlier versions emitted no buckets at all and no `_sum`, which
+// made the `_count` line parse as a counter fragment of a family that never
+// materialised; a strict text-format parser (and the conformance test)
+// rejects that.
 func writeHistText(w io.Writer, stem string, h *Histogram) {
-	fmt.Fprintf(w, "specqp_%s_count %d\n", stem, h.Count())
+	family := "specqp_" + stem + "_us"
+	fmt.Fprintf(w, "# TYPE %s histogram\n", family)
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", family, (int64(1)<<uint(i))-1, cum)
+	}
+	count := h.Count()
+	if count < cum {
+		// A sample raced in between the bucket loads and the count load;
+		// keep the series monotone (the +Inf bucket must not undercut the
+		// last finite one).
+		count = cum
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", family, count)
+	fmt.Fprintf(w, "%s_sum %d\n", family, h.sum.Load())
+	fmt.Fprintf(w, "%s_count %d\n", family, count)
+
+	fmt.Fprintf(w, "specqp_%s_count %d\n", stem, count)
 	fmt.Fprintf(w, "specqp_%s_mean_us %d\n", stem, h.Mean().Microseconds())
 	for _, q := range []struct {
 		name string

@@ -1,6 +1,11 @@
 package operators
 
-import "specqp/internal/kg"
+import (
+	"fmt"
+
+	"specqp/internal/kg"
+	"specqp/internal/trace"
+)
 
 // AnswerScan streams a pre-materialised, score-descending answer list
 // (deduplicated by the producer) as a Stream, applying a relaxation weight
@@ -15,6 +20,7 @@ type AnswerScan struct {
 	pos     int
 	top     float64
 	last    float64
+	stats   *trace.Node // nil unless the execution is traced
 }
 
 // NewAnswerScan wraps answers (sorted by score descending) as a stream.
@@ -24,6 +30,11 @@ func NewAnswerScan(answers []kg.Answer, weight float64, mask uint32, c *Counter)
 		s.top = weight * answers[0].Score
 	}
 	s.last = s.top
+	if c.Tracing() {
+		s.stats = trace.NewNode("AnswerScan")
+		s.stats.Detail = fmt.Sprintf("%d answers w=%.3f", len(answers), weight)
+		s.stats.SetTop(s.top)
+	}
 	return s
 }
 
@@ -44,6 +55,11 @@ func (s *AnswerScan) Next() (Entry, bool) {
 	score := s.weight * a.Score
 	s.last = score
 	s.counter.Inc()
+	if s.stats != nil {
+		s.stats.Pull()
+		s.stats.Emit()
+		s.stats.SampleBound(score)
+	}
 	return Entry{Binding: a.Binding, Score: score, Relaxed: s.mask | a.Relaxed}, true
 }
 

@@ -58,6 +58,16 @@ func (a *bindingArena) merge(l, r kg.Binding) kg.Binding {
 // keeping the slabs for reuse.
 func (a *bindingArena) reset() { a.ci, a.off = 0, 0 }
 
+// bytes reports the arena's total slab footprint — the traced execution's
+// arena-bytes statistic. Only the owning operator's goroutine calls it.
+func (a *bindingArena) bytes() int64 {
+	var n int64
+	for _, ch := range a.chunks {
+		n += int64(len(ch))
+	}
+	return n * 8
+}
+
 // The operator queues are hand-rolled binary max-heaps rather than
 // container/heap adapters because heap.Push/Pop box every element in an
 // interface{} — one heap allocation per buffered join result — and the

@@ -48,6 +48,13 @@ type Counter struct {
 	// happens-before edge makes the plain field safe under the prefetchers'
 	// concurrent reads.
 	abort func() bool
+	// tracing marks the execution as traced: operators built against this
+	// counter allocate a per-instance trace.Node and record pulls, emissions,
+	// dedup suppressions and bound samples into it. Set once before stream
+	// construction (same happens-before discipline as abort); when false —
+	// the default — operators carry a nil node and every recording call is a
+	// single nil check, keeping the hot path at 0 allocs/op and bit-identical.
+	tracing bool
 }
 
 // AbortStride is the pull-loop polling interval for the abort hook: operators
@@ -69,6 +76,20 @@ func (c *Counter) SetAbort(f func() bool) {
 // without a hook never abort.
 func (c *Counter) Aborted() bool {
 	return c != nil && c.abort != nil && c.abort()
+}
+
+// EnableTracing marks the execution as traced. Call it before the operator
+// tree is built; operators constructed afterwards allocate trace nodes.
+func (c *Counter) EnableTracing() {
+	if c != nil {
+		c.tracing = true
+	}
+}
+
+// Tracing reports whether operators built against this counter should record
+// execution statistics. Nil counters never trace.
+func (c *Counter) Tracing() bool {
+	return c != nil && c.tracing
 }
 
 // Inc records the creation of one answer object.

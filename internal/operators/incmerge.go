@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"specqp/internal/kg"
+	"specqp/internal/trace"
 )
 
 // IncrementalMerge folds one triple pattern's original match stream and the
@@ -34,6 +35,7 @@ type IncrementalMerge struct {
 	top           float64
 	last          float64
 	primed        bool
+	stats         *trace.Node // nil unless the execution is traced
 }
 
 type mergeHead struct {
@@ -66,6 +68,9 @@ func NewIncrementalMerge(inputs []Stream, c *Counter) *IncrementalMerge {
 			break
 		}
 	}
+	if c.Tracing() {
+		m.stats = trace.NewNode("IncrementalMerge")
+	}
 	return m
 }
 
@@ -83,6 +88,7 @@ func (m *IncrementalMerge) prime() {
 		m.top = m.heads[0].entry.Score
 	}
 	m.last = m.top
+	m.stats.SetTop(m.top)
 }
 
 // TopScore implements Stream.
@@ -110,6 +116,7 @@ func (m *IncrementalMerge) Next() (Entry, bool) {
 		}
 		if m.pulls >= AbortStride {
 			m.pulls = 0
+			m.stats.AbortPoll()
 			if m.counter.Aborted() {
 				m.aborted = true
 				m.last = 0
@@ -117,6 +124,7 @@ func (m *IncrementalMerge) Next() (Entry, bool) {
 			}
 		}
 		m.pulls++
+		m.stats.Pull()
 		h := m.heads[0]
 		if e, ok := m.inputs[h.src].Next(); ok {
 			m.heads[0] = mergeHead{entry: e, src: h.src}
@@ -126,11 +134,16 @@ func (m *IncrementalMerge) Next() (Entry, bool) {
 		}
 		key := m.keyer.Key(h.entry.Binding)
 		if m.seen[key] {
+			m.stats.DedupDrop()
 			continue
 		}
 		m.seen[key] = true
 		m.last = h.entry.Score
 		m.counter.Inc()
+		if m.stats != nil {
+			m.stats.Emit()
+			m.stats.SampleBound(h.entry.Score)
+		}
 		return h.entry, true
 	}
 	m.last = 0

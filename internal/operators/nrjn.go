@@ -2,6 +2,7 @@ package operators
 
 import (
 	"specqp/internal/kg"
+	"specqp/internal/trace"
 )
 
 // NRJN is the Nested-loops Rank Join variant (Ilyas et al., VLDB 2003): like
@@ -30,11 +31,12 @@ type NRJN struct {
 	top       float64
 	last      float64
 	primed    bool
+	stats     *trace.Node // nil unless the execution is traced
 }
 
 // NewNRJN builds a nested-loops rank join of outer with inner.
 func NewNRJN(outer Stream, inner Resettable, joinVars []int, c *Counter) *NRJN {
-	return &NRJN{
+	n := &NRJN{
 		outer:     outer,
 		inner:     inner,
 		joinVars:  joinVars,
@@ -43,6 +45,10 @@ func NewNRJN(outer Stream, inner Resettable, joinVars []int, c *Counter) *NRJN {
 		emitKeyer: kg.NewKeyer(),
 		emitted:   make(map[kg.BindingKey]bool),
 	}
+	if c.Tracing() {
+		n.stats = trace.NewNode("NRJN")
+	}
+	return n
 }
 
 func (n *NRJN) prime() {
@@ -52,6 +58,7 @@ func (n *NRJN) prime() {
 	n.primed = true
 	n.top = n.outer.TopScore() + n.inner.TopScore()
 	n.last = n.top
+	n.stats.SetTop(n.top)
 }
 
 // TopScore implements Stream.
@@ -88,15 +95,18 @@ func (n *NRJN) step() bool {
 	}
 	key := n.joinKeyer.Key(o.Binding)
 	n.inner.Reset()
+	n.stats.Rescan()
 	for {
 		if n.pulls >= AbortStride {
 			n.pulls = 0
+			n.stats.AbortPoll()
 			if n.counter.Aborted() {
 				n.aborted = true
 				return false
 			}
 		}
 		n.pulls++
+		n.stats.Pull()
 		ie, ok := n.inner.Next()
 		if !ok {
 			break
@@ -108,6 +118,7 @@ func (n *NRJN) step() bool {
 			continue
 		}
 		n.counter.Inc()
+		n.stats.Created()
 		heapPush(&n.queue, Entry{
 			Binding: n.arena.merge(o.Binding, ie.Binding),
 			Score:   o.Score + ie.Score,
@@ -126,14 +137,20 @@ func (n *NRJN) Next() (Entry, bool) {
 		if n.aborted {
 			return Entry{}, false
 		}
-		if len(n.queue) > 0 && n.queue[0].Score >= n.threshold()-1e-12 {
+		if t := n.threshold(); len(n.queue) > 0 && n.queue[0].Score >= t-1e-12 {
 			e := heapPop(&n.queue)
 			k := n.emitKeyer.Key(e.Binding)
 			if n.emitted[k] {
+				n.stats.DedupDrop()
 				continue
 			}
 			n.emitted[k] = true
 			n.last = e.Score
+			if n.stats != nil {
+				n.stats.Emit()
+				n.stats.SampleBound(t)
+				n.stats.SetArenaBytes(n.arena.bytes())
+			}
 			return e, true
 		}
 		if n.done {
@@ -141,10 +158,16 @@ func (n *NRJN) Next() (Entry, bool) {
 				e := heapPop(&n.queue)
 				k := n.emitKeyer.Key(e.Binding)
 				if n.emitted[k] {
+					n.stats.DedupDrop()
 					continue
 				}
 				n.emitted[k] = true
 				n.last = e.Score
+				if n.stats != nil {
+					n.stats.Emit()
+					n.stats.SampleBound(0)
+					n.stats.SetArenaBytes(n.arena.bytes())
+				}
 				return e, true
 			}
 			n.last = 0

@@ -20,6 +20,10 @@ type Prefetch struct {
 	top   float64
 	bound float64
 	done  bool
+	// inner is retained only so TraceTree can walk through the prefetch to
+	// the wrapped operator's stats; Next never touches it (the background
+	// goroutine owns consumption).
+	inner Stream
 }
 
 type prefetched struct {
@@ -41,8 +45,9 @@ func NewPrefetch(s Stream, depth int, stop <-chan struct{}) *Prefetch {
 		depth = 1
 	}
 	p := &Prefetch{
-		ch:  make(chan prefetched, depth),
-		top: s.TopScore(),
+		ch:    make(chan prefetched, depth),
+		top:   s.TopScore(),
+		inner: s,
 	}
 	p.bound = s.Bound()
 	go func() {

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"specqp/internal/kg"
+	"specqp/internal/trace"
 )
 
 // RankJoin is an HRJN-style binary rank join: it joins two score-descending
@@ -42,12 +43,13 @@ type RankJoin struct {
 	last              float64
 	cert              float64 // corner bound at the moment of the last emission
 	primed            bool
+	stats             *trace.Node // nil unless the execution is traced
 }
 
 // NewRankJoin joins left and right on the given shared variable indexes
 // (indexes into the query's VarSet; compute them with JoinVars).
 func NewRankJoin(left, right Stream, joinVars []int, c *Counter) *RankJoin {
-	return &RankJoin{
+	rj := &RankJoin{
 		left:      left,
 		right:     right,
 		joinVars:  joinVars,
@@ -58,6 +60,10 @@ func NewRankJoin(left, right Stream, joinVars []int, c *Counter) *RankJoin {
 		rightTab:  make(map[kg.BindingKey][]Entry),
 		emitted:   make(map[kg.BindingKey]bool),
 	}
+	if c.Tracing() {
+		rj.stats = trace.NewNode("RankJoin")
+	}
+	return rj
 }
 
 // JoinVars computes the variable indexes bound by both sides, given the sets
@@ -106,6 +112,7 @@ func (rj *RankJoin) prime() {
 	rj.top = rj.left.TopScore() + rj.right.TopScore()
 	rj.last = rj.top
 	rj.cert = rj.top
+	rj.stats.SetTop(rj.top)
 }
 
 // TopScore implements Stream.
@@ -194,6 +201,7 @@ func (rj *RankJoin) enqueue(l, r Entry) {
 		Relaxed: l.Relaxed | r.Relaxed,
 	}
 	rj.counter.Inc()
+	rj.stats.Created()
 	heapPush(&rj.queue, joined)
 }
 
@@ -214,6 +222,7 @@ func (rj *RankJoin) Next() (Entry, bool) {
 		}
 		if rj.pulls >= AbortStride {
 			rj.pulls = 0
+			rj.stats.AbortPoll()
 			if rj.counter.Aborted() {
 				rj.aborted = true
 				return Entry{}, false
@@ -223,14 +232,21 @@ func (rj *RankJoin) Next() (Entry, bool) {
 			e := heapPop(&rj.queue)
 			key := rj.emitKeyer.Key(e.Binding)
 			if rj.emitted[key] {
+				rj.stats.DedupDrop()
 				continue
 			}
 			rj.emitted[key] = true
 			rj.last = e.Score
 			rj.cert = t
+			if rj.stats != nil {
+				rj.stats.Emit()
+				rj.stats.SampleBound(t)
+				rj.stats.SetArenaBytes(rj.arena.bytes())
+			}
 			return e, true
 		}
 		rj.pulls++
+		rj.stats.Pull()
 		if !rj.pullOne() {
 			// Inputs exhausted: flush the queue. The corner bound over unseen
 			// results has collapsed (no unseen inputs remain), so every flushed
@@ -239,11 +255,17 @@ func (rj *RankJoin) Next() (Entry, bool) {
 				e := heapPop(&rj.queue)
 				key := rj.emitKeyer.Key(e.Binding)
 				if rj.emitted[key] {
+					rj.stats.DedupDrop()
 					continue
 				}
 				rj.emitted[key] = true
 				rj.last = e.Score
 				rj.cert = 0
+				if rj.stats != nil {
+					rj.stats.Emit()
+					rj.stats.SampleBound(0)
+					rj.stats.SetArenaBytes(rj.arena.bytes())
+				}
 				return e, true
 			}
 			rj.last = 0

@@ -1,7 +1,10 @@
 package operators
 
 import (
+	"fmt"
+
 	"specqp/internal/kg"
+	"specqp/internal/trace"
 )
 
 // ListScan streams the matches of a single triple pattern in descending
@@ -46,6 +49,12 @@ type ListScan struct {
 
 	last float64
 	top  float64
+
+	// stats is the scan's trace node — nil unless the execution's Counter has
+	// tracing enabled, in which case every candidate, suppression and emission
+	// is recorded. All recording methods are nil-safe, so the untraced hot
+	// path pays one nil check per event.
+	stats *trace.Node
 }
 
 // bindSlot is the compiled form of one pattern position.
@@ -128,6 +137,14 @@ func newListScanOver(store kg.Graph, vs *kg.VarSet, p kg.Pattern, weight float64
 		s.top = weight * store.Triple(s.list[0]).Score / s.max
 	}
 	s.last = s.top
+	if c.Tracing() {
+		s.stats = trace.NewNode("ListScan")
+		s.stats.Detail = store.PatternString(p)
+		if weight != 1 {
+			s.stats.Detail = fmt.Sprintf("%s w=%.3f", s.stats.Detail, weight)
+		}
+		s.stats.SetTop(s.top)
+	}
 	return s
 }
 
@@ -170,12 +187,14 @@ func (s *ListScan) Next() (Entry, bool) {
 		ti := s.list[s.pos]
 		t := s.store.Triple(ti)
 		s.pos++
+		s.stats.Pull()
 		if !s.bind(t) {
 			continue
 		}
 		if s.seen != nil {
 			key := s.keyer.Key(s.scratch)
 			if s.seen[key] {
+				s.stats.DedupDrop()
 				continue
 			}
 			s.seen[key] = true
@@ -187,6 +206,11 @@ func (s *ListScan) Next() (Entry, bool) {
 		s.last = score
 		s.lastIdx = ti
 		s.counter.Inc()
+		if s.stats != nil {
+			s.stats.Emit()
+			s.stats.SampleBound(score)
+			s.stats.SetArenaBytes(s.arena.bytes())
+		}
 		return Entry{Binding: s.arena.clone(s.scratch), Score: score, Relaxed: s.mask}, true
 	}
 	s.last = 0

@@ -2,6 +2,7 @@ package operators
 
 import (
 	"specqp/internal/kg"
+	"specqp/internal/trace"
 )
 
 // ShardedListScan streams the matches of one triple pattern over a
@@ -34,6 +35,12 @@ type ShardedListScan struct {
 	top    float64
 	last   float64
 	primed bool
+
+	// stats is the merged scan's trace node; the per-shard sub-scans carry
+	// nil counters and stay untraced individually — the merge records the
+	// post-dedup view, exactly like the unsharded scan, with Shards recording
+	// the fan-in.
+	stats *trace.Node
 }
 
 // shardHead is one sub-scan's current head in the merge heap.
@@ -125,6 +132,12 @@ func NewShardedListScan(ss kg.ShardedGraph, vs *kg.VarSet, p kg.Pattern, weight 
 	}
 	s.heads = make([]shardHead, 0, len(s.subs))
 	s.last = s.top
+	if c.Tracing() {
+		s.stats = trace.NewNode("ShardedListScan")
+		s.stats.Detail = ss.PatternString(p)
+		s.stats.Shards = len(s.subs)
+		s.stats.SetTop(s.top)
+	}
 	return s
 }
 
@@ -167,6 +180,7 @@ func (s *ShardedListScan) Next() (Entry, bool) {
 	s.prime()
 	for len(s.heads) > 0 {
 		h := s.heads[0]
+		s.stats.Pull()
 		if nh, ok := s.pull(h.sub); ok {
 			s.heads[0] = nh
 			heapFixRoot(s.heads)
@@ -176,12 +190,17 @@ func (s *ShardedListScan) Next() (Entry, bool) {
 		if s.seen != nil {
 			key := s.keyer.Key(h.entry.Binding)
 			if s.seen[key] {
+				s.stats.DedupDrop()
 				continue
 			}
 			s.seen[key] = true
 		}
 		s.last = h.entry.Score
 		s.counter.Inc()
+		if s.stats != nil {
+			s.stats.Emit()
+			s.stats.SampleBound(h.entry.Score)
+		}
 		return h.entry, true
 	}
 	s.last = 0

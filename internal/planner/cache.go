@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"specqp/internal/kg"
 )
@@ -62,6 +63,10 @@ type PlanCache struct {
 	// be published after it; Plan captures gen before computing and only
 	// stores when it is unchanged.
 	gen uint64
+
+	// hits/misses count Plan resolutions for the cache hit-ratio gauge; a
+	// lost publish race counts as a miss (the plan was computed).
+	hits, misses atomic.Int64
 }
 
 type planItem struct {
@@ -112,16 +117,31 @@ func (c *PlanCache) Len() int {
 // use different variable names) and freshly copied slices, so callers may
 // mutate it — e.g. through Result.Plan — without corrupting the cache.
 func (c *PlanCache) Plan(q kg.Query, k int) Plan {
+	p, _ := c.PlanInfo(q, k)
+	return p
+}
+
+// Stats reports cumulative hit/miss counts (never reset, even by Clear — the
+// ratio is a process-lifetime observability signal).
+func (c *PlanCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// PlanInfo is Plan with the cache outcome: hit reports whether the plan was
+// served from the shape cache — the traced execution records it.
+func (c *PlanCache) PlanInfo(q kg.Query, k int) (_ Plan, hit bool) {
 	key := ShapeKey(q, k)
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.order.MoveToFront(el)
 		p := el.Value.(*planItem).plan
 		c.mu.Unlock()
-		return materialise(p, q)
+		c.hits.Add(1)
+		return materialise(p, q), true
 	}
 	gen := c.gen
 	c.mu.Unlock()
+	c.misses.Add(1)
 
 	p := c.pl.Plan(q, k)
 
@@ -143,7 +163,7 @@ func (c *PlanCache) Plan(q kg.Query, k int) Plan {
 		}
 	}
 	c.mu.Unlock()
-	return p
+	return p, false
 }
 
 // materialise returns a copy of plan p bound to query q, with its mutable

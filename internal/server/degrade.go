@@ -36,17 +36,24 @@ type governor struct {
 	last       time.Time
 	leakPerSec float64
 	t1, t2     float64
-	now        func() time.Time
+	// latThreshold feeds completion latencies into the same bucket: every
+	// accepted query slower than it adds one unit of pressure, exactly like a
+	// shed. Zero disables the latency feed (the default — shed-only). This is
+	// the early-warning half of degradation: a saturated engine can be slow
+	// without the accept queue ever filling (slow queries at low arrival
+	// rate), and waiting for sheds means waiting for queueing collapse.
+	latThreshold time.Duration
+	now          func() time.Time
 }
 
-func newGovernor(threshold, leakPerSec float64, now func() time.Time) *governor {
+func newGovernor(threshold, leakPerSec float64, latThreshold time.Duration, now func() time.Time) *governor {
 	if threshold <= 0 {
 		threshold = 64
 	}
 	if leakPerSec <= 0 {
 		leakPerSec = 16
 	}
-	return &governor{leakPerSec: leakPerSec, t1: threshold, t2: 4 * threshold, now: now}
+	return &governor{leakPerSec: leakPerSec, t1: threshold, t2: 4 * threshold, latThreshold: latThreshold, now: now}
 }
 
 // decay applies the leak since the last observation. Caller holds g.mu.
@@ -65,6 +72,20 @@ func (g *governor) decay() {
 
 // noteShed records one queue-full shed.
 func (g *governor) noteShed() {
+	g.mu.Lock()
+	g.decay()
+	g.score++
+	g.mu.Unlock()
+}
+
+// noteLatency records one accepted query's completion latency; breaches of
+// the configured threshold pressure the bucket like a shed. A no-op when the
+// latency feed is disabled or the query was fast — the common case pays one
+// comparison, no lock.
+func (g *governor) noteLatency(d time.Duration) {
+	if g.latThreshold <= 0 || d < g.latThreshold {
+		return
+	}
 	g.mu.Lock()
 	g.decay()
 	g.score++

@@ -30,8 +30,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"sync"
@@ -67,6 +69,29 @@ var _ Backend = (*specqp.Engine)(nil)
 // from the last applied state, mutations refused with the wedged-log error,
 // which the mutation handlers already render as 503 read-only.
 var _ Backend = (*specqp.Replica)(nil)
+
+// TracedBackend is the optional tracing extension of Backend: engines that
+// implement it serve `"explain": true` requests and feed the slow-query log
+// real execution traces. Backends without it (fault-injection wrappers that
+// only implement Backend) still serve everything else — explain requests
+// just fall back to an untraced run.
+type TracedBackend interface {
+	QueryTraced(ctx context.Context, q specqp.Query, k int, mode specqp.Mode) (specqp.Result, error)
+}
+
+// StatsBackend is the optional engine-internals extension: /healthz reports
+// the store occupancy and WAL position, /metrics the compaction, cache,
+// fsync and checkpoint gauges.
+type StatsBackend interface {
+	Stats() specqp.EngineStats
+}
+
+var (
+	_ TracedBackend = (*specqp.Engine)(nil)
+	_ TracedBackend = (*specqp.Replica)(nil)
+	_ StatsBackend  = (*specqp.Engine)(nil)
+	_ StatsBackend  = (*specqp.Replica)(nil)
+)
 
 // Config tunes the server's admission and degradation behavior. The zero
 // value of every field selects a production-safe default.
@@ -104,6 +129,20 @@ type Config struct {
 	// the governor for semantics.
 	DegradeThreshold  float64
 	DegradeLeakPerSec float64
+	// DegradeLatency feeds accepted-query completion latency into the same
+	// bucket: every query slower than this threshold adds one unit of
+	// pressure, like a shed. Zero (the default) disables the latency feed.
+	DegradeLatency time.Duration
+
+	// SlowQueryThreshold enables the sampled slow-query log: queries slower
+	// than it are logged as structured JSON lines (with their execution
+	// trace) to SlowQueryLog, rate-limited to one line per SlowQueryInterval
+	// (default 1s); crossings in between are counted, not dropped silently.
+	// Zero (the default) disables the log.
+	SlowQueryThreshold time.Duration
+	SlowQueryInterval  time.Duration
+	// SlowQueryLog receives the slow-query lines (default os.Stderr).
+	SlowQueryLog io.Writer
 
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
@@ -160,6 +199,9 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = &metrics.ServerMetrics{}
 	}
+	if c.SlowQueryThreshold > 0 && c.SlowQueryLog == nil {
+		c.SlowQueryLog = os.Stderr
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
@@ -171,7 +213,10 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	eng     Backend
+	traced  TracedBackend // nil when the backend cannot trace
+	stats   StatsBackend  // nil when the backend exposes no engine stats
 	m       *metrics.ServerMetrics
+	slow    *slowLog // nil when disabled
 	slots   chan struct{}
 	waiting atomic.Int64
 	buckets *bucketTable
@@ -191,15 +236,23 @@ func New(cfg Config) *Server {
 	if cfg.Backend == nil {
 		panic("server: Config.Backend is required")
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		eng:     cfg.Backend,
 		m:       cfg.Metrics,
+		slow:    newSlowLog(cfg.SlowQueryLog, cfg.SlowQueryThreshold, cfg.SlowQueryInterval, cfg.now),
 		slots:   make(chan struct{}, cfg.MaxInflight),
 		buckets: newBucketTable(cfg.RatePerClient, cfg.BurstPerClient, cfg.MaxClients, cfg.now),
-		gov:     newGovernor(cfg.DegradeThreshold, cfg.DegradeLeakPerSec, cfg.now),
+		gov:     newGovernor(cfg.DegradeThreshold, cfg.DegradeLeakPerSec, cfg.DegradeLatency, cfg.now),
 	}
+	s.traced, _ = cfg.Backend.(TracedBackend)
+	s.stats, _ = cfg.Backend.(StatsBackend)
+	return s
 }
+
+// SlowQueriesLogged reports how many slow-query lines have been written
+// (observability and the overload smoke test).
+func (s *Server) SlowQueriesLogged() int64 { return s.slow.Logged() }
 
 // Metrics returns the server's counter set.
 func (s *Server) Metrics() *metrics.ServerMetrics { return s.m }
@@ -366,6 +419,12 @@ type queryRequest struct {
 	// Accept: application/x-ndjson. On /batch the first line's value governs
 	// the whole response, like k/mode/deadline.
 	Stream bool `json:"stream,omitempty"`
+	// Explain requests the execution trace: the response carries a "trace"
+	// object with the planner's decisions and the plan-shaped per-operator
+	// counter tree. Explain forces the buffered response shape — a trace
+	// describes a completed execution, so it cannot ride NDJSON increments —
+	// and is ignored on /batch (trace one query at a time).
+	Explain bool `json:"explain,omitempty"`
 }
 
 // answerJSON is one decoded answer.
@@ -377,14 +436,15 @@ type answerJSON struct {
 
 // queryResponse is the /query body and the per-line /batch response shape.
 type queryResponse struct {
-	Answers []answerJSON `json:"answers"`
-	K       int          `json:"k"`
-	Mode    string       `json:"mode"`
-	Tier    int          `json:"tier"`
-	ExecUS  int64        `json:"exec_us"`
-	PlanUS  int64        `json:"plan_us,omitempty"`
-	Partial bool         `json:"partial,omitempty"`
-	Error   string       `json:"error,omitempty"`
+	Answers []answerJSON       `json:"answers"`
+	K       int                `json:"k"`
+	Mode    string             `json:"mode"`
+	Tier    int                `json:"tier"`
+	ExecUS  int64              `json:"exec_us"`
+	PlanUS  int64              `json:"plan_us,omitempty"`
+	Partial bool               `json:"partial,omitempty"`
+	Error   string             `json:"error,omitempty"`
+	Trace   *specqp.QueryTrace `json:"trace,omitempty"`
 }
 
 // resolve parses the mode and clamps k for one request.
@@ -461,12 +521,32 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	s.m.EngineQueries.Add(1)
-	if wantsStream(r, req) {
-		s.streamQuery(ctx, w, q, k, mode, tier, start)
+	// Tracing decisions happen before execution: an explicit explain request,
+	// or a slow-query sampling token — the logged trace must be the real run,
+	// never a re-execution. Explain forces the buffered shape (see the field).
+	armed := s.slow.arm()
+	if wantsStream(r, req) && !req.Explain {
+		res, qerr, n := s.streamQuery(ctx, w, q, k, mode, tier, start)
+		elapsed := s.cfg.now().Sub(start)
+		s.gov.noteLatency(elapsed)
+		if armed {
+			// Streamed runs are untraced (the trace cannot ride increments);
+			// a slow one still logs, just without the operator tree.
+			s.slow.observe(elapsed, true, s.slowEntry(req, res, qerr, n, k, mode, tier))
+		}
 		return
 	}
-	res, qerr := s.eng.QueryContext(ctx, q, k, mode)
-	s.m.Latency.Observe(s.cfg.now().Sub(start))
+	var res specqp.Result
+	var qerr error
+	if (req.Explain || armed) && s.traced != nil {
+		res, qerr = s.traced.QueryTraced(ctx, q, k, mode)
+	} else {
+		res, qerr = s.eng.QueryContext(ctx, q, k, mode)
+	}
+	elapsed := s.cfg.now().Sub(start)
+	s.m.Latency.Observe(elapsed)
+	s.gov.noteLatency(elapsed)
+	s.slow.observe(elapsed, armed, s.slowEntry(req, res, qerr, len(res.Answers), k, mode, tier))
 
 	status := http.StatusOK
 	switch {
@@ -481,9 +561,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.m.QueryErrors.Add(1)
 		status = http.StatusInternalServerError
 	}
+	out := s.buildResponse(q, res, qerr, k, mode, tier)
+	if req.Explain {
+		// A non-nil trace only exists when the backend traces; when it
+		// cannot (a bare Backend wrapper) the field just stays absent.
+		out.Trace = res.Trace
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(s.buildResponse(q, res, qerr, k, mode, tier))
+	json.NewEncoder(w).Encode(out)
+}
+
+// slowEntry assembles the slow-query log line for one finished query.
+func (s *Server) slowEntry(req queryRequest, res specqp.Result, qerr error, answers, k int, mode specqp.Mode, tier int) slowEntry {
+	e := slowEntry{
+		Query:   req.Query,
+		K:       k,
+		Mode:    mode.String(),
+		Tier:    tier,
+		Answers: answers,
+		Trace:   res.Trace,
+	}
+	if qerr != nil {
+		e.Error = qerr.Error()
+	}
+	return e
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -563,7 +665,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	results, berr := s.eng.QueryBatch(ctx, valid, k, mode)
-	s.m.Latency.Observe(s.cfg.now().Sub(start))
+	elapsed := s.cfg.now().Sub(start)
+	s.m.Latency.Observe(elapsed)
+	s.gov.noteLatency(elapsed)
 	if berr != nil {
 		errorBody(w, http.StatusInternalServerError, "batch: %v", berr)
 		return
@@ -673,6 +777,9 @@ type healthz struct {
 	ReplicaPrimarySeq *uint64 `json:"replica_primary_seq,omitempty"`
 	ReplicaLagSeq     *uint64 `json:"replica_lag_seq,omitempty"`
 	ReplicaConnected  *bool   `json:"replica_connected,omitempty"`
+	// Engine is the engine-internals snapshot (store occupancy, WAL
+	// position, pinned snapshots); absent when the backend exposes none.
+	Engine *specqp.EngineStats `json:"engine,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -690,6 +797,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		h.ReplicaPrimarySeq = &primary
 		h.ReplicaLagSeq = &lag
 		h.ReplicaConnected = &connected
+	}
+	if s.stats != nil {
+		es := s.stats.Stats()
+		h.Engine = &es
 	}
 	status := http.StatusOK
 	switch {
@@ -720,9 +831,48 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		wedged = 1
 	}
 	fmt.Fprintf(w, "specqp_wedged %d\n", wedged)
+	fmt.Fprintf(w, "specqp_slow_queries_logged_total %d\n", s.slow.Logged())
 	if rm := s.cfg.Replication; rm != nil {
 		rm.WriteText(w)
 	}
+	if s.stats != nil {
+		writeEngineText(w, s.stats.Stats())
+	}
+}
+
+// writeEngineText renders the engine-internals gauges and counters in
+// Prometheus text exposition format. Store/cache lines always appear; the
+// WAL family appears only on durable engines (so a non-durable server's
+// exposition carries no dead zero series).
+func writeEngineText(w io.Writer, es specqp.EngineStats) {
+	fmt.Fprintf(w, "specqp_engine_live_triples %d\n", es.LiveTriples)
+	fmt.Fprintf(w, "specqp_engine_head_len %d\n", es.HeadLen)
+	fmt.Fprintf(w, "specqp_engine_l1_len %d\n", es.L1Len)
+	fmt.Fprintf(w, "specqp_engine_tombstones %d\n", es.Tombstones)
+	fmt.Fprintf(w, "specqp_engine_ops_total %d\n", es.Ops)
+	fmt.Fprintf(w, "specqp_engine_compactions_total{tier=\"full\"} %d\n", es.CompactionsFull)
+	fmt.Fprintf(w, "specqp_engine_compactions_total{tier=\"l1\"} %d\n", es.CompactionsTiered)
+	fmt.Fprintf(w, "specqp_engine_compaction_us_total{tier=\"full\"} %d\n", es.CompactionFullNS/1e3)
+	fmt.Fprintf(w, "specqp_engine_compaction_us_total{tier=\"l1\"} %d\n", es.CompactionTieredNS/1e3)
+	fmt.Fprintf(w, "specqp_engine_pinned_snapshots_total %d\n", es.PinnedSnapshots)
+	fmt.Fprintf(w, "specqp_engine_plan_cache_hits_total %d\n", es.PlanCacheHits)
+	fmt.Fprintf(w, "specqp_engine_plan_cache_misses_total %d\n", es.PlanCacheMisses)
+	fmt.Fprintf(w, "specqp_engine_list_cache_hits_total %d\n", es.ListCacheHits)
+	fmt.Fprintf(w, "specqp_engine_list_cache_misses_total %d\n", es.ListCacheMisses)
+	if !es.Durable {
+		return
+	}
+	fmt.Fprintf(w, "specqp_engine_wal_last_seq %d\n", es.WALLastSeq)
+	fmt.Fprintf(w, "specqp_engine_wal_size_bytes %d\n", es.WALSize)
+	fmt.Fprintf(w, "specqp_engine_wal_segments %d\n", es.WALSegments)
+	fmt.Fprintf(w, "specqp_engine_wal_commits_total %d\n", es.WALCommits)
+	fmt.Fprintf(w, "specqp_engine_wal_commit_records_total %d\n", es.WALCommitRecords)
+	fmt.Fprintf(w, "specqp_engine_wal_fsyncs_total %d\n", es.WALFsyncs)
+	fmt.Fprintf(w, "specqp_engine_wal_fsync_us_total %d\n", es.WALFsyncNS/1e3)
+	fmt.Fprintf(w, "specqp_engine_wal_last_fsync_us %d\n", es.WALLastFsyncNS/1e3)
+	fmt.Fprintf(w, "specqp_engine_checkpoints_total %d\n", es.Checkpoints)
+	fmt.Fprintf(w, "specqp_engine_checkpoint_us_total %d\n", es.CheckpointNS/1e3)
+	fmt.Fprintf(w, "specqp_engine_last_checkpoint_bytes %d\n", es.LastCheckpointBytes)
 }
 
 // Drain performs the graceful-shutdown sequence: stop admitting (new

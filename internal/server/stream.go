@@ -122,7 +122,7 @@ func trailerFor(res specqp.Result, err error, answers, k int, mode specqp.Mode, 
 // outcome. Deadline and cancellation semantics are QueryContext's — an expiry
 // mid-stream stops the operators within AbortStride pulls and the answers
 // already streamed stand, marked partial in the trailer.
-func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, q specqp.Query, k int, mode specqp.Mode, tier int, start time.Time) {
+func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, q specqp.Query, k int, mode specqp.Mode, tier int, start time.Time) (specqp.Result, error, int) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	lw := newLineWriter(w)
@@ -149,10 +149,10 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, q specq
 	default:
 		s.m.QueryErrors.Add(1)
 	}
-	if lw.failed() {
-		return
+	if !lw.failed() {
+		lw.writeLine(streamTrailer{Trailer: trailerFor(res, qerr, n, k, mode, tier)})
 	}
-	lw.writeLine(streamTrailer{Trailer: trailerFor(res, qerr, n, k, mode, tier)})
+	return res, qerr, n
 }
 
 // streamBatch serves one /batch request incrementally over the shared worker

@@ -68,6 +68,12 @@ type Options struct {
 	Interval time.Duration
 	// SegmentSize is the size at which the active segment is rotated.
 	SegmentSize int64
+	// OnCommit, when set, observes each successfully written group-commit
+	// batch: records is the number of records the batch carried, syncDur the
+	// fsync wall time (zero when the policy skipped the fsync). Called on the
+	// commit leader's goroutine outside the log mutex — keep it cheap and
+	// non-blocking (counter/histogram updates).
+	OnCommit func(records int, syncDur time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -155,6 +161,7 @@ type Log struct {
 
 	buf      []byte // framed records not yet handed to a commit leader
 	bufFirst uint64 // seq of buf's first record
+	bufCount int    // records in buf (group-commit batch-size observability)
 	cur      *batch // round the buffered records belong to
 	writing  bool   // a commit leader (or Sync) owns the files
 	nextSeq  uint64
@@ -381,6 +388,7 @@ func (l *Log) AppendAsync(r Record) (wait func() error, err error) {
 		l.bufFirst = r.Seq
 	}
 	l.buf = appendRecord(l.buf, r)
+	l.bufCount++
 	b := l.cur
 	if b == nil {
 		b = &batch{done: make(chan struct{})}
@@ -420,8 +428,8 @@ func (l *Log) commit(forceSync bool) error {
 	var lastErr error
 	for {
 		l.mu.Lock()
-		buf, first, b := l.buf, l.bufFirst, l.cur
-		l.buf, l.cur = nil, nil
+		buf, first, b, count := l.buf, l.bufFirst, l.cur, l.bufCount
+		l.buf, l.cur, l.bufCount = nil, nil, 0
 		if len(buf) == 0 {
 			if forceSync && l.err == nil && l.active != nil && l.unsynced {
 				l.mu.Unlock()
@@ -446,8 +454,18 @@ func (l *Log) commit(forceSync bool) error {
 		if err == nil {
 			err = l.writeChunk(buf, first)
 		}
+		var syncDur time.Duration
 		if err == nil && (forceSync || l.opts.Policy == SyncAlways) {
-			err = l.syncActive()
+			if l.opts.OnCommit != nil {
+				t0 := time.Now()
+				err = l.syncActive()
+				syncDur = time.Since(t0)
+			} else {
+				err = l.syncActive()
+			}
+		}
+		if err == nil && l.opts.OnCommit != nil {
+			l.opts.OnCommit(count, syncDur)
 		}
 		if err != nil {
 			// Wedge first, then hand the batch the canonical wrapped error:
@@ -536,6 +554,7 @@ func (l *Log) fail(err error) {
 	b := l.cur
 	l.cur = nil
 	l.buf = nil
+	l.bufCount = 0
 	l.mu.Unlock()
 	if b != nil {
 		b.err = err

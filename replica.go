@@ -185,6 +185,25 @@ func (r *Replica) QueryContext(ctx context.Context, q Query, k int, mode Mode) (
 	return eng.QueryContext(ctx, q, k, mode)
 }
 
+// QueryTraced executes q traced against the last applied state.
+func (r *Replica) QueryTraced(ctx context.Context, q Query, k int, mode Mode) (Result, error) {
+	eng, err := r.engine()
+	if err != nil {
+		return Result{}, err
+	}
+	return eng.QueryTraced(ctx, q, k, mode)
+}
+
+// Stats reports the replica engine's internals; the zero snapshot before
+// bootstrap (there is no state to describe yet).
+func (r *Replica) Stats() EngineStats {
+	eng, err := r.engine()
+	if err != nil {
+		return EngineStats{}
+	}
+	return eng.Stats()
+}
+
 // QueryStream streams answers from the last applied state.
 func (r *Replica) QueryStream(ctx context.Context, q Query, k int, mode Mode, emit AnswerEmitter) (Result, error) {
 	eng, err := r.engine()

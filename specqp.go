@@ -34,6 +34,7 @@ import (
 	"specqp/internal/relax"
 	"specqp/internal/sparql"
 	"specqp/internal/stats"
+	"specqp/internal/trace"
 )
 
 // Re-exported core types. These aliases form the public surface; callers
@@ -72,7 +73,18 @@ type (
 	Result = exec.Result
 	// Plan is a speculative query plan.
 	Plan = planner.Plan
+	// QueryTrace is the execution trace QueryTraced attaches to its Result:
+	// planner decisions (mode, shape key, plan-cache hit, relaxation count)
+	// plus a plan-shaped tree of per-operator counters. It marshals to JSON
+	// and renders as text via RenderTrace.
+	QueryTrace = trace.Trace
+	// TraceNode is one operator's node in a QueryTrace tree.
+	TraceNode = trace.Node
 )
+
+// RenderTrace renders a QueryTrace as an indented text tree — the executed
+// half of ExplainString, usable on traces decoded from the HTTP API too.
+func RenderTrace(t *QueryTrace) string { return trace.Render(t) }
 
 // Var builds a variable term (name without the leading '?').
 func Var(name string) Term { return kg.Var(name) }
@@ -513,6 +525,91 @@ func (e *Engine) QueryStream(ctx context.Context, q Query, k int, mode Mode, emi
 	default:
 		return Result{}, fmt.Errorf("specqp: unknown mode %v", mode)
 	}
+}
+
+// QueryTraced is QueryContext with per-query observability: the returned
+// Result carries a QueryTrace recording the planner's decisions (plan-cache
+// hit or miss, shape key, relaxation count, planning time) and a plan-shaped
+// tree of per-operator counters — pulls, emissions, dedup drops, bound
+// trajectory samples, abort polls, arena bytes. Tracing changes only what is
+// recorded, never what is computed: answers are bit-identical to
+// QueryContext's (the oracle tests pin this down).
+//
+// ModeSpecQP plans through the engine's shape-keyed plan cache so the trace
+// reflects production cache behaviour; Query/QueryContext plan afresh each
+// call, so a traced run may observe a cached plan where an untraced one
+// re-planned — the plans are identical either way (materialised from the
+// same shape). ModeNaive has no operator tree; its trace carries only the
+// header fields.
+func (e *Engine) QueryTraced(ctx context.Context, q Query, k int, mode Mode) (Result, error) {
+	if k < 1 {
+		return Result{}, fmt.Errorf("specqp: k must be >= 1, got %d", k)
+	}
+	if len(q.Patterns) == 0 {
+		return Result{}, fmt.Errorf("specqp: empty query")
+	}
+	switch mode {
+	case ModeSpecQP:
+		t0 := time.Now()
+		p, hit := e.livePlans().PlanInfo(q, k)
+		planTime := time.Since(t0)
+		res, err := e.exec.RunContextTraced(ctx, p, nil)
+		res.PlanTime = planTime
+		if res.Trace != nil {
+			res.Trace.Mode = mode.String()
+			res.Trace.ShapeKey = planner.ShapeKey(q, k)
+			res.Trace.PlanCached = true
+			res.Trace.PlanCacheHit = hit
+			res.Trace.Relaxations = p.NumRelaxed()
+			res.Trace.PlanUS = planTime.Microseconds()
+		}
+		return res, err
+	case ModeTriniT:
+		res, err := e.exec.RunContextTraced(ctx, planner.TriniTPlan(q, k), nil)
+		if res.Trace != nil {
+			res.Trace.Mode = mode.String()
+			res.Trace.Relaxations = len(q.Patterns)
+		}
+		return res, err
+	case ModeExact:
+		res, err := e.exec.RunContextTraced(ctx, planner.ExactPlan(q, k), nil)
+		if res.Trace != nil {
+			res.Trace.Mode = mode.String()
+		}
+		return res, err
+	case ModeNaive:
+		res, err := e.Query(q, k, mode)
+		if err != nil {
+			return res, err
+		}
+		res.Trace = &trace.Trace{
+			Mode:          mode.String(),
+			K:             k,
+			ExecUS:        res.ExecTime.Microseconds(),
+			Answers:       len(res.Answers),
+			MemoryObjects: res.MemoryObjects,
+		}
+		return res, nil
+	default:
+		return Result{}, fmt.Errorf("specqp: unknown mode %v", mode)
+	}
+}
+
+// ExplainString executes q traced and renders both halves of the story: the
+// planner's reasoning (what it speculated and why — ModeSpecQP only; the
+// other modes have no speculative plan to explain) followed by the executed
+// trace tree with per-operator counters. This is what `specqp -explain`
+// prints.
+func (e *Engine) ExplainString(ctx context.Context, q Query, k int, mode Mode) (string, error) {
+	res, err := e.QueryTraced(ctx, q, k, mode)
+	if err != nil {
+		return "", err
+	}
+	var out string
+	if mode == ModeSpecQP {
+		out = e.planner.Explain(res.Plan)
+	}
+	return out + trace.Render(res.Trace), nil
 }
 
 // Insert adds a scored triple to the engine's live store: the triple lands
